@@ -1,0 +1,37 @@
+"""A7 — descriptor index scaling: linear scan vs LSH.
+
+Vector lookups sit on every recognition request's critical path; this
+bench measures real wall-clock query times of both index types as the
+cache fills, plus LSH's recall price.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments.index_scaling import run_index_scaling
+from repro.eval.tables import format_table
+
+
+def test_index_scaling(benchmark):
+    rows = benchmark.pedantic(run_index_scaling, rounds=1, iterations=1)
+
+    table = [[r.n_entries, f"{r.linear_wall_us:.0f}",
+              f"{r.lsh_wall_us:.0f}", f"{r.lsh_recall:.2f}",
+              f"{r.lsh_candidates:.0f}"] for r in rows]
+    emit(format_table(
+        ["entries", "linear us/query", "LSH us/query", "LSH recall",
+         "LSH candidates"],
+        table, title="A7 — descriptor index scaling (wall clock)"))
+
+    small, large = rows[0], rows[-1]
+    # Linear scan cost grows with occupancy...
+    assert large.linear_wall_us > small.linear_wall_us
+    # ...while LSH stays within a modest factor of its small-cache cost.
+    assert large.lsh_wall_us < large.linear_wall_us
+    # Candidate sets stay tiny relative to occupancy.
+    assert large.lsh_candidates < large.n_entries * 0.05
+    # Recall stays high on near-duplicate queries.
+    for row in rows:
+        assert row.lsh_recall >= 0.8
+
+    benchmark.extra_info["speedup_at_largest"] = (
+        large.linear_wall_us / large.lsh_wall_us)

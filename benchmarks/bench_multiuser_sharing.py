@@ -1,0 +1,32 @@
+"""A2 — cooperative benefit vs number of co-located users.
+
+The paper's core premise quantified: the more users share a place, the
+more of the offered IC workload the edge has already computed.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments.sharing import run_sharing
+from repro.eval.tables import format_table
+
+
+def test_multiuser_sharing(benchmark):
+    rows = benchmark.pedantic(run_sharing, rounds=1, iterations=1)
+
+    table = [[r.n_users, f"{r.hit_ratio:.2f}", f"{r.mean_ms:.0f}",
+              f"{r.p95_ms:.0f}", f"{r.origin_mean_ms:.0f}",
+              f"{r.reduction_pct:+.1f}%"] for r in rows]
+    emit(format_table(
+        ["users", "hit ratio", "mean ms", "p95 ms", "origin ms",
+         "reduction"],
+        table, title="A2 — co-located users vs cooperative benefit"))
+
+    # Hit ratio grows with the population...
+    ratios = [r.hit_ratio for r in rows]
+    assert all(a <= b + 0.05 for a, b in zip(ratios, ratios[1:]))
+    # ...and a lone user gains little while a crowd gains a lot.
+    assert rows[0].reduction_pct < 20
+    assert rows[-1].reduction_pct > 50
+    assert rows[-1].hit_ratio > 0.7
+
+    benchmark.extra_info["crowd_reduction_pct"] = rows[-1].reduction_pct

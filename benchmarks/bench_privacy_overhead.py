@@ -1,0 +1,44 @@
+"""A5 — descriptor privacy vs cache utility (paper §4 future work).
+
+Reports, per mechanism, the three corners of the trade-off: how many
+true matches survive (utility), how many foreign objects now match
+(safety), and how well an attacker can reconstruct the descriptor
+(privacy).
+"""
+
+from conftest import emit
+
+from repro.eval.experiments.privacy_exp import run_privacy
+from repro.eval.tables import format_table
+
+
+def test_privacy_tradeoff(benchmark):
+    rows = benchmark.pedantic(run_privacy, rounds=1, iterations=1)
+
+    table = [[r.mechanism, f"{r.hit_recall:.2f}",
+              f"{r.false_match_rate:.2f}", f"{r.leakage:.3f}",
+              f"{r.overhead_ms:.2f}"] for r in rows]
+    emit(format_table(
+        ["mechanism", "hit recall", "false matches", "leakage",
+         "client ms"],
+        table, title="A5 — descriptor privacy / utility trade-off"))
+
+    by_name = {r.mechanism: r for r in rows}
+    baseline = by_name["none"]
+    assert baseline.leakage > 0.99
+    assert baseline.hit_recall == 1.0
+
+    # Sketching: leakage falls as bits shrink, recall degrades slowly.
+    sketches = [by_name[f"sketch({b})"] for b in (64, 256, 1024)]
+    leak = [s.leakage for s in sketches]
+    assert leak == sorted(leak)
+    assert by_name["sketch(256)"].hit_recall > 0.9
+    assert by_name["sketch(256)"].leakage < 0.85
+
+    # Gaussian noise buys privacy but, at high sigma, the widened
+    # threshold admits foreign matches — the mechanism's known weakness.
+    assert by_name["noise(0.10)"].leakage < baseline.leakage
+    assert (by_name["noise(0.10)"].false_match_rate
+            >= by_name["noise(0.03)"].false_match_rate)
+
+    benchmark.extra_info["sketch256_leakage"] = by_name["sketch(256)"].leakage

@@ -1,0 +1,38 @@
+"""A1 — similarity threshold vs hit ratio and recognition accuracy.
+
+CoIC matches descriptors "under a certain threshold" (paper §2).  This
+bench regenerates the trade-off curve: hit ratio rises with the
+threshold, accuracy falls once foreign objects start matching.
+"""
+
+from conftest import emit
+
+from repro.eval.experiments.thresholds import run_threshold_sweep
+from repro.eval.tables import format_table
+
+
+def test_threshold_sweep(benchmark):
+    rows = benchmark.pedantic(run_threshold_sweep, rounds=1, iterations=1)
+
+    table = [[f"{r.threshold:.3f}", f"{r.hit_ratio:.2f}",
+              f"{r.accuracy:.3f}", f"{r.mean_latency_ms:.0f}"]
+             for r in rows]
+    emit(format_table(
+        ["threshold", "hit ratio", "accuracy", "mean ms"], table,
+        title="A1 — similarity threshold trade-off"))
+
+    hit_ratios = [r.hit_ratio for r in rows]
+    accuracies = [r.accuracy for r in rows]
+
+    # Hit ratio is non-decreasing in the threshold.
+    assert all(a <= b + 0.02 for a, b in zip(hit_ratios, hit_ratios[1:]))
+    # The tightest setting forfeits most sharing...
+    assert hit_ratios[0] < 0.5
+    # ...the loosest buys hits with wrong labels.
+    assert accuracies[-1] < 0.9
+    # And there is a sweet spot: high hits at (near-)perfect accuracy.
+    sweet = [r for r in rows if r.accuracy > 0.99]
+    assert max(r.hit_ratio for r in sweet) > 0.6
+
+    benchmark.extra_info["best_safe_hit_ratio"] = max(
+        r.hit_ratio for r in sweet)

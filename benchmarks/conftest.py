@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure/table of the paper has one bench module here.  Each bench
+
+1. regenerates the figure's data by running the corresponding
+   ``repro.eval.experiments`` module (timed once via
+   ``benchmark.pedantic`` so it appears in the pytest-benchmark table),
+2. prints the series in the paper's layout, side by side with the
+   paper's headline number, and
+3. asserts the *shape* claims (who wins, by roughly what factor).
+
+Emitted tables are buffered and written into the terminal summary, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+the reproduced figures alongside pytest-benchmark's timing table.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+_BLOCKS: list[str] = []
+
+
+def emit(text: str) -> None:
+    """Queue a results block for the end-of-run report."""
+    _BLOCKS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _BLOCKS:
+        return
+    terminalreporter.section("reproduced figures and tables")
+    for block in _BLOCKS:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)
+    _BLOCKS.clear()

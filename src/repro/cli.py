@@ -1,0 +1,154 @@
+"""Command-line interface: run experiments and quick demos.
+
+Usage::
+
+    python -m repro list                       # registered experiments
+    python -m repro run fig2a                  # regenerate a figure
+    python -m repro run sharing --seed 3
+    python -m repro demo --wifi 90 --backhaul 9   # one miss/hit pair
+
+Output is the same plain-text tables the benches print, so the CLI is
+the fastest way to poke at a parameter without writing a script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import typing
+
+from repro.eval.runner import experiment_names, run_experiment
+from repro.eval.tables import format_table
+
+
+def _rows_to_table(result: typing.Any) -> str:
+    """Render an experiment result (dataclass rows) as a table."""
+    rows = getattr(result, "rows", result)
+    if not isinstance(rows, (list, tuple)) or not rows:
+        return repr(result)
+    first = rows[0]
+    if not dataclasses.is_dataclass(first):
+        return "\n".join(repr(r) for r in rows)
+    fields = [f.name for f in dataclasses.fields(first)]
+    body = []
+    for row in rows:
+        rendered = []
+        for name in fields:
+            value = getattr(row, name)
+            if isinstance(value, float):
+                rendered.append(f"{value:.3f}")
+            else:
+                rendered.append(str(value))
+        body.append(rendered)
+    return format_table(fields, body)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for name in experiment_names():
+        print(name)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    kwargs: dict = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    try:
+        result = run_experiment(args.experiment, **kwargs)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(_rows_to_table(result))
+    chart = _figure_chart(args.experiment, result)
+    if chart:
+        print()
+        print(chart)
+    extras = [(name, getattr(result, name)) for name in
+              ("max_reduction_pct", "paper_max_reduction_pct")
+              if hasattr(result, name)]
+    for name, value in extras:
+        print(f"{name}: {value:.2f}")
+    return 0
+
+
+def _figure_chart(name: str, result: typing.Any) -> str | None:
+    """Paper-style grouped bars for the two reproduced figures."""
+    from repro.eval.charts import bar_chart
+
+    rows = getattr(result, "rows", None)
+    if not rows:
+        return None
+    if name == "fig2a":
+        groups = [f"({r.wifi_mbps:.0f},{r.backhaul_mbps:.0f})"
+                  for r in rows]
+    elif name == "fig2b":
+        groups = [f"{r.size_kb}KB" for r in rows]
+    else:
+        return None
+    series = {
+        "Origin": [r.origin_ms for r in rows],
+        "Cache Hit": [r.hit_ms for r in rows],
+        "Cache Miss": [r.miss_ms for r in rows],
+    }
+    title = ("Figure 2a - recognition latency" if name == "fig2a"
+             else "Figure 2b - 3D model load latency")
+    return bar_chart(title, groups, series)
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core import CoICConfig, CoICDeployment
+
+    config = CoICConfig(seed=args.seed or 0)
+    config.network.wifi_mbps = args.wifi
+    config.network.backhaul_mbps = args.backhaul
+    config.recognition.speculative_forward = True
+    deployment = CoICDeployment(config, n_clients=2)
+
+    origin = deployment.run_tasks(
+        deployment.origin_clients[0],
+        [deployment.recognition_task(1, viewpoint=-0.3)])[0]
+    miss = deployment.run_tasks(
+        deployment.clients[0],
+        [deployment.recognition_task(1, viewpoint=-0.3)])[0]
+    hit = deployment.run_tasks(
+        deployment.clients[1],
+        [deployment.recognition_task(1, viewpoint=0.3)])[0]
+
+    rows = [[r.outcome, f"{r.latency_s * 1e3:.0f}"]
+            for r in (origin, miss, hit)]
+    print(format_table(["path", "latency ms"], rows,
+                       title=f"recognition at ({args.wifi:g}, "
+                             f"{args.backhaul:g}) Mbps"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CoIC reproduction: experiments and demos")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", help="experiment name (see `list`)")
+    run_p.add_argument("--seed", type=int, default=None)
+
+    demo_p = sub.add_parser("demo", help="one origin/miss/hit triple")
+    demo_p.add_argument("--wifi", type=float, default=90.0,
+                        help="mobile->edge bandwidth, Mbps")
+    demo_p.add_argument("--backhaul", type=float, default=9.0,
+                        help="edge->cloud bandwidth, Mbps")
+    demo_p.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "demo": cmd_demo}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

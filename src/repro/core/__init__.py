@@ -1,0 +1,82 @@
+"""CoIC core: the paper's contribution.
+
+The cooperative immersive-computing framework, assembled from:
+
+* :mod:`~repro.core.descriptors` — feature descriptors: vectors for DNN
+  recognition (threshold matching), content hashes for 3D models and
+  panoramas (exact matching).
+* :mod:`~repro.core.index` — descriptor indexes: exact table, linear ANN
+  scan, and hyperplane-LSH ANN.
+* :mod:`~repro.core.cache` / :mod:`~repro.core.policies` — the edge IC
+  cache with byte-capacity enforcement and pluggable eviction.
+* :mod:`~repro.core.client` / :mod:`~repro.core.edge` /
+  :mod:`~repro.core.cloud` — the three node roles of Figure 1.
+* :mod:`~repro.core.baselines` — the paper's Origin baseline (full
+  offload, no cache) and a local-only reference.
+* :mod:`~repro.core.framework` — one-call deployment builder.
+* :mod:`~repro.core.layer_cache`, :mod:`~repro.core.privacy` — the §4
+  future-work directions: per-DNN-layer result reuse and descriptor
+  privacy protection.
+"""
+
+from repro.core.cache import CacheEntry, CacheStats, ICCache
+from repro.core.config import (
+    CacheConfig,
+    CoICConfig,
+    NetworkConfig,
+    RecognitionConfig,
+    RenderingConfig,
+    VrConfig,
+)
+from repro.core.descriptors import Descriptor, HashDescriptor, VectorDescriptor
+from repro.core.distance import get_metric
+from repro.core.framework import CoICDeployment
+from repro.core.index import ExactIndex, LinearIndex, LshIndex, make_index
+from repro.core.metrics import MetricsRecorder, RequestRecord
+from repro.core.policies import (
+    FifoPolicy,
+    GdsfPolicy,
+    LfuPolicy,
+    LruPolicy,
+    SizePolicy,
+    TtlPolicy,
+    make_policy,
+)
+from repro.core.tasks import (
+    ModelLoadTask,
+    PanoramaTask,
+    RecognitionTask,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CacheEntry",
+    "CacheStats",
+    "CoICConfig",
+    "CoICDeployment",
+    "Descriptor",
+    "ExactIndex",
+    "FifoPolicy",
+    "GdsfPolicy",
+    "HashDescriptor",
+    "ICCache",
+    "LfuPolicy",
+    "LinearIndex",
+    "LruPolicy",
+    "LshIndex",
+    "MetricsRecorder",
+    "ModelLoadTask",
+    "NetworkConfig",
+    "PanoramaTask",
+    "RecognitionConfig",
+    "RecognitionTask",
+    "RenderingConfig",
+    "RequestRecord",
+    "SizePolicy",
+    "TtlPolicy",
+    "VectorDescriptor",
+    "VrConfig",
+    "get_metric",
+    "make_index",
+    "make_policy",
+]

@@ -1,0 +1,115 @@
+"""Baselines the paper compares against (and one it implies).
+
+* :class:`OriginClient` — the paper's baseline: "an origin version which
+  offloads complete IC tasks to the cloud without cache".  Requests
+  traverse the same physical path (mobile -> edge -> cloud) but the edge
+  is a dumb relay: no descriptor, no lookup, no insert.
+* :class:`LocalClient` — everything on-device, the pre-offloading world
+  the introduction motivates against (recognition only; local rendering
+  loads from local storage and needs no network).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.metrics import (
+    MetricsRecorder,
+    OUTCOME_ERROR,
+    OUTCOME_LOCAL,
+    OUTCOME_ORIGIN,
+    RequestRecord,
+)
+from repro.core.tasks import (
+    ModelLoadResult,
+    ModelLoadTask,
+    PanoramaTask,
+    RecognitionTask,
+    Task,
+)
+from repro.net.message import Message
+from repro.net.transport import Rpc, RpcError
+from repro.render.panorama import Viewport, crop_time_s
+from repro.sim.kernel import Environment
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import CoICConfig
+    from repro.render.loader import ModelLoader
+    from repro.vision.recognition import Recognizer
+
+
+class OriginClient:
+    """Full offload to the cloud, no edge cache (the paper's Origin)."""
+
+    def __init__(self, env: Environment, rpc: Rpc, name: str,
+                 config: "CoICConfig", loader: "ModelLoader",
+                 recorder: MetricsRecorder, cloud_name: str = "cloud"):
+        self.env = env
+        self.rpc = rpc
+        self.name = name
+        self.config = config
+        self.loader = loader
+        self.recorder = recorder
+        self.cloud_name = cloud_name
+        self.viewport = Viewport()
+
+    def perform(self, task: Task):
+        """Simulation process: offload ``task`` to the cloud, record."""
+        started = self.env.now
+        try:
+            outcome, detail = yield from self._offload(task)
+        except RpcError as exc:
+            outcome, detail = OUTCOME_ERROR, {"error": str(exc)}
+        record = RequestRecord(task_kind=task.kind, outcome=outcome,
+                               user=self.name, start_s=started,
+                               end_s=self.env.now, correct=None,
+                               detail=detail)
+        self.recorder.record(record)
+        return record
+
+    def _offload(self, task: Task):
+        if isinstance(task, ModelLoadTask):
+            yield self.env.timeout(
+                self.config.rendering.client_overhead_ms / 1e3)
+        size = 64 + task.input_bytes
+        request = Message(size_bytes=size, kind="cloud_request",
+                          payload=task, src=self.name, dst=self.cloud_name)
+        response = yield self.rpc.call(
+            request, timeout=self.config.request_timeout_s)
+        result = response.payload
+
+        if isinstance(task, ModelLoadTask):
+            # Raw file arrives; parse and upload locally.
+            assert isinstance(result, ModelLoadResult) and not result.parsed
+            cost = self.loader.load_cost_from_file(result.payload_bytes)
+            yield self.env.timeout(cost.total_s)
+        elif isinstance(task, PanoramaTask):
+            yield self.env.timeout(crop_time_s(task.panorama, self.viewport))
+        return OUTCOME_ORIGIN, {}
+
+
+class LocalClient:
+    """On-device execution, no network at all (recognition only)."""
+
+    def __init__(self, env: Environment, name: str, config: "CoICConfig",
+                 recognizer: "Recognizer", recorder: MetricsRecorder):
+        self.env = env
+        self.name = name
+        self.config = config
+        self.recognizer = recognizer
+        self.recorder = recorder
+
+    def perform(self, task: Task):
+        """Simulation process: run ``task`` on the device itself."""
+        if not isinstance(task, RecognitionTask):
+            raise TypeError(
+                "LocalClient only executes recognition tasks on-device")
+        started = self.env.now
+        yield self.env.timeout(self.recognizer.inference_time())
+        result = self.recognizer.recognize(task.frame)
+        record = RequestRecord(
+            task_kind=task.kind, outcome=OUTCOME_LOCAL, user=self.name,
+            start_s=started, end_s=self.env.now,
+            correct=result.label == task.frame.object_class, detail={})
+        self.recorder.record(record)
+        return record

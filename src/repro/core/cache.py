@@ -1,0 +1,250 @@
+"""The edge IC cache: descriptor-keyed result store with byte capacity.
+
+The central data structure of CoIC.  Results are keyed by descriptor;
+vector descriptors match under a per-kind distance threshold, hash
+descriptors match exactly.  Each descriptor *kind* gets its own index —
+recognition vectors never collide with model hashes — while all kinds
+share one byte budget under one eviction policy, because they share the
+edge box's memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from repro.core.descriptors import Descriptor, HashDescriptor, VectorDescriptor
+from repro.core.index import DescriptorIndex, ExactIndex, make_index
+from repro.core.policies import EvictionPolicy, LruPolicy, TtlPolicy
+
+
+@dataclasses.dataclass
+class CacheEntry:
+    """One cached IC result.
+
+    Attributes:
+        entry_id: Unique id within the cache.
+        descriptor: The key this result was stored under.
+        result: The cached IC result object.
+        size_bytes: Bytes charged against the cache capacity.
+        cost_s: What producing the result cost (cloud compute + transfer);
+            informs cost-aware policies (GDSF).
+        created_at: Simulated insert time.
+        last_access: Simulated time of the most recent hit.
+        hits: Number of lookups served by this entry.
+        expires_at: Absolute expiry time, or None.
+    """
+
+    entry_id: int
+    descriptor: Descriptor
+    result: typing.Any
+    size_bytes: int
+    cost_s: float = 0.0
+    created_at: float = 0.0
+    last_access: float = 0.0
+    hits: int = 0
+    expires_at: float | None = None
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Aggregate counters over the cache's lifetime."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    rejected: int = 0  # entries larger than total capacity
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class ICCache:
+    """Descriptor-keyed, byte-bounded, policy-evicted result cache.
+
+    Args:
+        capacity_bytes: Total byte budget across all descriptor kinds.
+        policy: Eviction policy instance (default LRU, per the paper's
+            "simple cache management policy").
+        default_threshold: Vector-match threshold when the caller does not
+            pass one explicitly.
+        vector_index: Spec for vector-kind indexes ("linear", "lsh",
+            "lsh:T:B") — hash kinds always use the exact index.
+        metric: Distance metric for vector indexes.
+        descriptor_dim: Vector dimension (needed to pre-build LSH planes).
+        ttl_s: Optional lifetime; expired entries never hit and are purged
+            lazily.
+    """
+
+    def __init__(self, capacity_bytes: int,
+                 policy: EvictionPolicy | None = None,
+                 default_threshold: float = 0.1,
+                 vector_index: str = "linear",
+                 metric: str = "cosine",
+                 descriptor_dim: int = 128,
+                 ttl_s: float | None = None):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be > 0")
+        if default_threshold < 0:
+            raise ValueError("default_threshold must be >= 0")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be > 0 when given")
+        self.capacity_bytes = int(capacity_bytes)
+        self.policy = policy if policy is not None else LruPolicy()
+        self.default_threshold = default_threshold
+        self.ttl_s = ttl_s
+        self.stats = CacheStats()
+        self._vector_index_spec = vector_index
+        self._metric = metric
+        self._descriptor_dim = descriptor_dim
+        self._entries: dict[int, CacheEntry] = {}
+        self._indexes: dict[str, DescriptorIndex] = {}
+        self._ids = itertools.count(1)
+        self._bytes = 0
+        # If the policy is TTL-based and no cache-level ttl was given,
+        # inherit the policy's, so expiry checks agree with eviction order.
+        if ttl_s is None and isinstance(self.policy, TtlPolicy):
+            self.ttl_s = self.policy.ttl_s
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes currently stored."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[CacheEntry]:
+        """Snapshot of live entries (unspecified order)."""
+        return list(self._entries.values())
+
+    def index_for(self, kind: str,
+                  descriptor: Descriptor | None = None) -> DescriptorIndex:
+        """The per-kind index, created on first use."""
+        index = self._indexes.get(kind)
+        if index is None:
+            if descriptor is None:
+                raise KeyError(f"no index for kind {kind!r} yet")
+            if isinstance(descriptor, HashDescriptor):
+                index = ExactIndex()
+            else:
+                index = make_index(self._vector_index_spec,
+                                   dim=self._descriptor_dim,
+                                   metric=self._metric)
+            self._indexes[kind] = index
+        return index
+
+    # -- operations ---------------------------------------------------------------
+
+    def lookup(self, descriptor: Descriptor, now: float = 0.0,
+               threshold: float | None = None) -> CacheEntry | None:
+        """Find a cached result matching ``descriptor``.
+
+        Returns the entry on a hit (updating recency/frequency state) or
+        None on a miss.  Expired matches are purged and count as misses.
+        """
+        self.stats.lookups += 1
+        index = self._indexes.get(descriptor.kind)
+        if index is None:
+            self.stats.misses += 1
+            return None
+        if threshold is None:
+            threshold = self.default_threshold
+        found = index.query(descriptor, threshold)
+        if found is None:
+            self.stats.misses += 1
+            return None
+        entry_id, _distance = found
+        entry = self._entries[entry_id]
+        if entry.expired(now):
+            self._drop(entry)
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        entry.hits += 1
+        entry.last_access = now
+        self.policy.on_access(entry)
+        self.stats.hits += 1
+        return entry
+
+    def lookup_cost_s(self, kind: str) -> float:
+        """Simulated seconds a lookup against ``kind`` costs right now."""
+        index = self._indexes.get(kind)
+        if index is None:
+            return ExactIndex.PROBE_COST_S
+        return index.lookup_cost_s()
+
+    def insert(self, descriptor: Descriptor, result: typing.Any,
+               size_bytes: int, now: float = 0.0,
+               cost_s: float = 0.0) -> CacheEntry | None:
+        """Store a result, evicting as needed.
+
+        Returns the new entry, or None if the object exceeds the entire
+        cache capacity (counted in ``stats.rejected``).
+        """
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be >= 0")
+        if size_bytes > self.capacity_bytes:
+            self.stats.rejected += 1
+            return None
+        while self._bytes + size_bytes > self.capacity_bytes:
+            victim = self.policy.select_victim()
+            self._drop(victim)
+            self.stats.evictions += 1
+
+        entry = CacheEntry(
+            entry_id=next(self._ids), descriptor=descriptor, result=result,
+            size_bytes=int(size_bytes), cost_s=cost_s, created_at=now,
+            last_access=now,
+            expires_at=(now + self.ttl_s) if self.ttl_s is not None else None)
+        self.index_for(descriptor.kind, descriptor).insert(
+            entry.entry_id, descriptor)
+        self._entries[entry.entry_id] = entry
+        self._bytes += entry.size_bytes
+        self.policy.on_insert(entry)
+        self.stats.insertions += 1
+        return entry
+
+    def remove(self, entry: CacheEntry) -> None:
+        """Explicitly invalidate an entry."""
+        if entry.entry_id not in self._entries:
+            raise KeyError(f"entry {entry.entry_id} not in cache")
+        self._drop(entry)
+
+    def purge_expired(self, now: float) -> int:
+        """Eagerly drop all expired entries; returns how many."""
+        victims = [e for e in self._entries.values() if e.expired(now)]
+        for entry in victims:
+            self._drop(entry)
+            self.stats.expirations += 1
+        return len(victims)
+
+    def clear(self) -> None:
+        """Empty the cache (stats are preserved)."""
+        for entry in list(self._entries.values()):
+            self._drop(entry)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _drop(self, entry: CacheEntry) -> None:
+        del self._entries[entry.entry_id]
+        self._indexes[entry.descriptor.kind].remove(entry.entry_id)
+        self._bytes -= entry.size_bytes
+        self.policy.on_remove(entry)
+
+    def __repr__(self) -> str:
+        return (f"ICCache({len(self)} entries, "
+                f"{self._bytes / 1e6:.1f}/{self.capacity_bytes / 1e6:.1f} MB, "
+                f"policy={self.policy.name})")

@@ -1,0 +1,190 @@
+"""The CoIC mobile client.
+
+The client's job per Figure 1: "Start IC Apps -> Extract IC Feature ->
+send IC request -> receive IC result".  Concretely, per task family:
+
+* recognition — optionally extract the descriptor on-device (config
+  ``descriptor_source="client"``), upload frame and/or descriptor, await
+  the result, display.
+* model load — send the content-hash descriptor; on a hit the edge
+  returns engine-ready geometry (upload to GPU and done); on a miss it
+  returns the raw file (parse locally, then upload).
+* panorama — send the content-hash descriptor; decode + crop whatever
+  comes back.
+
+``perform`` is a simulation process returning a
+:class:`~repro.core.metrics.RequestRecord`; drive it with
+``env.process(client.perform(task))``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.descriptors import HashDescriptor, VectorDescriptor
+from repro.core.metrics import (
+    MetricsRecorder,
+    OUTCOME_ERROR,
+    RequestRecord,
+)
+from repro.core.tasks import (
+    ModelLoadResult,
+    ModelLoadTask,
+    PanoramaTask,
+    RecognitionTask,
+    Task,
+)
+from repro.net.message import Message
+from repro.net.transport import Rpc, RpcError
+from repro.render.panorama import Viewport, crop_time_s
+from repro.sim.kernel import Environment
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import CoICConfig
+    from repro.render.loader import ModelLoader
+    from repro.vision.recognition import Recognizer
+
+
+class CoICClient:
+    """A mobile device running IC apps through the CoIC edge.
+
+    Args:
+        env: Simulation environment.
+        rpc: Transport endpoint.
+        name: This client's host name in the topology.
+        config: Deployment configuration.
+        recognizer: Mobile-device recognizer (on-device extraction cost).
+        loader: Mobile-device model loader (parse/upload costs).
+        recorder: Destination for request records.
+        edge_name: Host name of the CoIC edge.
+    """
+
+    def __init__(self, env: Environment, rpc: Rpc, name: str,
+                 config: "CoICConfig", recognizer: "Recognizer",
+                 loader: "ModelLoader", recorder: MetricsRecorder,
+                 edge_name: str = "edge"):
+        self.env = env
+        self.rpc = rpc
+        self.name = name
+        self.config = config
+        self.recognizer = recognizer
+        self.loader = loader
+        self.recorder = recorder
+        self.edge_name = edge_name
+        self.viewport = Viewport()
+
+    # -- public API -----------------------------------------------------------------
+
+    def perform(self, task: Task):
+        """Simulation process: run one task end-to-end, record and return
+        its :class:`RequestRecord`."""
+        started = self.env.now
+        try:
+            if isinstance(task, RecognitionTask):
+                outcome, correct, detail = yield from self._do_recognition(
+                    task)
+            elif isinstance(task, ModelLoadTask):
+                outcome, correct, detail = yield from self._do_model_load(
+                    task)
+            elif isinstance(task, PanoramaTask):
+                outcome, correct, detail = yield from self._do_panorama(task)
+            else:
+                raise TypeError(f"client cannot perform {task!r}")
+        except RpcError as exc:
+            outcome, correct, detail = OUTCOME_ERROR, None, {"error": str(exc)}
+        record = RequestRecord(task_kind=task.kind, outcome=outcome,
+                               user=self.name, start_s=started,
+                               end_s=self.env.now, correct=correct,
+                               detail=detail)
+        self.recorder.record(record)
+        return record
+
+    # -- recognition ----------------------------------------------------------------
+
+    def _do_recognition(self, task: RecognitionTask):
+        rec = self.config.recognition
+        headers: dict = {}
+        size = 64
+        if rec.descriptor_source == "client":
+            # On-device backbone pass, then ship the compact descriptor.
+            yield self.env.timeout(self.recognizer.extraction_time())
+            observation = self.recognizer.extract(task.frame)
+            descriptor = VectorDescriptor(kind=task.kind,
+                                          vector=observation.vector)
+            headers["descriptor"] = descriptor
+            size += descriptor.size_bytes
+            if rec.attach_input:
+                headers["has_input"] = True
+                size += task.input_bytes
+        else:
+            # Edge extracts: the frame itself is the request body.
+            headers["has_input"] = True
+            size += task.input_bytes
+
+        request = Message(size_bytes=size, kind="ic_request", payload=task,
+                          src=self.name, dst=self.edge_name,
+                          headers=headers)
+        response = yield self.rpc.call(
+            request, timeout=self.config.request_timeout_s)
+
+        if response.kind == "need_input":
+            # Two-phase miss: the edge wants the frame after all.
+            retry_headers = {"descriptor": headers.get("descriptor"),
+                             "has_input": True, "force_forward": True}
+            retry = Message(size_bytes=64 + task.input_bytes,
+                            kind="ic_request", payload=task, src=self.name,
+                            dst=self.edge_name, headers=retry_headers)
+            response = yield self.rpc.call(
+                retry, timeout=self.config.request_timeout_s)
+
+        if response.kind == "error":
+            return OUTCOME_ERROR, None, {"error": response.payload}
+        result = response.payload
+        outcome = response.headers.get("outcome", "unknown")
+        correct = result.label == task.frame.object_class
+        return outcome, correct, {"label": result.label}
+
+    # -- model loading -----------------------------------------------------------------
+
+    def _do_model_load(self, task: ModelLoadTask):
+        yield self.env.timeout(
+            self.config.rendering.client_overhead_ms / 1e3)
+        descriptor = HashDescriptor(kind=task.kind, digest=task.digest)
+        request = Message(size_bytes=task.input_bytes, kind="ic_request",
+                          payload=task, src=self.name, dst=self.edge_name,
+                          headers={"descriptor": descriptor})
+        response = yield self.rpc.call(
+            request, timeout=self.config.request_timeout_s)
+        if response.kind == "error":
+            return OUTCOME_ERROR, None, {"error": response.payload}
+        result: ModelLoadResult = response.payload
+
+        if result.parsed:
+            # Engine-ready geometry: GPU upload only.
+            yield self.env.timeout(
+                self.loader.upload_time(result.payload_bytes))
+        else:
+            # Raw file: parse locally, then upload the expanded form.
+            cost = self.loader.load_cost_from_file(result.payload_bytes)
+            yield self.env.timeout(cost.total_s)
+        outcome = response.headers.get("outcome", "unknown")
+        correct = result.digest == task.digest
+        return outcome, correct, {"parsed": result.parsed}
+
+    # -- panoramas ---------------------------------------------------------------------
+
+    def _do_panorama(self, task: PanoramaTask):
+        digest = task.panorama.digest()
+        descriptor = HashDescriptor(kind=task.kind, digest=digest)
+        request = Message(size_bytes=task.input_bytes, kind="ic_request",
+                          payload=task, src=self.name, dst=self.edge_name,
+                          headers={"descriptor": descriptor})
+        response = yield self.rpc.call(
+            request, timeout=self.config.request_timeout_s)
+        if response.kind == "error":
+            return OUTCOME_ERROR, None, {"error": response.payload}
+        result = response.payload
+        yield self.env.timeout(crop_time_s(task.panorama, self.viewport))
+        outcome = response.headers.get("outcome", "unknown")
+        correct = result.digest == digest
+        return outcome, correct, {"bytes": result.payload_bytes}

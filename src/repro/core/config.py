@@ -1,0 +1,181 @@
+"""Deployment configuration for a CoIC experiment.
+
+One :class:`CoICConfig` fully determines a run: network shape, task
+calibration, cache behaviour, and seed.  Benches sweep fields of this
+object; everything else flows from it, so every figure is reproducible
+from its parameter set alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class NetworkConfig:
+    """The two-hop network of Figure 1: mobile -- edge -- cloud.
+
+    Defaults reproduce the paper's testbed: 802.11ac WiFi on the access
+    side ("up to 400 Mbps"), a `tc`-shaped backhaul to the cloud.
+    """
+
+    wifi_mbps: float = 400.0
+    wifi_delay_ms: float = 1.0
+    wifi_jitter_ms: float = 0.0
+    backhaul_mbps: float = 40.0
+    backhaul_delay_ms: float = 10.0
+    backhaul_jitter_ms: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wifi_mbps <= 0 or self.backhaul_mbps <= 0:
+            raise ValueError("bandwidths must be > 0")
+        if min(self.wifi_delay_ms, self.backhaul_delay_ms,
+               self.wifi_jitter_ms, self.backhaul_jitter_ms) < 0:
+            raise ValueError("delays/jitters must be >= 0")
+        if not 0 <= self.loss_rate < 1:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+
+@dataclasses.dataclass
+class RecognitionConfig:
+    """Object-recognition workload calibration.
+
+    Attributes:
+        network: Zoo network name (``vgg16``/``resnet50``/``mobilenet_v2``).
+        descriptor_dim: Compact descriptor dimension.
+        resolution / quality: Camera frame encoding (drives upload size).
+        n_classes: Distinct objects in the world.
+        viewpoint_scale / noise_sigma: Embedding geometry knobs.
+        threshold: Cosine-distance match threshold; None derives one from
+            the geometry via ``EmbeddingSpace.suggest_threshold``.
+        max_viewpoint_delta: Viewpoint spread the derived threshold must
+            tolerate between two users of the same object.
+        descriptor_source: ``"edge"`` — the client uploads the frame and
+            the edge extracts the descriptor (GPU-poor 2018 phones);
+            ``"client"`` — the phone extracts and uploads only the
+            descriptor (+ frame if ``attach_input``).
+        attach_input: With client-side descriptors, whether the frame
+            rides along for the miss path (single round trip) or is
+            fetched on demand (extra RTT on miss).
+        speculative_forward: Edge optimization — forward the frame to the
+            cloud *concurrently* with extraction+lookup, so a miss costs
+            max(edge work, cloud round trip) instead of their sum.  Hits
+            waste the forwarded bytes; the A8 ablation quantifies the
+            trade.  Off by default (not in the paper).
+    """
+
+    network: str = "vgg16"
+    descriptor_dim: int = 128
+    resolution: str = "4k"
+    quality: int = 85
+    n_classes: int = 500
+    viewpoint_scale: float = 0.10
+    noise_sigma: float = 0.02
+    threshold: float | None = None
+    max_viewpoint_delta: float = 1.0
+    descriptor_source: str = "edge"
+    attach_input: bool = True
+    speculative_forward: bool = False
+
+    def __post_init__(self) -> None:
+        if self.descriptor_source not in ("edge", "client"):
+            raise ValueError(
+                f"descriptor_source must be 'edge' or 'client', "
+                f"got {self.descriptor_source!r}")
+        if self.threshold is not None and self.threshold < 0:
+            raise ValueError("threshold must be >= 0")
+
+
+@dataclasses.dataclass
+class RenderingConfig:
+    """3D model loading calibration (Figure 2b).
+
+    ``catalog_sizes_kb`` are the file sizes in the world's model catalog;
+    the Figure 2b defaults span the poster's 231 KB .. ~15 MB range.
+    """
+
+    catalog_sizes_kb: tuple = (231, 1949, 5013, 10737, 15053)
+    #: Cloud model store read latency (disk/object storage).
+    storage_read_ms: float = 20.0
+    #: Fixed per-load client cost: engine scheduling, GL context, request
+    #: serialization.  Dominates for tiny models, vanishes for big ones —
+    #: which is why Figure 2b's relative reduction grows with model size.
+    client_overhead_ms: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not self.catalog_sizes_kb:
+            raise ValueError("catalog must be non-empty")
+        if any(size <= 0 for size in self.catalog_sizes_kb):
+            raise ValueError("catalog sizes must be > 0")
+        if self.storage_read_ms < 0:
+            raise ValueError("storage_read_ms must be >= 0")
+        if self.client_overhead_ms < 0:
+            raise ValueError("client_overhead_ms must be >= 0")
+
+
+@dataclasses.dataclass
+class VrConfig:
+    """Panorama streaming calibration.
+
+    ``render_ms`` is the cloud GPU's time to render one panoramic frame
+    (FlashBack-class engines: tens of ms for 4K equirect).
+    """
+
+    resolution: str = "4k"
+    quality: int = 80
+    render_ms: float = 30.0
+    yaw_cells: int = 1
+    pitch_cells: int = 1
+
+    def __post_init__(self) -> None:
+        if self.render_ms < 0:
+            raise ValueError("render_ms must be >= 0")
+
+
+@dataclasses.dataclass
+class CacheConfig:
+    """Edge cache shape."""
+
+    capacity_mb: float = 2048.0
+    policy: str = "lru"
+    vector_index: str = "linear"
+    metric: str = "cosine"
+    ttl_s: float | None = None
+    #: Fixed edge-side bookkeeping time charged per insert.
+    insert_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_mb <= 0:
+            raise ValueError("capacity_mb must be > 0")
+        if self.insert_ms < 0:
+            raise ValueError("insert_ms must be >= 0")
+
+    @property
+    def capacity_bytes(self) -> int:
+        return int(self.capacity_mb * 1e6)
+
+
+@dataclasses.dataclass
+class CoICConfig:
+    """Everything a deployment needs, in one place."""
+
+    network: NetworkConfig = dataclasses.field(default_factory=NetworkConfig)
+    recognition: RecognitionConfig = dataclasses.field(
+        default_factory=RecognitionConfig)
+    rendering: RenderingConfig = dataclasses.field(
+        default_factory=RenderingConfig)
+    vr: VrConfig = dataclasses.field(default_factory=VrConfig)
+    cache: CacheConfig = dataclasses.field(default_factory=CacheConfig)
+    seed: int = 0
+    #: Parallel request handlers at the edge / cloud (compute slots).
+    edge_workers: int = 4
+    cloud_workers: int = 8
+    #: Client-side RPC deadline.
+    request_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.edge_workers < 1 or self.cloud_workers < 1:
+            raise ValueError("worker counts must be >= 1")
+        if self.request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be > 0")

@@ -1,0 +1,67 @@
+"""Distance metrics for vector descriptor matching.
+
+A metric is a callable ``metric(matrix, query) -> distances`` operating on
+a (N, D) candidate matrix and a (D,) query, vectorized for the linear
+index's scan.  ``cosine`` is the default — DNN retrieval descriptors are
+compared by angle — with ``l2`` and ``l2sq`` available for un-normalized
+feature spaces.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+MetricFn = typing.Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def cosine_distance(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """1 - cos(angle) for each row against the query.
+
+    Degenerate zero-norm vectors compare at maximum distance (2.0) rather
+    than raising, so a corrupt descriptor can never accidentally match.
+    """
+    query_norm = float(np.linalg.norm(query))
+    row_norms = np.linalg.norm(matrix, axis=1)
+    denom = row_norms * query_norm
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cos = (matrix @ query) / denom
+    cos = np.where(denom > 0, cos, -1.0)
+    return 1.0 - np.clip(cos, -1.0, 1.0)
+
+
+def l2_distance(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Euclidean distance of each row to the query."""
+    diff = matrix - query
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+def l2sq_distance(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance (cheaper when only ordering matters)."""
+    diff = matrix - query
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+_METRICS: dict[str, MetricFn] = {
+    "cosine": cosine_distance,
+    "l2": l2_distance,
+    "l2sq": l2sq_distance,
+}
+
+
+def get_metric(name: str) -> MetricFn:
+    """Look up a metric by name."""
+    try:
+        return _METRICS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {name!r}; choose from {sorted(_METRICS)}"
+        ) from None
+
+
+def pairwise(name: str, a: np.ndarray, b: np.ndarray) -> float:
+    """Distance between two single vectors under the named metric."""
+    metric = get_metric(name)
+    return float(metric(np.asarray(a, dtype=np.float64)[None, :],
+                        np.asarray(b, dtype=np.float64))[0])

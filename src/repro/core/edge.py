@@ -1,0 +1,314 @@
+"""The edge node: descriptor lookup, cache serving, cloud forwarding.
+
+This is CoIC's contribution in executable form (Figure 1, middle box):
+
+1. receive an IC request (with or without a pre-computed descriptor),
+2. extract the feature descriptor if the client didn't,
+3. look the descriptor up in the IC cache,
+4. on a hit, return the cached result immediately,
+5. on a miss, forward the request to the cloud, insert the result into
+   the cache on the way back, and return it.
+
+Also implemented, because a real edge needs them:
+
+* request coalescing — concurrent misses on the same content hash share
+  one cloud fetch instead of stampeding;
+* asynchronous parse-and-insert for 3D models — the client gets the raw
+  file at Origin speed while the edge prepares the loaded form for future
+  hits in the background;
+* a bounded worker pool, so descriptor extraction contends like it would
+  on a real box.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.core.cache import ICCache
+from repro.core.descriptors import Descriptor, HashDescriptor
+from repro.core.metrics import OUTCOME_HIT, OUTCOME_MISS
+from repro.core.tasks import (
+    ModelLoadResult,
+    ModelLoadTask,
+    PanoramaTask,
+    RecognitionTask,
+)
+from repro.net.message import Message
+from repro.net.transport import RpcError
+from repro.sim.events import Event
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.config import CoICConfig
+    from repro.net.topology import Host
+    from repro.net.transport import Rpc
+    from repro.render.loader import ModelLoader
+    from repro.vision.recognition import Recognizer
+
+
+def _abandon(event: Event) -> None:
+    """Stop caring about a pending call: failures must not crash the run."""
+    if event.processed:
+        if not event.ok:
+            event.defuse()
+        return
+
+    def swallow(ev: Event) -> None:
+        if not ev.ok:
+            ev.defuse()
+
+    event.callbacks.append(swallow)
+
+
+class EdgeNode:
+    """The CoIC edge service.
+
+    Args:
+        env: Simulation environment.
+        rpc: Transport endpoint.
+        host: The edge's network host.
+        cache: The IC cache instance.
+        config: Deployment configuration.
+        recognizer: Edge-device recognizer (descriptor extraction).
+        loader: Edge-device model loader (background parse on miss).
+        cloud_name: Host name requests are forwarded to.
+        workers: Parallel compute slots for extraction work.
+    """
+
+    def __init__(self, env: Environment, rpc: "Rpc", host: "Host",
+                 cache: ICCache, config: "CoICConfig",
+                 recognizer: "Recognizer", loader: "ModelLoader",
+                 cloud_name: str = "cloud", workers: int = 4):
+        self.env = env
+        self.rpc = rpc
+        self.host = host
+        self.cache = cache
+        self.config = config
+        self.recognizer = recognizer
+        self.loader = loader
+        self.cloud_name = cloud_name
+        self.compute = Resource(env, capacity=workers)
+        #: digest -> completion event, for miss coalescing on hash tasks.
+        self._inflight: dict[str, Event] = {}
+        self.requests_served = 0
+        env.process(self._serve())
+
+    # -- threshold ----------------------------------------------------------------
+
+    @property
+    def match_threshold(self) -> float:
+        """Vector-descriptor match threshold (config or derived)."""
+        rec = self.config.recognition
+        if rec.threshold is not None:
+            return rec.threshold
+        return self.recognizer.space.suggest_threshold(
+            rec.max_viewpoint_delta)
+
+    # -- serve loop ----------------------------------------------------------------
+
+    def _serve(self):
+        while True:
+            msg = yield self.rpc.serve(self.host)
+            self.env.process(self._handle(msg))
+
+    def _handle(self, msg: Message):
+        task = msg.payload
+        try:
+            if isinstance(task, RecognitionTask):
+                yield from self._handle_recognition(msg, task)
+            elif isinstance(task, (ModelLoadTask, PanoramaTask)):
+                yield from self._handle_hash_task(msg, task)
+            else:
+                raise TypeError(f"edge cannot serve {task!r}")
+        except RpcError as exc:
+            # Cloud unreachable or deadline blown: tell the client rather
+            # than dying silently; the client surfaces OUTCOME_ERROR.
+            yield self.rpc.respond(msg, size_bytes=128, payload=str(exc),
+                                   kind="error",
+                                   headers={"outcome": "error"})
+        self.requests_served += 1
+
+    # -- recognition ----------------------------------------------------------------
+
+    def _handle_recognition(self, msg: Message, task: RecognitionTask):
+        descriptor: Descriptor | None = msg.headers.get("descriptor")
+        if msg.headers.get("force_forward"):
+            # Client re-sent input after a need_input round: skip lookup.
+            yield from self._recognition_miss(msg, task, descriptor)
+            return
+
+        speculative: Event | None = None
+        spec_started = 0.0
+        if (self.config.recognition.speculative_forward
+                and msg.headers.get("has_input", False)):
+            # Hedge: start the cloud round trip now; a hit abandons it, a
+            # miss overlaps extraction+lookup with the forward.
+            forward = Message(size_bytes=task.input_bytes + 64,
+                              kind="cloud_request", payload=task,
+                              src=self.host.name, dst=self.cloud_name)
+            spec_started = self.env.now
+            speculative = self.rpc.call(
+                forward, timeout=self.config.request_timeout_s)
+
+        if descriptor is None:
+            # Edge-side extraction from the uploaded frame.
+            slot = self.compute.request()
+            yield slot
+            try:
+                yield self.env.timeout(self.recognizer.extraction_time())
+                observation = self.recognizer.extract(task.frame)
+            finally:
+                self.compute.release(slot)
+            from repro.core.descriptors import VectorDescriptor
+
+            descriptor = VectorDescriptor(kind=task.kind,
+                                          vector=observation.vector)
+
+        yield self.env.timeout(self.cache.lookup_cost_s(task.kind))
+        entry = self.cache.lookup(descriptor, now=self.env.now,
+                                  threshold=self.match_threshold)
+        if entry is not None:
+            if speculative is not None:
+                _abandon(speculative)
+            yield self.rpc.respond(msg, size_bytes=entry.result.size_bytes,
+                                   payload=entry.result, kind="ic_result",
+                                   headers={"outcome": OUTCOME_HIT})
+            return
+
+        if speculative is not None:
+            response = yield speculative
+            result = response.payload
+            yield self.env.timeout(self.config.cache.insert_ms / 1e3)
+            self.cache.insert(descriptor, result, result.size_bytes,
+                              now=self.env.now,
+                              cost_s=self.env.now - spec_started)
+            yield self.rpc.respond(msg, size_bytes=result.size_bytes,
+                                   payload=result, kind="ic_result",
+                                   headers={"outcome": OUTCOME_MISS})
+            return
+
+        if not msg.headers.get("has_input", False):
+            # Client kept the frame; ask for it (extra round trip).
+            yield self.rpc.respond(msg, size_bytes=128, payload=None,
+                                   kind="need_input",
+                                   headers={"outcome": OUTCOME_MISS})
+            return
+
+        yield from self._recognition_miss(msg, task, descriptor)
+
+    def _recognition_miss(self, msg: Message, task: RecognitionTask,
+                          descriptor: Descriptor | None):
+        """Forward the frame to the cloud, cache the result, reply."""
+        forward = Message(size_bytes=task.input_bytes + 64,
+                          kind="cloud_request", payload=task,
+                          src=self.host.name, dst=self.cloud_name)
+        started = self.env.now
+        response = yield self.rpc.call(
+            forward, timeout=self.config.request_timeout_s)
+        result = response.payload
+        if descriptor is not None:
+            yield self.env.timeout(self.config.cache.insert_ms / 1e3)
+            self.cache.insert(descriptor, result, result.size_bytes,
+                              now=self.env.now,
+                              cost_s=self.env.now - started)
+        yield self.rpc.respond(msg, size_bytes=result.size_bytes,
+                               payload=result, kind="ic_result",
+                               headers={"outcome": OUTCOME_MISS})
+
+    # -- hash-keyed tasks (3D models, panoramas) ---------------------------------------
+
+    def _handle_hash_task(self, msg: Message,
+                          task: ModelLoadTask | PanoramaTask):
+        descriptor: HashDescriptor = msg.headers["descriptor"]
+        yield self.env.timeout(self.cache.lookup_cost_s(task.kind))
+        entry = self.cache.lookup(descriptor, now=self.env.now)
+        if entry is not None:
+            yield self.rpc.respond(msg, size_bytes=entry.result.size_bytes,
+                                   payload=entry.result, kind="ic_result",
+                                   headers={"outcome": OUTCOME_HIT})
+            return
+
+        pending = self._inflight.get(descriptor.digest)
+        if pending is not None:
+            # Coalesce: ride the in-flight cloud fetch.
+            yield pending
+            entry = self.cache.lookup(descriptor, now=self.env.now)
+            if entry is not None:
+                yield self.rpc.respond(
+                    msg, size_bytes=entry.result.size_bytes,
+                    payload=entry.result, kind="ic_result",
+                    headers={"outcome": OUTCOME_HIT, "coalesced": True})
+                return
+            # Fetch failed or entry was evicted immediately: fall through
+            # to a fresh fetch.
+
+        yield from self._hash_task_miss(msg, task, descriptor)
+
+    def _hash_task_miss(self, msg: Message,
+                        task: ModelLoadTask | PanoramaTask,
+                        descriptor: HashDescriptor):
+        done = self.env.event()
+        self._inflight[descriptor.digest] = done
+        try:
+            forward = Message(size_bytes=task.input_bytes,
+                              kind="cloud_request", payload=task,
+                              src=self.host.name, dst=self.cloud_name)
+            started = self.env.now
+            response = yield self.rpc.call(
+                forward, timeout=self.config.request_timeout_s)
+            result = response.payload
+            fetch_cost = self.env.now - started
+        except Exception:
+            # Fetch failed: wake coalesced waiters (they will re-miss and
+            # retry their own fetch) and re-raise into the handler.
+            self._finish_inflight(descriptor, done)
+            raise
+
+        if isinstance(task, ModelLoadTask):
+            # Reply with the raw file now; parse into the cacheable loaded
+            # form in the background.  Waiters are released only once the
+            # loaded form is actually in the cache.
+            self.env.process(self._parse_and_insert(
+                task, descriptor, fetch_cost, done))
+            yield self.rpc.respond(msg, size_bytes=result.size_bytes,
+                                   payload=result, kind="ic_result",
+                                   headers={"outcome": OUTCOME_MISS})
+        else:
+            yield self.env.timeout(self.config.cache.insert_ms / 1e3)
+            self.cache.insert(descriptor, result, result.size_bytes,
+                              now=self.env.now, cost_s=fetch_cost)
+            self._finish_inflight(descriptor, done)
+            yield self.rpc.respond(msg, size_bytes=result.size_bytes,
+                                   payload=result, kind="ic_result",
+                                   headers={"outcome": OUTCOME_MISS})
+
+    def _parse_and_insert(self, task: ModelLoadTask,
+                          descriptor: HashDescriptor, fetch_cost: float,
+                          done: Event):
+        """Background: parse the fetched model, cache the loaded form."""
+        try:
+            slot = self.compute.request()
+            yield slot
+            try:
+                yield self.env.timeout(self.loader.parse_time(task.file_bytes))
+            finally:
+                self.compute.release(slot)
+            yield self.env.timeout(self.config.cache.insert_ms / 1e3)
+            loaded = ModelLoadResult(digest=task.digest,
+                                     payload_bytes=task.loaded_bytes,
+                                     parsed=True)
+            self.cache.insert(descriptor, loaded, loaded.payload_bytes,
+                              now=self.env.now,
+                              cost_s=fetch_cost + self.loader.parse_time(
+                                  task.file_bytes))
+        finally:
+            self._finish_inflight(descriptor, done)
+
+    def _finish_inflight(self, descriptor: HashDescriptor,
+                         done: Event) -> None:
+        """Release coalesced waiters and retire the in-flight marker."""
+        if not done.triggered:
+            done.succeed()
+        if self._inflight.get(descriptor.digest) is done:
+            del self._inflight[descriptor.digest]

@@ -1,0 +1,164 @@
+"""Fine-grained DNN-layer caching (paper §4, ongoing work).
+
+The poster caches whole task results; §4 proposes "efficiently and
+accurately identify reusable IC workload in fine-grained (e.g., the
+result of a specific DNN layer)".  This module implements that idea in
+the style of Potluck [ASPLOS'18, cited by the paper]:
+
+* Requests are keyed by a *cheap* input descriptor (a perceptual sketch
+  computed in milliseconds, not a backbone pass — otherwise there would
+  be nothing left to save).
+* The cache stores, per past input, the activations of selected tap
+  layers.
+* A new input that matches a past input within a layer's reuse threshold
+  resumes inference from that layer's cached activation and runs only
+  the remaining layers.  Deeper layers demand *tighter* input similarity:
+  shallow features tolerate larger input drift than class-level features.
+
+The result interpolates between "full recompute" (no match) and "full
+result reuse" (match at the final layer = the poster's coarse cache).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.core.cache import ICCache
+from repro.core.descriptors import VectorDescriptor
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.vision.dnn import ComputeDevice, DnnModel
+
+#: Cheap input descriptor: dimension and extraction cost.  A perceptual
+#: hash / color-layout sketch, not a DNN pass.
+SKETCH_DIM = 32
+SKETCH_COST_S = 0.004
+
+
+def input_sketch(vector: np.ndarray, dim: int = SKETCH_DIM) -> np.ndarray:
+    """Project a full observation vector to the cheap input sketch.
+
+    Deterministic fixed projection (averaging blocks of coordinates), so
+    any two extractors agree; normalized for cosine matching.
+    """
+    full = np.asarray(vector, dtype=np.float64)
+    if full.ndim != 1 or full.size < dim:
+        raise ValueError(f"need a 1-D vector of at least {dim} elements")
+    usable = (full.size // dim) * dim
+    sketch = full[:usable].reshape(dim, -1).mean(axis=1)
+    norm = np.linalg.norm(sketch)
+    if norm == 0:
+        raise ValueError("degenerate all-zero sketch")
+    return sketch / norm
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerReusePlan:
+    """What a layer-cache lookup decided.
+
+    Attributes:
+        resume_after: Deepest layer whose activation we can reuse, or
+            None for a full recompute.
+        compute_gflops: FLOPs that still must run.
+        full_result: True when the final result itself was reusable
+            (equivalent to a coarse-cache hit).
+    """
+
+    resume_after: str | None
+    compute_gflops: float
+    full_result: bool
+
+
+class LayerCacheManager:
+    """Per-layer activation cache over an :class:`ICCache` backend.
+
+    Args:
+        network: The DNN whose layers are cached.
+        cache: Byte-budgeted backing store (shared with other IC kinds).
+        tap_layers: Which layers' activations are cached, shallow to deep.
+            Defaults to every layer.
+        base_threshold: Input-sketch match threshold for the *shallowest*
+            tap; deeper taps tighten linearly down to ``tighten`` x base.
+        tighten: Threshold multiplier at the deepest tap (0 < tighten <= 1).
+    """
+
+    def __init__(self, network: "DnnModel", cache: ICCache,
+                 tap_layers: typing.Sequence[str] | None = None,
+                 base_threshold: float = 0.10, tighten: float = 0.4):
+        if not 0 < tighten <= 1:
+            raise ValueError("tighten must be in (0, 1]")
+        if base_threshold <= 0:
+            raise ValueError("base_threshold must be > 0")
+        self.network = network
+        self.cache = cache
+        self.tap_layers = (list(tap_layers) if tap_layers is not None
+                           else [layer.name for layer in network.layers])
+        for name in self.tap_layers:
+            network.layer_index(name)  # validate
+        self.base_threshold = base_threshold
+        self.tighten = tighten
+
+    # -- thresholds -------------------------------------------------------------
+
+    def threshold_for(self, layer_name: str) -> float:
+        """Reuse threshold for a tap layer (deeper = tighter)."""
+        position = self.tap_layers.index(layer_name)
+        if len(self.tap_layers) == 1:
+            return self.base_threshold
+        frac = position / (len(self.tap_layers) - 1)
+        scale = 1.0 + frac * (self.tighten - 1.0)
+        return self.base_threshold * scale
+
+    @staticmethod
+    def _kind(layer_name: str) -> str:
+        return f"layer:{layer_name}"
+
+    # -- operations --------------------------------------------------------------
+
+    def insert(self, sketch: np.ndarray, now: float = 0.0,
+               layers: typing.Sequence[str] | None = None) -> int:
+        """Cache activations of ``layers`` (default: all taps) under the
+        input sketch.  Returns how many entries were stored."""
+        stored = 0
+        for name in (layers if layers is not None else self.tap_layers):
+            layer = self.network.layer(name)
+            descriptor = VectorDescriptor(kind=self._kind(name),
+                                          vector=sketch)
+            entry = self.cache.insert(
+                descriptor, result=("activation", name),
+                size_bytes=layer.output_bytes, now=now,
+                cost_s=self.network.gflops_between(None, name))
+            if entry is not None:
+                stored += 1
+        return stored
+
+    def plan(self, sketch: np.ndarray, now: float = 0.0) -> LayerReusePlan:
+        """Find the deepest reusable layer for this input sketch."""
+        descriptor_cache: dict[str, VectorDescriptor] = {}
+        final_layer = self.network.layers[-1].name
+        # Walk taps deep-to-shallow: the deepest acceptable match wins.
+        for name in reversed(self.tap_layers):
+            descriptor = descriptor_cache.setdefault(
+                name, VectorDescriptor(kind=self._kind(name), vector=sketch))
+            entry = self.cache.lookup(descriptor, now=now,
+                                      threshold=self.threshold_for(name))
+            if entry is None:
+                continue
+            remaining = self.network.gflops_between(name, final_layer)
+            return LayerReusePlan(resume_after=name,
+                                  compute_gflops=remaining,
+                                  full_result=(name == final_layer))
+        return LayerReusePlan(resume_after=None,
+                              compute_gflops=self.network.total_gflops,
+                              full_result=False)
+
+    def compute_time(self, plan: LayerReusePlan,
+                     device: "ComputeDevice") -> float:
+        """Seconds the planned (partial) inference takes on ``device``."""
+        if plan.full_result:
+            return 0.0
+        return (device.invocation_overhead_s
+                + device.seconds_for_gflops(plan.compute_gflops))

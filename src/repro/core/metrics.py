@@ -1,0 +1,143 @@
+"""Per-request measurement and aggregation.
+
+Every completed request produces a :class:`RequestRecord`; the
+:class:`MetricsRecorder` collects them and answers the questions the
+paper's figures ask: latency distributions per (task kind, outcome),
+hit ratios, and reductions versus a baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+#: Request outcomes.
+OUTCOME_HIT = "hit"
+OUTCOME_MISS = "miss"
+OUTCOME_ORIGIN = "origin"   # baseline: offload without cache
+OUTCOME_LOCAL = "local"     # baseline: on-device execution
+OUTCOME_ERROR = "error"
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestRecord:
+    """One completed IC request."""
+
+    task_kind: str
+    outcome: str
+    user: str
+    start_s: float
+    end_s: float
+    correct: bool | None = None
+    detail: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def latency_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of a set of latencies (seconds)."""
+
+    n: int
+    mean: float
+    std: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    min: float
+    max: float
+
+    @classmethod
+    def of(cls, values: typing.Sequence[float]) -> "LatencySummary":
+        if len(values) == 0:
+            return cls(0, *([float("nan")] * 8))
+        arr = np.asarray(values, dtype=float)
+        return cls(
+            n=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            p50=float(np.percentile(arr, 50)),
+            p90=float(np.percentile(arr, 90)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            min=float(arr.min()),
+            max=float(arr.max()),
+        )
+
+
+class MetricsRecorder:
+    """Collects request records and computes figure-level aggregates."""
+
+    def __init__(self):
+        self.records: list[RequestRecord] = []
+
+    def record(self, record: RequestRecord) -> None:
+        if record.end_s < record.start_s:
+            raise ValueError("end_s precedes start_s")
+        self.records.append(record)
+
+    # -- selection ---------------------------------------------------------------
+
+    def select(self, task_kind: str | None = None, outcome: str | None = None,
+               user: str | None = None) -> list[RequestRecord]:
+        """Records matching all given filters."""
+        out = self.records
+        if task_kind is not None:
+            out = [r for r in out if r.task_kind == task_kind]
+        if outcome is not None:
+            out = [r for r in out if r.outcome == outcome]
+        if user is not None:
+            out = [r for r in out if r.user == user]
+        return list(out)
+
+    def latencies(self, **filters) -> list[float]:
+        """Latencies (seconds) of matching records."""
+        return [r.latency_s for r in self.select(**filters)]
+
+    def summary(self, **filters) -> LatencySummary:
+        """Latency distribution of matching records."""
+        return LatencySummary.of(self.latencies(**filters))
+
+    # -- headline metrics -----------------------------------------------------------
+
+    def hit_ratio(self, task_kind: str | None = None) -> float:
+        """hits / (hits + misses) among cache-served outcomes."""
+        hits = len(self.select(task_kind=task_kind, outcome=OUTCOME_HIT))
+        misses = len(self.select(task_kind=task_kind, outcome=OUTCOME_MISS))
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def accuracy(self, task_kind: str | None = None) -> float:
+        """Fraction of correctness-checked requests that were correct.
+
+        False hits (threshold too loose) lower this below 1.0.
+        """
+        checked = [r for r in self.select(task_kind=task_kind)
+                   if r.correct is not None]
+        if not checked:
+            return float("nan")
+        return sum(r.correct for r in checked) / len(checked)
+
+    @staticmethod
+    def reduction(baseline_s: float, measured_s: float) -> float:
+        """Fractional latency reduction of ``measured`` vs ``baseline``.
+
+        Positive = faster than baseline.  The paper's headline numbers
+        (52.28%, 75.86%) are this, times 100.
+        """
+        if baseline_s <= 0:
+            raise ValueError("baseline must be > 0")
+        return 1.0 - measured_s / baseline_s
+
+    def group_summaries(self, key: typing.Callable[[RequestRecord], typing.Hashable]
+                        ) -> dict[typing.Hashable, LatencySummary]:
+        """Latency summaries grouped by an arbitrary record key."""
+        groups: dict[typing.Hashable, list[float]] = {}
+        for record in self.records:
+            groups.setdefault(key(record), []).append(record.latency_s)
+        return {k: LatencySummary.of(v) for k, v in groups.items()}

@@ -1,0 +1,152 @@
+"""Descriptor privacy protection (paper §4, ongoing work).
+
+Feature descriptors leak: a DNN feature vector of a camera frame can be
+inverted to reveal what the user is looking at.  §4 names
+"security/privacy protection issues in the cooperative system" as open
+work; this module provides the two standard mechanisms and a common
+leakage measure, so the privacy/utility trade-off is quantifiable:
+
+* :class:`NoisePrivatizer` — add calibrated Gaussian noise to the vector
+  (local-DP style).  Attacker sees the noisy vector; leakage is its
+  residual cosine alignment with the original.
+* :class:`SketchPrivatizer` — replace the vector with a one-way binary
+  hyperplane sketch (sign pattern).  Matching still works, via the
+  angle <-> Hamming-distance correspondence of random hyperplanes;
+  inversion is limited to 1-bit compressed-sensing reconstruction.
+
+Both transform descriptors *on the client*; the edge cache matches the
+transformed vectors with an adjusted threshold (``map_threshold``), and
+the hit ratio the cache loses is the utility cost the A5 bench sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cosine_leakage(original: np.ndarray, reconstruction: np.ndarray) -> float:
+    """Attacker success measure: |cos| between original and reconstruction.
+
+    1.0 = perfect recovery of the descriptor direction, 0.0 = nothing.
+    """
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstruction, dtype=np.float64)
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0:
+        return 0.0
+    return float(abs(a @ b) / denom)
+
+
+class DescriptorPrivatizer:
+    """Interface: transform a descriptor vector before it leaves the device."""
+
+    #: Client-side seconds one transformation costs.
+    overhead_s: float = 0.0
+
+    def transform(self, vector: np.ndarray) -> np.ndarray:
+        """The privatized vector actually sent to the edge."""
+        raise NotImplementedError
+
+    def map_threshold(self, cosine_threshold: float) -> float:
+        """Translate a clean-space cosine threshold into the transformed
+        space so matching keeps (approximately) the same acceptance set."""
+        raise NotImplementedError
+
+    def reconstruct(self, transformed: np.ndarray) -> np.ndarray:
+        """The attacker's best estimate of the original vector."""
+        raise NotImplementedError
+
+
+class NoisePrivatizer(DescriptorPrivatizer):
+    """Additive Gaussian noise on the unit sphere.
+
+    Args:
+        dim: Descriptor dimension (needed to widen thresholds correctly).
+        sigma: Per-coordinate noise std-dev.  Privacy grows with sigma;
+            so does the matching threshold the cache must tolerate.
+        rng: Noise source (client-owned).
+    """
+
+    overhead_s = 1e-4
+
+    def __init__(self, dim: int, sigma: float, rng: np.random.Generator):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        self.dim = dim
+        self.sigma = sigma
+        self._rng = rng
+
+    def transform(self, vector: np.ndarray) -> np.ndarray:
+        vec = np.asarray(vector, dtype=np.float64)
+        if vec.shape != (self.dim,):
+            raise ValueError(f"expected ({self.dim},), got {vec.shape}")
+        noisy = vec + self._rng.normal(0.0, self.sigma, size=vec.shape)
+        norm = np.linalg.norm(noisy)
+        return noisy / norm if norm > 0 else noisy
+
+    def map_threshold(self, cosine_threshold: float) -> float:
+        # A unit vector with per-coordinate noise sigma loses about
+        # dim*sigma^2/2 of cosine alignment; a lookup compares two
+        # independently-noised vectors, doubling the penalty.
+        return cosine_threshold + self.dim * self.sigma ** 2
+
+    def reconstruct(self, transformed: np.ndarray) -> np.ndarray:
+        # The noisy vector *is* the attacker's estimate.
+        return np.asarray(transformed, dtype=np.float64)
+
+
+class SketchPrivatizer(DescriptorPrivatizer):
+    """One-way random-hyperplane sign sketch.
+
+    The sketch of ``v`` is ``sign(P v) / sqrt(bits)`` for a fixed random
+    matrix P.  For unit vectors at angle theta, hyperplane signs disagree
+    with probability theta/pi, so cosine distance between sketches is an
+    affine function of theta — matching survives, inversion does not
+    (beyond coarse 1-bit reconstruction).
+
+    Args:
+        dim: Input descriptor dimension.
+        n_bits: Sketch width; more bits = better matching fidelity and
+            more leakage.
+        seed: Hyperplane seed — must be shared by all cooperating clients
+            (it is a system parameter, not a secret).
+    """
+
+    overhead_s = 2e-4
+
+    def __init__(self, dim: int, n_bits: int = 256, seed: int = 11):
+        if dim < 1 or n_bits < 1:
+            raise ValueError("dim and n_bits must be >= 1")
+        self.dim = dim
+        self.n_bits = n_bits
+        rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(
+            [seed, dim, n_bits])))
+        self._planes = rng.normal(size=(n_bits, dim))
+
+    def transform(self, vector: np.ndarray) -> np.ndarray:
+        vec = np.asarray(vector, dtype=np.float64)
+        if vec.shape != (self.dim,):
+            raise ValueError(f"expected ({self.dim},), got {vec.shape}")
+        signs = np.sign(self._planes @ vec)
+        signs[signs == 0] = 1.0
+        return signs / np.sqrt(self.n_bits)
+
+    def map_threshold(self, cosine_threshold: float) -> float:
+        """Clean cosine threshold -> sketch-space cosine threshold.
+
+        Clean distance d = 1-cos(theta) maps through theta/pi disagreement
+        to sketch cosine distance 2*theta/pi.
+        """
+        if not 0 <= cosine_threshold <= 2:
+            raise ValueError("cosine_threshold must be in [0, 2]")
+        theta = float(np.arccos(1.0 - cosine_threshold))
+        return 2.0 * theta / np.pi
+
+    def reconstruct(self, transformed: np.ndarray) -> np.ndarray:
+        """1-bit CS reconstruction: sum of signed hyperplane normals."""
+        signs = np.sign(np.asarray(transformed, dtype=np.float64))
+        estimate = self._planes.T @ signs
+        norm = np.linalg.norm(estimate)
+        return estimate / norm if norm > 0 else estimate

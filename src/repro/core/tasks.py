@@ -1,0 +1,113 @@
+"""IC task descriptions and results that flow through the system.
+
+A *task* is what a client wants done; nodes turn tasks into network
+messages and compute time.  Three task families, matching the paper's
+three representative workloads:
+
+* :class:`RecognitionTask` — recognize the object in a camera frame.
+* :class:`ModelLoadTask` — obtain a 3D model ready for rendering.
+* :class:`PanoramaTask` — obtain the panoramic frame for a pose.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.render.panorama import Panorama
+from repro.vision.image import CameraFrame
+
+#: Descriptor namespaces, one per task family.
+KIND_RECOGNITION = "recognition"
+KIND_MODEL_LOAD = "model_load"
+KIND_PANORAMA = "panorama"
+
+
+@dataclasses.dataclass(frozen=True)
+class RecognitionTask:
+    """Recognize the dominant object in ``frame``."""
+
+    frame: CameraFrame
+    kind: str = KIND_RECOGNITION
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of input that must reach whoever runs the full task."""
+        return self.frame.size_bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelLoadTask:
+    """Load 3D model ``model_id`` (content hash ``digest``).
+
+    Attributes:
+        model_id: Catalog id.
+        digest: Content hash of the model file — the cache key.
+        file_bytes: On-disk/wire size of the packed model.
+    """
+
+    model_id: int
+    digest: str
+    file_bytes: int
+    kind: str = KIND_MODEL_LOAD
+
+    def __post_init__(self) -> None:
+        if self.file_bytes <= 0:
+            raise ValueError("file_bytes must be > 0")
+
+    @property
+    def input_bytes(self) -> int:
+        """A load request carries only the reference, not content."""
+        return 192
+
+    @property
+    def loaded_bytes(self) -> int:
+        """Parsed in-memory size (what a cache hit transfers)."""
+        from repro.render.mesh import LOADED_EXPANSION
+
+        return int(self.file_bytes * LOADED_EXPANSION)
+
+
+@dataclasses.dataclass(frozen=True)
+class PanoramaTask:
+    """Fetch the panoramic frame for a (content, segment, pose cell)."""
+
+    panorama: Panorama
+    kind: str = KIND_PANORAMA
+
+    @property
+    def input_bytes(self) -> int:
+        """A panorama request is a compact reference."""
+        return 192
+
+
+Task = typing.Union[RecognitionTask, ModelLoadTask, PanoramaTask]
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelLoadResult:
+    """What a model-load returns: a handle sized for the wire.
+
+    ``parsed`` tells the client whether it received engine-ready geometry
+    (cache hit — skip parsing) or the raw file (parse locally).
+    """
+
+    digest: str
+    payload_bytes: int
+    parsed: bool
+
+    @property
+    def size_bytes(self) -> int:
+        return self.payload_bytes + 128
+
+
+@dataclasses.dataclass(frozen=True)
+class PanoramaResult:
+    """An encoded panoramic frame."""
+
+    digest: str
+    payload_bytes: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.payload_bytes + 128

@@ -1,0 +1,71 @@
+"""ASCII bar charts: terminal renderings of the paper's figures.
+
+The paper's evaluation is two grouped bar charts; this module draws the
+same shape in plain text so a reproduction run is visually comparable to
+the original without any plotting dependency::
+
+    Figure 2a - recognition latency (ms)
+    (90,9)     Origin  |############################## 2061
+               Hit     |############### 1029
+               Miss    |############################## 2062
+    ...
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def bar_chart(title: str, groups: typing.Sequence[str],
+              series: dict[str, typing.Sequence[float]],
+              unit: str = "ms", width: int = 40) -> str:
+    """A grouped horizontal bar chart.
+
+    Args:
+        title: Chart heading.
+        groups: Group labels (the x-axis of the paper's figure).
+        series: name -> one value per group (the legend entries).
+        unit: Unit annotation in the heading.
+        width: Character width of the longest bar.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if not groups:
+        raise ValueError("need at least one group")
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(f"series {name!r} length mismatch")
+        if any(v < 0 for v in values):
+            raise ValueError(f"series {name!r} has negative values")
+
+    peak = max(max(values) for values in series.values())
+    if peak <= 0:
+        peak = 1.0
+    group_width = max(len(str(g)) for g in groups)
+    name_width = max(len(name) for name in series)
+
+    lines = [f"{title} ({unit})"]
+    for g_index, group in enumerate(groups):
+        for s_index, (name, values) in enumerate(series.items()):
+            label = str(group) if s_index == 0 else ""
+            value = values[g_index]
+            bar = "#" * max(1, round(value / peak * width)) if value else ""
+            lines.append(f"{label:<{group_width}}  {name:<{name_width}} "
+                         f"|{bar} {value:.0f}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def sparkline(values: typing.Sequence[float]) -> str:
+    """A one-line trend: ``sparkline([1,5,3]) -> '▁█▄'``."""
+    if not values:
+        raise ValueError("need at least one value")
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(blocks) - 1))
+        out.append(blocks[idx])
+    return "".join(out)

@@ -1,0 +1,95 @@
+"""A7 — descriptor index scaling: linear scan vs LSH.
+
+The edge cache's vector lookups sit on the latency-critical path of
+every recognition request, and the poster's "simple" implementation is a
+linear scan.  This experiment fills both index types to increasing
+occupancy and measures (a) real wall-clock query time, (b) the simulated
+cost model the edge charges, and (c) LSH recall against the exact scan —
+the price paid for sub-linear lookups.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing
+
+import numpy as np
+
+from repro.core.descriptors import VectorDescriptor
+from repro.core.index import LinearIndex, LshIndex
+from repro.sim.rng import RngStreams
+from repro.vision.features import EmbeddingSpace
+
+DEFAULT_SIZES = (100, 1_000, 5_000, 20_000)
+
+
+@dataclasses.dataclass(frozen=True)
+class IndexRow:
+    """One occupancy level."""
+
+    n_entries: int
+    linear_wall_us: float
+    lsh_wall_us: float
+    linear_model_us: float
+    lsh_model_us: float
+    lsh_recall: float
+    lsh_candidates: float
+
+
+def _fill(index, vectors: np.ndarray) -> None:
+    for entry_id, vec in enumerate(vectors):
+        index.insert(entry_id,
+                     VectorDescriptor(kind="recognition", vector=vec))
+
+
+def run_index_scaling(sizes: typing.Sequence[int] = DEFAULT_SIZES,
+                      dim: int = 128, n_queries: int = 50,
+                      threshold: float = 0.15,
+                      seed: int = 0) -> list[IndexRow]:
+    """Measure both indexes at each occupancy."""
+    rng = RngStreams(seed)
+    space = EmbeddingSpace(dim=dim, n_classes=max(sizes), seed=seed)
+    rows = []
+    for n_entries in sizes:
+        # One stored observation per class; queries probe a random subset
+        # of the same classes from a nearby viewpoint (true matches exist).
+        stored = np.stack([
+            space.observe(cls, 0.0, noise_key=cls).vector
+            for cls in range(n_entries)])
+        query_classes = rng.stream(f"queries.{n_entries}").integers(
+            0, n_entries, size=n_queries)
+        queries = [VectorDescriptor(
+            kind="recognition",
+            vector=space.observe(int(cls), 0.4,
+                                 noise_key=10_000_000 + int(cls)).vector)
+            for cls in query_classes]
+
+        linear = LinearIndex()
+        lsh = LshIndex(dim=dim)
+        _fill(linear, stored)
+        _fill(lsh, stored)
+
+        start = time.perf_counter()
+        linear_results = [linear.query(q, threshold) for q in queries]
+        linear_wall = (time.perf_counter() - start) / n_queries
+
+        start = time.perf_counter()
+        lsh_results = [lsh.query(q, threshold) for q in queries]
+        lsh_wall = (time.perf_counter() - start) / n_queries
+
+        matched = [(a, b) for a, b in zip(linear_results, lsh_results)
+                   if a is not None]
+        recall = (sum(1 for a, b in matched
+                      if b is not None and b[0] == a[0]) / len(matched)
+                  if matched else float("nan"))
+
+        rows.append(IndexRow(
+            n_entries=n_entries,
+            linear_wall_us=linear_wall * 1e6,
+            lsh_wall_us=lsh_wall * 1e6,
+            linear_model_us=linear.lookup_cost_s() * 1e6,
+            lsh_model_us=lsh.lookup_cost_s() * 1e6,
+            lsh_recall=recall,
+            lsh_candidates=float(lsh._last_candidates)))
+    return rows

@@ -1,0 +1,131 @@
+"""A5 — descriptor privacy vs cache utility (paper §4).
+
+Clients that upload DNN feature vectors leak what their cameras see; §4
+flags "security/privacy protection issues in the cooperative system" as
+open work.  This experiment runs the two standard mechanisms
+(:class:`~repro.core.privacy.NoisePrivatizer`,
+:class:`~repro.core.privacy.SketchPrivatizer`) over a matched workload
+and reports the three quantities that define the trade-off:
+
+* hit recall — true same-object matches still accepted after transform;
+* false-match rate — cross-object pairs wrongly accepted;
+* leakage — attacker's reconstruction alignment with the original.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.core.cache import ICCache
+from repro.core.descriptors import VectorDescriptor
+from repro.core.privacy import (
+    DescriptorPrivatizer,
+    NoisePrivatizer,
+    SketchPrivatizer,
+    cosine_leakage,
+)
+from repro.sim.rng import RngStreams
+from repro.vision.features import EmbeddingSpace
+
+
+@dataclasses.dataclass(frozen=True)
+class PrivacyRow:
+    """One mechanism setting."""
+
+    mechanism: str
+    hit_recall: float
+    false_match_rate: float
+    leakage: float
+    overhead_ms: float
+
+
+class _Identity(DescriptorPrivatizer):
+    """No protection: the reference point."""
+
+    overhead_s = 0.0
+
+    def transform(self, vector: np.ndarray) -> np.ndarray:
+        return np.asarray(vector, dtype=np.float64)
+
+    def map_threshold(self, cosine_threshold: float) -> float:
+        return cosine_threshold
+
+    def reconstruct(self, transformed: np.ndarray) -> np.ndarray:
+        return np.asarray(transformed, dtype=np.float64)
+
+
+def default_mechanisms(dim: int,
+                       rng: np.random.Generator
+                       ) -> list[tuple[str, DescriptorPrivatizer]]:
+    """The sweep: identity, three noise levels, three sketch widths."""
+    return [
+        ("none", _Identity()),
+        ("noise(0.03)", NoisePrivatizer(dim, 0.03, rng)),
+        ("noise(0.06)", NoisePrivatizer(dim, 0.06, rng)),
+        ("noise(0.10)", NoisePrivatizer(dim, 0.10, rng)),
+        ("sketch(64)", SketchPrivatizer(dim, n_bits=64)),
+        ("sketch(256)", SketchPrivatizer(dim, n_bits=256)),
+        ("sketch(1024)", SketchPrivatizer(dim, n_bits=1024)),
+    ]
+
+
+def run_privacy(n_pairs: int = 150, dim: int = 128, n_classes: int = 300,
+                max_viewpoint_delta: float = 1.0,
+                seed: int = 0,
+                mechanisms: typing.Sequence[tuple[str, DescriptorPrivatizer]]
+                | None = None) -> list[PrivacyRow]:
+    """Evaluate privacy mechanisms on one matched workload."""
+    if n_pairs < 1:
+        raise ValueError("n_pairs must be >= 1")
+    rng = RngStreams(seed)
+    space = EmbeddingSpace(dim=dim, n_classes=n_classes, seed=seed)
+    threshold = space.suggest_threshold(max_viewpoint_delta)
+    if mechanisms is None:
+        mechanisms = default_mechanisms(dim, rng.stream("privacy.noise"))
+
+    # Workload: per pair a reference, a same-class probe within the design
+    # viewpoint range, and a cross-class probe.
+    delta_rng = rng.stream("privacy.deltas")
+    cases = []
+    for i in range(n_pairs):
+        cls = i % n_classes
+        other = (cls + 1 + int(delta_rng.integers(n_classes - 1))) % n_classes
+        delta = float(delta_rng.uniform(0.1, max_viewpoint_delta))
+        cases.append((
+            space.observe(cls, 0.0, noise_key=3 * i).vector,
+            space.observe(cls, delta, noise_key=3 * i + 1).vector,
+            space.observe(other, 0.0, noise_key=3 * i + 2).vector))
+
+    rows = []
+    for name, mech in mechanisms:
+        mapped = mech.map_threshold(threshold)
+        hits = 0
+        false_matches = 0
+        leakages = []
+        for case_id, (ref, same, cross) in enumerate(cases):
+            cache = ICCache(capacity_bytes=64_000_000,
+                            default_threshold=mapped)
+            transformed_ref = mech.transform(ref)
+            cache.insert(
+                VectorDescriptor(kind="recognition",
+                                 vector=transformed_ref),
+                result=("label", case_id), size_bytes=2048)
+            if cache.lookup(VectorDescriptor(
+                    kind="recognition",
+                    vector=mech.transform(same))) is not None:
+                hits += 1
+            if cache.lookup(VectorDescriptor(
+                    kind="recognition",
+                    vector=mech.transform(cross))) is not None:
+                false_matches += 1
+            leakages.append(
+                cosine_leakage(ref, mech.reconstruct(transformed_ref)))
+        rows.append(PrivacyRow(
+            mechanism=name, hit_recall=hits / n_pairs,
+            false_match_rate=false_matches / n_pairs,
+            leakage=float(np.mean(leakages)),
+            overhead_ms=mech.overhead_s * 1e3))
+    return rows

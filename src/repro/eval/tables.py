@@ -1,0 +1,56 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The paper's evaluation is two bar charts; a terminal reproduction prints
+the same series as aligned text so "who wins, by what factor" is readable
+in CI logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+def format_table(headers: typing.Sequence[str],
+                 rows: typing.Sequence[typing.Sequence],
+                 title: str | None = None) -> str:
+    """Fixed-width table with a header rule.
+
+    Cells are stringified with ``str``; floats should be pre-formatted by
+    the caller so precision is a per-column decision.
+    """
+    if not headers:
+        raise ValueError("need at least one column")
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: typing.Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def series_block(title: str, series: dict[str, typing.Sequence[float]],
+                 x_labels: typing.Sequence[str],
+                 unit: str = "ms") -> str:
+    """Figure-style block: one row per series over shared x labels."""
+    headers = ["series"] + [str(x) for x in x_labels]
+    rows = []
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(f"series {name!r} length mismatch")
+        rows.append([name] + [f"{v:.1f}" for v in values])
+    return format_table(headers, rows, title=f"{title} ({unit})")

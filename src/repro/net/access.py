@@ -1,0 +1,154 @@
+"""Access-network models: 802.11ac WiFi and LTE EPC.
+
+The paper's client attaches over 802.11ac WiFi ("up to 400 Mbps available
+throughput in our experiment") and the architecture slide names "LTE EPC or
+WiFi AP" as the mobile edge attachment point.  These helpers produce
+calibrated :class:`Link` parameters for both, including the pieces a raw
+bandwidth number hides:
+
+* WiFi: MCS-indexed PHY rates, MAC efficiency (contention, ACKs, headers)
+  and a distance-based rate-adaptation curve.
+* LTE: uplink/downlink asymmetry and the EPC core's extra forwarding
+  latency (SGW/PGW traversal), the reason LTE RTTs sit tens of ms above
+  WiFi RTTs at equal bandwidth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.sim.kernel import Environment
+from repro.net.topology import Topology
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.net.link import Link
+
+#: 802.11ac 80 MHz, 1 spatial stream: PHY rate (Mbps) per MCS index.
+WIFI_80211AC_PHY_MBPS = (29.3, 58.5, 87.8, 117.0, 175.5, 234.0,
+                         263.3, 292.5, 351.0, 390.0)
+
+#: Fraction of PHY rate seen by applications after MAC overheads
+#: (DIFS/SIFS, ACKs, headers, typical contention).  Measured 802.11ac
+#: deployments deliver 60-70% of PHY.
+WIFI_MAC_EFFICIENCY = 0.65
+
+
+@dataclasses.dataclass(frozen=True)
+class WifiProfile:
+    """Link parameters for an 802.11ac attachment."""
+
+    rate_mbps: float
+    propagation_s: float
+    jitter_s: float
+    loss_rate: float
+
+    @property
+    def rate_bps(self) -> float:
+        return self.rate_mbps * 1e6
+
+
+@dataclasses.dataclass(frozen=True)
+class LteProfile:
+    """Link parameters for an LTE EPC attachment (asymmetric)."""
+
+    downlink_mbps: float
+    uplink_mbps: float
+    #: One-way radio latency (UE <-> eNodeB).
+    radio_delay_s: float
+    #: One-way EPC core traversal (eNodeB <-> SGW/PGW <-> internet).
+    core_delay_s: float
+    jitter_s: float
+    loss_rate: float
+
+    @property
+    def one_way_delay_s(self) -> float:
+        return self.radio_delay_s + self.core_delay_s
+
+
+def wifi_mcs_rate_mbps(mcs: int, spatial_streams: int = 2) -> float:
+    """Application-layer rate for an 802.11ac MCS / stream combination."""
+    if not 0 <= mcs < len(WIFI_80211AC_PHY_MBPS):
+        raise ValueError(f"mcs must be in 0..{len(WIFI_80211AC_PHY_MBPS) - 1}")
+    if spatial_streams < 1:
+        raise ValueError("spatial_streams must be >= 1")
+    return WIFI_80211AC_PHY_MBPS[mcs] * spatial_streams * WIFI_MAC_EFFICIENCY
+
+
+def wifi_rate_at_distance_mbps(distance_m: float,
+                               spatial_streams: int = 2) -> float:
+    """Rate-adaptation curve: application rate vs AP distance.
+
+    Piecewise mapping of distance to MCS, matching the qualitative shape of
+    indoor 802.11ac measurements (full MCS to ~5 m, stepping down to MCS 0
+    by ~50 m).
+    """
+    if distance_m < 0:
+        raise ValueError("distance_m must be >= 0")
+    # (max distance in metres, MCS index)
+    steps = ((5, 9), (10, 8), (15, 7), (20, 6), (25, 5),
+             (30, 4), (35, 3), (40, 2), (45, 1))
+    for limit, mcs in steps:
+        if distance_m <= limit:
+            return wifi_mcs_rate_mbps(mcs, spatial_streams)
+    return wifi_mcs_rate_mbps(0, spatial_streams)
+
+
+def wifi_80211ac_profile(rate_mbps: float = 400.0,
+                         propagation_ms: float = 1.0,
+                         jitter_ms: float = 0.2,
+                         loss_rate: float = 0.0) -> WifiProfile:
+    """The paper's WiFi attachment: up to 400 Mbps, ~1 ms one-way."""
+    if rate_mbps <= 0:
+        raise ValueError("rate_mbps must be > 0")
+    return WifiProfile(rate_mbps=rate_mbps,
+                       propagation_s=propagation_ms / 1e3,
+                       jitter_s=jitter_ms / 1e3,
+                       loss_rate=loss_rate)
+
+
+def lte_epc_profile(downlink_mbps: float = 80.0,
+                    uplink_mbps: float = 20.0,
+                    radio_delay_ms: float = 10.0,
+                    core_delay_ms: float = 15.0,
+                    jitter_ms: float = 3.0,
+                    loss_rate: float = 0.0) -> LteProfile:
+    """A representative LTE Cat-12 attachment through an EPC core."""
+    if downlink_mbps <= 0 or uplink_mbps <= 0:
+        raise ValueError("rates must be > 0")
+    return LteProfile(downlink_mbps=downlink_mbps, uplink_mbps=uplink_mbps,
+                      radio_delay_s=radio_delay_ms / 1e3,
+                      core_delay_s=core_delay_ms / 1e3,
+                      jitter_s=jitter_ms / 1e3, loss_rate=loss_rate)
+
+
+def attach_wifi(topology: Topology, client: str, edge: str,
+                profile: WifiProfile,
+                rng: "np.random.Generator | None" = None
+                ) -> tuple["Link", "Link"]:
+    """Wire ``client`` to ``edge`` with a symmetric WiFi duplex link."""
+    return topology.add_duplex(client, edge, profile.rate_bps,
+                               propagation_s=profile.propagation_s,
+                               jitter_s=profile.jitter_s,
+                               loss_rate=profile.loss_rate, rng=rng)
+
+
+def attach_lte(topology: Topology, client: str, edge: str,
+               profile: LteProfile,
+               rng: "np.random.Generator | None" = None
+               ) -> tuple["Link", "Link"]:
+    """Wire ``client`` to ``edge`` with an asymmetric LTE duplex pair.
+
+    Returns (uplink client->edge, downlink edge->client).
+    """
+    uplink = topology.add_link(client, edge, profile.uplink_mbps * 1e6,
+                               propagation_s=profile.one_way_delay_s,
+                               jitter_s=profile.jitter_s,
+                               loss_rate=profile.loss_rate, rng=rng)
+    downlink = topology.add_link(edge, client, profile.downlink_mbps * 1e6,
+                                 propagation_s=profile.one_way_delay_s,
+                                 jitter_s=profile.jitter_s,
+                                 loss_rate=profile.loss_rate, rng=rng)
+    return uplink, downlink

@@ -1,0 +1,185 @@
+"""Directed network links with bandwidth, delay, jitter and loss.
+
+A :class:`Link` models one direction of a channel the way a real NIC +
+cable behaves: messages wait in a FIFO transmit queue, each occupies the
+transmitter for ``size_bits / rate`` seconds (serialization), then spends
+``propagation + jitter`` seconds in flight.  Several messages can be in
+flight simultaneously (pipelining), but only one serializes at a time.
+
+Rate and impairments are mutable at runtime — the paper shapes its testbed
+with ``tc``, and :class:`~repro.net.shaper.TrafficShaper` drives these
+fields the same way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.sim.events import Event
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from repro.net.message import Message
+
+
+class TransferLost(Exception):
+    """The message was dropped by the link's loss process."""
+
+    def __init__(self, message: "Message"):
+        super().__init__(f"{message!r} lost in transit")
+        self.message = message
+
+
+class LinkDown(Exception):
+    """The link was administratively disabled mid-transfer."""
+
+
+@dataclasses.dataclass
+class LinkStats:
+    """Counters accumulated over a link's lifetime."""
+
+    messages_sent: int = 0
+    messages_lost: int = 0
+    bytes_sent: int = 0
+    busy_time: float = 0.0  # seconds the transmitter was serializing
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the transmitter was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+class Link:
+    """One direction of a point-to-point channel.
+
+    Args:
+        env: Simulation environment.
+        name: Diagnostic name, e.g. ``"mobile->edge"``.
+        bandwidth_bps: Transmit rate in bits/second.
+        propagation_s: One-way propagation delay in seconds.
+        jitter_s: Std-dev of Gaussian jitter added to propagation (>= 0).
+        loss_rate: Probability a message is dropped (0..1).
+        rng: Random generator for jitter/loss draws (required if either
+            ``jitter_s`` > 0 or ``loss_rate`` > 0).
+    """
+
+    def __init__(self, env: Environment, name: str, bandwidth_bps: float,
+                 propagation_s: float = 0.0, jitter_s: float = 0.0,
+                 loss_rate: float = 0.0,
+                 rng: "np.random.Generator | None" = None):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth_bps must be > 0, got {bandwidth_bps}")
+        if propagation_s < 0:
+            raise ValueError(f"propagation_s must be >= 0, got {propagation_s}")
+        if jitter_s < 0:
+            raise ValueError(f"jitter_s must be >= 0, got {jitter_s}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if (jitter_s > 0 or loss_rate > 0) and rng is None:
+            raise ValueError("jitter/loss require an rng")
+        self.env = env
+        self.name = name
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.propagation_s = float(propagation_s)
+        self.jitter_s = float(jitter_s)
+        self.loss_rate = float(loss_rate)
+        self.up = True
+        self.stats = LinkStats()
+        self._rng = rng
+        self._transmitter = Resource(env, capacity=1)
+
+    # -- configuration (used by TrafficShaper) ------------------------------
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Change the transmit rate; affects transfers that start later."""
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth_bps must be > 0, got {bandwidth_bps}")
+        self.bandwidth_bps = float(bandwidth_bps)
+
+    def set_impairment(self, propagation_s: float | None = None,
+                       jitter_s: float | None = None,
+                       loss_rate: float | None = None) -> None:
+        """Adjust netem-style impairments; ``None`` leaves a field unchanged."""
+        if propagation_s is not None:
+            if propagation_s < 0:
+                raise ValueError("propagation_s must be >= 0")
+            self.propagation_s = float(propagation_s)
+        if jitter_s is not None:
+            if jitter_s < 0:
+                raise ValueError("jitter_s must be >= 0")
+            if jitter_s > 0 and self._rng is None:
+                raise ValueError("jitter requires an rng")
+            self.jitter_s = float(jitter_s)
+        if loss_rate is not None:
+            if not 0.0 <= loss_rate < 1.0:
+                raise ValueError("loss_rate must be in [0, 1)")
+            if loss_rate > 0 and self._rng is None:
+                raise ValueError("loss requires an rng")
+            self.loss_rate = float(loss_rate)
+
+    def set_up(self, up: bool) -> None:
+        """Administratively enable/disable the link."""
+        self.up = bool(up)
+
+    # -- timing model --------------------------------------------------------
+
+    def serialization_delay(self, size_bytes: int) -> float:
+        """Seconds to clock ``size_bytes`` onto the wire at the current rate."""
+        return (size_bytes * 8) / self.bandwidth_bps
+
+    def one_way_delay(self, size_bytes: int) -> float:
+        """Deterministic transfer time ignoring queueing, jitter and loss."""
+        return self.serialization_delay(size_bytes) + self.propagation_s
+
+    # -- transfer ------------------------------------------------------------
+
+    def transfer(self, message: "Message") -> Event:
+        """Send ``message`` across the link.
+
+        Returns an event that succeeds with the message on delivery, or
+        fails with :class:`TransferLost` / :class:`LinkDown`.
+        """
+        done = self.env.event()
+        self.env.process(self._transfer_proc(message, done))
+        return done
+
+    def _transfer_proc(self, message: "Message", done: Event):
+        if not self.up:
+            done.fail(LinkDown(f"link {self.name} is down"))
+            return
+        req = self._transmitter.request()
+        yield req
+        try:
+            if not self.up:
+                done.fail(LinkDown(f"link {self.name} is down"))
+                return
+            tx_time = self.serialization_delay(message.size_bytes)
+            yield self.env.timeout(tx_time)
+            self.stats.busy_time += tx_time
+        finally:
+            self._transmitter.release(req)
+
+        # Loss is decided once the tail leaves the transmitter (tail drop on
+        # the far side would look identical to the sender).
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.stats.messages_lost += 1
+            done.fail(TransferLost(message))
+            return
+
+        flight = self.propagation_s
+        if self.jitter_s > 0:
+            flight += abs(float(self._rng.normal(0.0, self.jitter_s)))
+        yield self.env.timeout(flight)
+
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += message.size_bytes
+        done.succeed(message)
+
+    def __repr__(self) -> str:
+        return (f"Link({self.name!r}, {self.bandwidth_bps / 1e6:.1f} Mbps, "
+                f"{self.propagation_s * 1e3:.2f} ms)")

@@ -1,0 +1,103 @@
+"""Runtime traffic shaping in the style of ``tc htb`` + ``netem``.
+
+The paper tunes its testbed with ``tc`` to sweep the (mobile->edge,
+edge->cloud) bandwidth pairs of Figure 2a.  :class:`TrafficShaper` exposes
+the same controls over simulated :class:`~repro.net.link.Link` objects,
+including scheduled rate changes mid-run (for time-varying traces).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.sim.kernel import Environment
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link
+
+
+@dataclasses.dataclass(frozen=True)
+class NetemImpairment:
+    """A bundle of netem-style impairments applied atomically.
+
+    Attributes:
+        delay_s: One-way propagation delay.
+        jitter_s: Gaussian jitter std-dev.
+        loss_rate: Drop probability in [0, 1).
+    """
+
+    delay_s: float = 0.0
+    jitter_s: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
+        if self.jitter_s < 0:
+            raise ValueError("jitter_s must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+
+class TrafficShaper:
+    """Applies and schedules rate/impairment changes on a set of links.
+
+    Example (the Figure 2a sweep)::
+
+        shaper = TrafficShaper(env)
+        shaper.set_rate(uplink, mbps=90)
+        shaper.set_rate(backhaul, mbps=9)
+    """
+
+    def __init__(self, env: Environment):
+        self.env = env
+        #: History of (time, link name, description) for experiment logs.
+        self.changes: list[tuple[float, str, str]] = []
+
+    def set_rate(self, link: "Link", bps: float | None = None,
+                 mbps: float | None = None) -> None:
+        """Set a link's bandwidth now, in bits/s or megabits/s."""
+        if (bps is None) == (mbps is None):
+            raise ValueError("pass exactly one of bps / mbps")
+        rate = float(bps) if bps is not None else float(mbps) * 1e6
+        link.set_bandwidth(rate)
+        self.changes.append(
+            (self.env.now, link.name, f"rate={rate / 1e6:.3f}Mbps"))
+
+    def set_impairment(self, link: "Link", imp: NetemImpairment) -> None:
+        """Apply a netem impairment bundle to a link now."""
+        link.set_impairment(propagation_s=imp.delay_s, jitter_s=imp.jitter_s,
+                            loss_rate=imp.loss_rate)
+        self.changes.append(
+            (self.env.now, link.name,
+             f"netem delay={imp.delay_s * 1e3:.2f}ms "
+             f"jitter={imp.jitter_s * 1e3:.2f}ms loss={imp.loss_rate:.3f}"))
+
+    def at(self, when: float, link: "Link",
+           bps: float | None = None, mbps: float | None = None,
+           imp: NetemImpairment | None = None) -> None:
+        """Schedule a rate and/or impairment change at absolute time ``when``.
+
+        Used to replay bandwidth traces (e.g. an LTE drive trace) against a
+        running experiment.
+        """
+        if when < self.env.now:
+            raise ValueError(f"cannot schedule in the past ({when} < {self.env.now})")
+        if bps is None and mbps is None and imp is None:
+            raise ValueError("nothing to schedule")
+
+        def apply(env=self.env):
+            yield env.timeout(when - env.now)
+            if bps is not None or mbps is not None:
+                self.set_rate(link, bps=bps, mbps=mbps)
+            if imp is not None:
+                self.set_impairment(link, imp)
+
+        self.env.process(apply())
+
+    def replay_trace(self, link: "Link",
+                     trace: typing.Sequence[tuple[float, float]]) -> None:
+        """Schedule a whole ``[(time_s, rate_mbps), ...]`` bandwidth trace."""
+        for when, mbps in trace:
+            self.at(when, link, mbps=mbps)

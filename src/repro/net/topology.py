@@ -1,0 +1,168 @@
+"""Hosts, duplex links and latency-weighted routing.
+
+A :class:`Topology` is the wiring harness of an experiment: named
+:class:`Host` endpoints joined by pairs of directed
+:class:`~repro.net.link.Link` objects.  Routing uses Dijkstra over
+per-link nominal latency for a reference payload, recomputed on demand, so
+multi-hop paths (mobile -> edge -> cloud) need no manual route tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.kernel import Environment
+from repro.sim.resources import Store
+from repro.net.link import Link
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+
+class NoRouteError(Exception):
+    """No path exists between the requested hosts."""
+
+
+class Host:
+    """A network endpoint with an inbox.
+
+    Node logic (client/edge/cloud processes) consumes from ``inbox``; the
+    transport deposits delivered messages there.
+    """
+
+    def __init__(self, env: Environment, name: str):
+        self.env = env
+        self.name = name
+        self.inbox = Store(env)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name!r})"
+
+
+class Topology:
+    """A mutable graph of hosts and directed links."""
+
+    #: Payload size used to weigh edges for routing (bytes).  Small, so
+    #: routing prefers low-latency paths rather than high-bandwidth ones,
+    #: like an IGP metric.
+    ROUTE_PROBE_BYTES = 1500
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.hosts: dict[str, Host] = {}
+        # adjacency: src name -> dst name -> Link
+        self._adj: dict[str, dict[str, Link]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        """Create (or return the existing) host called ``name``."""
+        if name in self.hosts:
+            return self.hosts[name]
+        host = Host(self.env, name)
+        self.hosts[name] = host
+        self._adj.setdefault(name, {})
+        return host
+
+    def add_link(self, src: str, dst: str, bandwidth_bps: float,
+                 propagation_s: float = 0.0, jitter_s: float = 0.0,
+                 loss_rate: float = 0.0,
+                 rng: "np.random.Generator | None" = None) -> Link:
+        """Add a directed link; hosts are created as needed."""
+        if src == dst:
+            raise ValueError(f"self-link on {src!r}")
+        self.add_host(src)
+        self.add_host(dst)
+        link = Link(self.env, f"{src}->{dst}", bandwidth_bps,
+                    propagation_s=propagation_s, jitter_s=jitter_s,
+                    loss_rate=loss_rate, rng=rng)
+        self._adj[src][dst] = link
+        return link
+
+    def add_duplex(self, a: str, b: str, bandwidth_bps: float,
+                   propagation_s: float = 0.0, jitter_s: float = 0.0,
+                   loss_rate: float = 0.0,
+                   rng: "np.random.Generator | None" = None,
+                   ) -> tuple[Link, Link]:
+        """Add a symmetric pair of links and return (a->b, b->a)."""
+        forward = self.add_link(a, b, bandwidth_bps, propagation_s,
+                                jitter_s, loss_rate, rng)
+        backward = self.add_link(b, a, bandwidth_bps, propagation_s,
+                                 jitter_s, loss_rate, rng)
+        return forward, backward
+
+    def link(self, src: str, dst: str) -> Link:
+        """The directed link src->dst, or KeyError."""
+        return self._adj[src][dst]
+
+    def links(self) -> list[Link]:
+        """All directed links in the topology."""
+        return [l for nbrs in self._adj.values() for l in nbrs.values()]
+
+    def neighbors(self, name: str) -> list[str]:
+        """Hosts reachable from ``name`` in one hop over *up* links."""
+        return [dst for dst, link in self._adj.get(name, {}).items() if link.up]
+
+    # -- routing -------------------------------------------------------------
+
+    def shortest_path(self, src: str, dst: str) -> list[str]:
+        """Host names along the minimum-latency path, inclusive of endpoints.
+
+        Raises:
+            NoRouteError: If dst is unreachable from src over up links.
+            KeyError: If either host does not exist.
+        """
+        if src not in self.hosts:
+            raise KeyError(f"unknown host {src!r}")
+        if dst not in self.hosts:
+            raise KeyError(f"unknown host {dst!r}")
+        if src == dst:
+            return [src]
+
+        dist: dict[str, float] = {src: 0.0}
+        prev: dict[str, str] = {}
+        frontier: list[tuple[float, str]] = [(0.0, src)]
+        visited: set[str] = set()
+        while frontier:
+            d, here = heapq.heappop(frontier)
+            if here in visited:
+                continue
+            if here == dst:
+                break
+            visited.add(here)
+            for nxt, link in self._adj.get(here, {}).items():
+                if not link.up:
+                    continue
+                weight = link.one_way_delay(self.ROUTE_PROBE_BYTES)
+                nd = d + weight
+                if nd < dist.get(nxt, float("inf")):
+                    dist[nxt] = nd
+                    prev[nxt] = here
+                    heapq.heappush(frontier, (nd, nxt))
+        if dst not in dist:
+            raise NoRouteError(f"no route {src} -> {dst}")
+
+        path = [dst]
+        while path[-1] != src:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return path
+
+    def path_links(self, src: str, dst: str) -> list[Link]:
+        """The links along the shortest path src -> dst, in order."""
+        names = self.shortest_path(src, dst)
+        return [self._adj[a][b] for a, b in zip(names, names[1:])]
+
+    def nominal_latency(self, src: str, dst: str, size_bytes: int) -> float:
+        """Deterministic one-way latency for a payload over the best path.
+
+        Ignores queueing, jitter and loss — a planning estimate, not a
+        measurement.
+        """
+        return sum(link.one_way_delay(size_bytes)
+                   for link in self.path_links(src, dst))
+
+    def __repr__(self) -> str:
+        n_links = sum(len(v) for v in self._adj.values())
+        return f"Topology({len(self.hosts)} hosts, {n_links} links)"

@@ -1,0 +1,176 @@
+"""Request/response transport over multi-hop store-and-forward paths.
+
+:class:`Rpc` gives node logic a call-style API:
+
+* ``send(msg)`` — one-way delivery into the destination host's inbox,
+  hop by hop along the current shortest path (store-and-forward, like an
+  HTTP proxy chain — the paper's edge relays requests to the cloud).
+* ``call(msg, response_size_hint, timeout)`` — deliver a request and wait
+  for the peer to ``respond()``; lost transfers are retried up to
+  ``max_retries`` times, after which :class:`RpcError` is raised.
+
+Handlers are plain simulation processes: a server loops on
+``rpc.serve(host)`` pulling requests, computes, then ``rpc.respond(...)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing
+
+from repro.sim.events import Event
+from repro.sim.kernel import Environment
+from repro.net.link import LinkDown, TransferLost
+from repro.net.message import Message
+from repro.net.topology import Host, Topology
+
+
+class RpcError(Exception):
+    """The call could not be completed (retries exhausted or link down)."""
+
+
+class RpcTimeout(RpcError):
+    """No response arrived within the caller's deadline."""
+
+
+class Rpc:
+    """Messaging endpoint layer bound to a topology.
+
+    Args:
+        env: Simulation environment.
+        topology: The network to route over.
+        max_retries: Per-hop retransmissions after a loss before giving up.
+    """
+
+    def __init__(self, env: Environment, topology: Topology,
+                 max_retries: int = 5):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.env = env
+        self.topology = topology
+        self.max_retries = max_retries
+        self._rpc_ids = itertools.count(1)
+        self._pending: dict[int, Event] = {}
+
+    # -- one-way delivery ----------------------------------------------------
+
+    def send(self, msg: Message) -> Event:
+        """Deliver ``msg`` to ``msg.dst``'s inbox; event fires on delivery."""
+        if not msg.src or not msg.dst:
+            raise ValueError(f"message needs src and dst: {msg!r}")
+        done = self.env.event()
+        self.env.process(self._deliver(msg, done))
+        return done
+
+    def _deliver(self, msg: Message, done: Event):
+        msg.created_at = msg.created_at or self.env.now
+        try:
+            links = self.topology.path_links(msg.src, msg.dst)
+        except Exception as exc:  # NoRouteError / KeyError
+            done.fail(RpcError(f"routing {msg!r}: {exc}"))
+            return
+
+        for link in links:
+            attempt = 0
+            while True:
+                transfer = link.transfer(msg)
+                try:
+                    yield transfer
+                    break
+                except TransferLost:
+                    attempt += 1
+                    if attempt > self.max_retries:
+                        done.fail(RpcError(
+                            f"{msg!r} lost on {link.name} after "
+                            f"{self.max_retries} retries"))
+                        return
+                    # Immediate retransmit; the queue delay of re-entering
+                    # the transmitter models the retransmission cost.
+                except LinkDown as exc:
+                    done.fail(RpcError(str(exc)))
+                    return
+
+        # A reply to an in-flight call resolves the caller's event directly
+        # instead of landing in the host inbox (which belongs to server
+        # loops) — mirroring how a TCP connection demultiplexes responses.
+        # Replies whose call already expired are dropped, like packets
+        # arriving for a closed socket.
+        if "in_reply_to" in msg.headers:
+            rpc_id = msg.headers.get("rpc_id")
+            waiter = (self._pending.pop(rpc_id, None)
+                      if rpc_id is not None else None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(msg)
+        else:
+            inbox = self.topology.hosts[msg.dst].inbox
+            yield inbox.put(msg)
+        done.succeed(msg)
+
+    # -- request/response ----------------------------------------------------
+
+    def call(self, msg: Message, timeout: float | None = None) -> Event:
+        """Send a request and return an event that fires with the response.
+
+        Fails with :class:`RpcTimeout` if ``timeout`` elapses first, or
+        :class:`RpcError` on unrecoverable delivery problems.
+        """
+        rpc_id = next(self._rpc_ids)
+        msg.headers["rpc_id"] = rpc_id
+        response = self.env.event()
+        self._pending[rpc_id] = response
+        self.env.process(self._call_proc(msg, rpc_id, response, timeout))
+        return response
+
+    def _call_proc(self, msg: Message, rpc_id: int, response: Event,
+                   timeout: float | None):
+        if timeout is not None:
+            # The deadline runs from the moment of the call, like a real
+            # RPC budget — request transit time counts against it.
+            expiry = self.env.timeout(timeout)
+
+            def expire(_event, rpc_id=rpc_id, response=response):
+                if self._pending.pop(rpc_id, None) is not None:
+                    if not response.triggered:
+                        response.fail(RpcTimeout(
+                            f"rpc {rpc_id} timed out after {timeout}s"))
+
+            expiry.callbacks.append(expire)
+
+        deliver = self.send(msg)
+        try:
+            yield deliver
+        except RpcError as exc:
+            if self._pending.pop(rpc_id, None) is not None:
+                if not response.triggered:
+                    response.fail(exc)
+
+    def respond(self, request: Message, size_bytes: int,
+                payload: typing.Any = None, kind: str = "reply",
+                headers: dict | None = None) -> Event:
+        """Send a response for ``request`` back to its source.
+
+        The returned event fires when the response is delivered; the
+        original caller's ``call`` event fires at the same moment.
+        ``headers`` are merged into the reply's metadata.
+        """
+        reply = request.reply(size_bytes=size_bytes, kind=kind, payload=payload)
+        if headers:
+            reply.headers.update(headers)
+        done = self.env.event()
+        self.env.process(self._respond_proc(reply, done))
+        return done
+
+    def _respond_proc(self, reply: Message, done: Event):
+        deliver = self.send(reply)
+        try:
+            yield deliver
+        except RpcError as exc:
+            done.fail(exc)
+            return
+        done.succeed(reply)
+
+    # -- server side ---------------------------------------------------------
+
+    def serve(self, host: Host) -> Event:
+        """Wait for the next message in ``host``'s inbox (server loop step)."""
+        return host.inbox.get()

@@ -1,0 +1,107 @@
+"""Panoramic frames and viewport cropping for cloud VR.
+
+Cloud-based VR (FlashBack, Furion — both cited by the paper) renders a
+full panoramic frame server-side; the client crops the user's viewport
+out of it.  Many users watching the same content request the *same*
+panorama, so CoIC keys them by content hash and serves repeats from the
+edge.  :class:`PanoramaGrid` quantizes continuous head poses onto a grid
+so that nearby poses map to the same panorama id — the knob that governs
+how much sharing exists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+from repro.vision.image import Resolution, RESOLUTIONS, jpeg_bits_per_pixel
+
+
+@dataclasses.dataclass(frozen=True)
+class Viewport:
+    """The user-visible crop of a panorama."""
+
+    width: int = 1440
+    height: int = 1600  # per-eye panel of a 2018 HMD
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+
+@dataclasses.dataclass(frozen=True)
+class Panorama:
+    """One equirectangular panoramic frame.
+
+    Attributes:
+        content_id: Which video/scene the panorama belongs to.
+        segment: Temporal index (frame/chunk number).
+        pose_cell: Quantized pose cell it was rendered for.
+        resolution: Full panorama resolution (4k/8k equirect).
+        quality: JPEG-like quality of the encoding.
+    """
+
+    content_id: int
+    segment: int
+    pose_cell: int
+    resolution: Resolution = RESOLUTIONS["4k"]
+    quality: int = 80
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the encoded panorama."""
+        bits = self.resolution.pixels * jpeg_bits_per_pixel(self.quality)
+        return int(bits / 8)
+
+    def digest(self) -> str:
+        """Content hash — CoIC's descriptor for panorama tasks."""
+        key = f"pano:{self.content_id}:{self.segment}:{self.pose_cell}:" \
+              f"{self.resolution.name}:{self.quality}"
+        return hashlib.sha256(key.encode()).hexdigest()
+
+
+class PanoramaGrid:
+    """Quantizes (yaw, pitch) head poses onto panorama pose cells.
+
+    Args:
+        yaw_cells: Number of discrete yaw sectors over 360 degrees.
+        pitch_cells: Number of discrete pitch bands over 180 degrees.
+
+    A panorama covers the full sphere, so in FlashBack-style systems one
+    cell per *position* suffices; for position-tracked content more cells
+    mean less sharing but fresher parallax.  The grid is where that
+    trade-off is set.
+    """
+
+    def __init__(self, yaw_cells: int = 1, pitch_cells: int = 1):
+        if yaw_cells < 1 or pitch_cells < 1:
+            raise ValueError("cell counts must be >= 1")
+        self.yaw_cells = yaw_cells
+        self.pitch_cells = pitch_cells
+
+    @property
+    def n_cells(self) -> int:
+        return self.yaw_cells * self.pitch_cells
+
+    def cell_for(self, yaw_deg: float, pitch_deg: float) -> int:
+        """Map a head pose to its cell id."""
+        if not -90.0 <= pitch_deg <= 90.0:
+            raise ValueError(f"pitch {pitch_deg} outside [-90, 90]")
+        yaw = yaw_deg % 360.0
+        yaw_idx = min(int(yaw / 360.0 * self.yaw_cells), self.yaw_cells - 1)
+        pitch01 = (pitch_deg + 90.0) / 180.0
+        pitch_idx = min(int(pitch01 * self.pitch_cells), self.pitch_cells - 1)
+        return pitch_idx * self.yaw_cells + yaw_idx
+
+
+def crop_time_s(panorama: Panorama, viewport: Viewport,
+                crop_pixels_per_s: float = 2.0e9) -> float:
+    """Seconds for the client to decode+crop its viewport from a panorama.
+
+    Proportional to the *panorama* pixel count (decode dominates), plus
+    the viewport resample.  2 Gpx/s matches a 2018 phone's hardware JPEG
+    decode path.
+    """
+    if crop_pixels_per_s <= 0:
+        raise ValueError("crop_pixels_per_s must be > 0")
+    return (panorama.resolution.pixels + viewport.pixels) / crop_pixels_per_s

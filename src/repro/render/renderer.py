@@ -1,0 +1,71 @@
+"""Draw-time model: how long a frame takes once models are loaded.
+
+Loading dominates Figure 2b, but examples also need the draw side to
+report frame rates: per-frame time = fixed overhead + triangles/triangle
+rate + pixels/fill rate.  The defaults are calibrated to a 2018 mobile
+GPU (Adreno 540-class) where ~500k triangles at 1440p runs near 60 fps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.render.mesh import MeshModel
+
+
+@dataclasses.dataclass(frozen=True)
+class RenderProfile:
+    """GPU drawing rates.
+
+    Attributes:
+        name: Diagnostic name.
+        triangles_per_s: Sustained triangle throughput.
+        fill_rate_pixels_per_s: Sustained shaded-pixel throughput.
+        frame_overhead_s: Fixed per-frame cost (driver, compositor).
+    """
+
+    name: str
+    triangles_per_s: float = 450e6
+    fill_rate_pixels_per_s: float = 3.0e9
+    frame_overhead_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.triangles_per_s <= 0 or self.fill_rate_pixels_per_s <= 0:
+            raise ValueError("rates must be > 0")
+        if self.frame_overhead_s < 0:
+            raise ValueError("frame_overhead_s must be >= 0")
+
+
+MOBILE_RENDER_2018 = RenderProfile("adreno-540-2018")
+EDGE_RENDER_2018 = RenderProfile("edge-gtx-2018", triangles_per_s=4e9,
+                                 fill_rate_pixels_per_s=40e9,
+                                 frame_overhead_s=0.0008)
+
+
+class Renderer:
+    """Computes frame times for a set of meshes at a resolution."""
+
+    def __init__(self, profile: RenderProfile):
+        self.profile = profile
+
+    def frame_time(self, meshes: typing.Sequence[MeshModel],
+                   pixels: int, overdraw: float = 1.6) -> float:
+        """Seconds to draw ``meshes`` into a ``pixels``-sized target.
+
+        ``overdraw`` accounts for depth-complexity: each screen pixel is
+        shaded that many times on average.
+        """
+        if pixels <= 0:
+            raise ValueError("pixels must be > 0")
+        if overdraw < 1.0:
+            raise ValueError("overdraw must be >= 1.0")
+        triangles = sum(mesh.n_triangles for mesh in meshes)
+        return (self.profile.frame_overhead_s
+                + triangles / self.profile.triangles_per_s
+                + pixels * overdraw / self.profile.fill_rate_pixels_per_s)
+
+    def fps(self, meshes: typing.Sequence[MeshModel], pixels: int,
+            overdraw: float = 1.6) -> float:
+        """Steady-state frame rate for the same workload."""
+        return 1.0 / self.frame_time(meshes, pixels, overdraw)

@@ -1,0 +1,113 @@
+"""A minimal scene graph for the example applications.
+
+Interactive AR/VR apps place shared 3D content (avatars, annotations) at
+world transforms; the scene graph tracks what each user's view contains so
+workloads can derive *which* models co-located users both need — the
+redundancy CoIC exploits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class SceneNode:
+    """One placed object: a model reference at a transform.
+
+    Attributes:
+        name: Unique node name within the graph.
+        model_id: Catalog id of the 3D model to draw (None for groups).
+        position: World-space position (3,).
+        scale: Uniform scale factor.
+        children: Child node names.
+    """
+
+    name: str
+    model_id: int | None = None
+    position: np.ndarray = dataclasses.field(
+        default_factory=lambda: np.zeros(3))
+    scale: float = 1.0
+    children: list[str] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.position = np.asarray(self.position, dtype=float)
+        if self.position.shape != (3,):
+            raise ValueError("position must be a 3-vector")
+        if self.scale <= 0:
+            raise ValueError("scale must be > 0")
+
+
+class SceneGraph:
+    """A named hierarchy of scene nodes with visibility queries."""
+
+    def __init__(self):
+        self._nodes: dict[str, SceneNode] = {}
+        self._parents: dict[str, str] = {}
+
+    def add(self, node: SceneNode, parent: str | None = None) -> SceneNode:
+        """Insert a node, optionally under ``parent``."""
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        if parent is not None:
+            if parent not in self._nodes:
+                raise KeyError(f"unknown parent {parent!r}")
+            self._nodes[parent].children.append(node.name)
+            self._parents[node.name] = parent
+        self._nodes[node.name] = node
+        return node
+
+    def remove(self, name: str) -> None:
+        """Remove a node and its subtree."""
+        node = self._nodes.get(name)
+        if node is None:
+            raise KeyError(f"unknown node {name!r}")
+        for child in list(node.children):
+            self.remove(child)
+        parent = self._parents.pop(name, None)
+        if parent is not None:
+            self._nodes[parent].children.remove(name)
+        del self._nodes[name]
+
+    def get(self, name: str) -> SceneNode:
+        return self._nodes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def nodes(self) -> list[SceneNode]:
+        """All nodes, in insertion order."""
+        return list(self._nodes.values())
+
+    def world_position(self, name: str) -> np.ndarray:
+        """Accumulated position of a node through its ancestors."""
+        pos = np.zeros(3)
+        cursor: str | None = name
+        while cursor is not None:
+            pos = pos + self._nodes[cursor].position
+            cursor = self._parents.get(cursor)
+        return pos
+
+    def visible_models(self, eye: typing.Sequence[float],
+                       radius: float) -> set[int]:
+        """Model ids within ``radius`` of ``eye`` — one user's working set.
+
+        The intersection of two users' visible sets is exactly the content
+        CoIC can serve both from one cached copy.
+        """
+        if radius <= 0:
+            raise ValueError("radius must be > 0")
+        eye_arr = np.asarray(eye, dtype=float)
+        out: set[int] = set()
+        for node in self._nodes.values():
+            if node.model_id is None:
+                continue
+            if np.linalg.norm(self.world_position(node.name) - eye_arr) <= radius:
+                out.add(node.model_id)
+        return out

@@ -1,0 +1,52 @@
+"""Discrete-event simulation kernel.
+
+This package is the bottom-most substrate of the CoIC reproduction: a
+generator-based discrete-event simulator in the style of SimPy, but
+self-contained and deterministic.  Every other subsystem (network links,
+DNN compute, cache nodes) runs as processes on this kernel.
+
+Quick example::
+
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def hello(env):
+        yield env.timeout(1.5)
+        print("t =", env.now)
+
+    env.process(hello(env))
+    env.run()
+"""
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventAlreadyTriggered,
+    Interrupt,
+    Timeout,
+)
+from repro.sim.kernel import Environment, SimulationError, StopSimulation
+from repro.sim.process import Process, ProcessCrashed
+from repro.sim.resources import Container, PriorityResource, Resource, Store
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "EventAlreadyTriggered",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "ProcessCrashed",
+    "Resource",
+    "RngStreams",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

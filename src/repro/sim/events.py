@@ -1,0 +1,185 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on.
+Events move through three states: *pending* (created, not yet scheduled),
+*triggered* (scheduled on the event queue with a value), and *processed*
+(callbacks have run).  Events may succeed with a value or fail with an
+exception; a failed event re-raises its exception inside every waiting
+process, which mirrors how a failed RPC surfaces at its call site.
+"""
+
+from __future__ import annotations
+
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Environment
+
+# Sentinel distinguishing "not yet triggered" from "triggered with None".
+_PENDING = object()
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """Raised when succeed()/fail() is called on a non-pending event."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary payload from the
+    interrupter, e.g. the reason a transfer was aborted.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Attributes:
+        env: The environment this event belongs to.
+        callbacks: Functions invoked with the event once it is processed.
+            ``None`` after processing (appending then is an error).
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list | None = []
+        self._value: object = _PENDING
+        self._ok: bool | None = None
+        # Failed events whose exception is never observed by a waiter
+        # should crash the simulation rather than pass silently.
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise RuntimeError("event value is not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise RuntimeError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised in every process waiting on this event.
+        """
+        if not isinstance(exception, BaseException):
+            raise ValueError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it won't crash the run."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: object = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: typing.Sequence[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must belong to the same environment")
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._observe(event)
+            else:
+                event.callbacks.append(self._observe)
+
+    def _collect(self) -> dict:
+        """Values of all triggered-and-ok sub-events, keyed by event."""
+        return {
+            event: event.value
+            for event in self._events
+            if event.triggered and event.ok
+        }
+
+    def _observe(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers once every sub-event has succeeded (or any fails)."""
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(typing.cast(BaseException, event.value))
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as one sub-event succeeds (or any fails)."""
+
+    def _observe(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(typing.cast(BaseException, event.value))
+            return
+        self.succeed(self._collect())

@@ -1,0 +1,152 @@
+"""The discrete-event simulation environment.
+
+:class:`Environment` owns the simulated clock and the event queue (a binary
+heap ordered by ``(time, priority, sequence)``).  ``run()`` pops events in
+order, advances the clock, and invokes callbacks; generator processes are
+layered on top in :mod:`repro.sim.process`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import Event, Timeout
+from repro.sim.process import Process
+
+#: Default priority for scheduled events.  Lower sorts first.
+PRIORITY_NORMAL = 1
+#: Priority used by the kernel for urgent bookkeeping (e.g. interrupts).
+PRIORITY_URGENT = 0
+
+
+class SimulationError(RuntimeError):
+    """An unhandled failure escaped a process and aborted the run."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt ``run(until=event)`` when ``event`` fires."""
+
+    def __init__(self, value: object):
+        super().__init__(value)
+        self.value = value
+
+
+class Environment:
+    """Simulation environment: clock + event queue + process factory.
+
+    Args:
+        initial_time: Starting value of the simulated clock (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0  # FIFO tie-break for same-time, same-priority events
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`Event` bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator) -> Process:
+        """Start a new process running ``generator`` and return it."""
+        return Process(self, generator)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = PRIORITY_NORMAL,
+                 delay: float = 0.0) -> None:
+        """Place a triggered event on the queue ``delay`` seconds from now."""
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises:
+            IndexError: If the queue is empty.
+            SimulationError: If a failed event was never defused (no process
+                was waiting on it to observe the exception).
+        """
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event.ok and not event._defused:
+            exc = typing.cast(BaseException, event.value)
+            raise SimulationError(
+                f"unhandled failure in {event!r}: {exc!r}") from exc
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run the simulation.
+
+        Args:
+            until: ``None`` runs until the queue drains.  A number runs until
+                the clock reaches that time.  An :class:`Event` runs until
+                the event fires and returns its value.
+
+        Returns:
+            The value of ``until`` if it was an event, else ``None``.
+        """
+        stop_at = float("inf")
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            if until.processed:
+                if not until.ok:
+                    raise typing.cast(BaseException, until.value)
+                return until.value
+            until.callbacks.append(_stop_callback)
+        else:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise ValueError(
+                    f"until={stop_at} is in the past (now={self._now})")
+
+        try:
+            while self._queue and self.peek() <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if isinstance(until, Event):
+            if until.triggered:
+                # Fired during the final step but callback ordering let the
+                # loop drain first; surface its value anyway.
+                if not until.ok:
+                    raise typing.cast(BaseException, until.value)
+                return until.value
+            raise SimulationError(
+                "run(until=event) exhausted the queue before the event fired")
+        if stop_at != float("inf"):
+            # Match SimPy semantics: the clock lands exactly on `until`.
+            self._now = stop_at
+        return None
+
+
+def _stop_callback(event: Event) -> None:
+    """Abort ``run`` with the event's value (installed by run(until=event))."""
+    if event.ok:
+        raise StopSimulation(event.value)
+    event.defuse()
+    raise typing.cast(BaseException, event.value)

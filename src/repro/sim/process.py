@@ -1,0 +1,139 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` drives a Python generator: each ``yield`` hands the
+kernel an :class:`~repro.sim.events.Event` to wait on; when that event is
+processed the generator resumes with the event's value (or the event's
+exception is thrown into it).  A process is itself an event that fires when
+the generator returns, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event, Interrupt
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Environment
+
+
+class ProcessCrashed(RuntimeError):
+    """Wraps an exception that escaped a process generator."""
+
+
+class _Initialize(Event):
+    """Immediate event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env.schedule(self, priority=0)
+
+
+class Process(Event):
+    """A running generator; also an event that fires on generator return.
+
+    The value of the process-event is the generator's return value.  If the
+    generator raises, the process-event fails with that exception — waiters
+    see it re-raised; if nobody waits, the simulation aborts (errors should
+    never pass silently).
+    """
+
+    def __init__(self, env: "Environment", generator: typing.Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def name(self) -> str:
+        """The generator's function name (for diagnostics)."""
+        return getattr(self._generator, "__name__", repr(self._generator))
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current event (the event itself is
+        unaffected and may still fire — its callback is disarmed) and the
+        generator sees ``Interrupt(cause)`` raised at its ``yield``.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt finished process {self.name}")
+        if self._waiting_on is None:
+            raise RuntimeError(
+                f"cannot interrupt {self.name} before it starts or from itself")
+        # Disarm the pending resume so the event can no longer wake us.
+        target = self._waiting_on
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._waiting_on = None
+
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._defused = True  # delivered via throw, not an unhandled failure
+        wakeup.callbacks.append(self._resume)
+        self.env.schedule(wakeup, priority=0)
+
+    # -- kernel plumbing -----------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value/exception of ``event``."""
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                event.defuse()
+                target = self._generator.throw(
+                    typing.cast(BaseException, event.value))
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - reported via event
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            crash = ProcessCrashed(
+                f"process {self.name!r} yielded non-event {target!r}")
+            self._generator.close()
+            self.fail(crash)
+            return
+        if target.env is not self.env:
+            crash = ProcessCrashed(
+                f"process {self.name!r} yielded an event from a foreign "
+                "environment")
+            self._generator.close()
+            self.fail(crash)
+            return
+
+        if target.processed:
+            # Already done: resume immediately (via zero-delay reschedule to
+            # keep strict event ordering).
+            relay = Event(self.env)
+            relay._ok = target.ok
+            relay._value = target._value
+            if not target.ok:
+                relay._defused = True
+            relay.callbacks.append(self._resume)
+            self.env.schedule(relay, priority=0)
+            self._waiting_on = relay
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+    def __repr__(self) -> str:
+        state = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name} {state} at {id(self):#x}>"

@@ -1,0 +1,58 @@
+"""Named, independent random-number streams.
+
+Every stochastic component in the reproduction (link jitter, workload
+popularity, viewpoint noise, ...) draws from its own named stream so that
+changing one component's consumption pattern never perturbs another's —
+a standard variance-reduction discipline for simulation studies, and the
+backbone of this repo's determinism guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RngStreams:
+    """A factory of independent :class:`numpy.random.Generator` streams.
+
+    Streams are derived from a root seed and a stream name via
+    ``numpy.random.SeedSequence.spawn``-style keying, so:
+
+    * the same (seed, name) pair always yields the same sequence, and
+    * distinct names yield statistically independent sequences.
+
+    Example::
+
+        rng = RngStreams(seed=42)
+        jitter = rng.stream("net.jitter")
+        popularity = rng.stream("workload.zipf")
+    """
+
+    def __init__(self, seed: int = 0):
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``."""
+        if not name:
+            raise ValueError("stream name must be non-empty")
+        gen = self._streams.get(name)
+        if gen is None:
+            # Key the child sequence on the UTF-8 bytes of the name so the
+            # mapping is stable across runs and python versions.
+            entropy = [self.seed] + list(name.encode("utf-8"))
+            gen = np.random.Generator(np.random.PCG64(np.random.SeedSequence(entropy)))
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, salt: int) -> "RngStreams":
+        """A new factory whose streams are independent of this one's.
+
+        Useful for replicated experiment runs: ``rng.fork(run_index)``.
+        """
+        return RngStreams(seed=hash((self.seed, int(salt))) & 0x7FFFFFFF)
+
+    def __repr__(self) -> str:
+        return f"RngStreams(seed={self.seed}, streams={sorted(self._streams)})"

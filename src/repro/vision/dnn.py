@@ -1,0 +1,166 @@
+"""DNN compute model: layers, networks, devices.
+
+A network is a stack of :class:`Layer` objects with FLOP counts and output
+sizes; a :class:`ComputeDevice` turns FLOPs into seconds via a sustained
+effective throughput plus a fixed per-invocation overhead (framework
+dispatch, memory traffic, queueing).  This reproduces the latency *shape*
+of real inference without weights: heavier nets and weaker devices are
+proportionally slower, and partial execution (a backbone tap for feature
+extraction, or resuming from a cached layer) costs exactly the FLOPs of
+the layers actually run — the property CoIC's fine-grained layer cache
+(paper §4) relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Layer:
+    """One network layer.
+
+    Attributes:
+        name: Unique layer name within its network.
+        gflops: Billions of floating-point ops for one inference.
+        output_elements: Number of scalars in the layer's activation, which
+            sets the wire/cache size of an intermediate result.
+    """
+
+    name: str
+    gflops: float
+    output_elements: int
+
+    def __post_init__(self) -> None:
+        if self.gflops < 0:
+            raise ValueError(f"gflops must be >= 0 ({self.name})")
+        if self.output_elements <= 0:
+            raise ValueError(f"output_elements must be > 0 ({self.name})")
+
+    @property
+    def output_bytes(self) -> int:
+        """Activation size in bytes (float32)."""
+        return self.output_elements * 4
+
+
+@dataclasses.dataclass(frozen=True)
+class ComputeDevice:
+    """A device that executes DNN layers.
+
+    Attributes:
+        name: Diagnostic name.
+        effective_gflops: Sustained DNN throughput actually achieved by the
+            device+framework, *not* the datasheet peak (2018 frameworks
+            reached 5-20% of peak).
+        invocation_overhead_s: Fixed cost per inference call (graph
+            dispatch, pre/post-processing, queue wait).
+    """
+
+    name: str
+    effective_gflops: float
+    invocation_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.effective_gflops <= 0:
+            raise ValueError("effective_gflops must be > 0")
+        if self.invocation_overhead_s < 0:
+            raise ValueError("invocation_overhead_s must be >= 0")
+
+    def seconds_for_gflops(self, gflops: float) -> float:
+        """Pure compute time for a FLOP budget, without invocation overhead."""
+        if gflops < 0:
+            raise ValueError("gflops must be >= 0")
+        return gflops / self.effective_gflops
+
+
+class DnnModel:
+    """An ordered stack of layers with named feature taps.
+
+    Args:
+        name: Network name, e.g. ``"vgg16"``.
+        layers: The layer stack, input to output.
+        feature_layer: Name of the layer whose activation serves as CoIC's
+            feature descriptor (the backbone tap).
+        descriptor_dim: Dimension of the compact descriptor projected from
+            the tap activation (CoIC sends this, not the raw activation).
+    """
+
+    def __init__(self, name: str, layers: typing.Sequence[Layer],
+                 feature_layer: str, descriptor_dim: int = 128):
+        if not layers:
+            raise ValueError("a model needs at least one layer")
+        names = [layer.name for layer in layers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate layer names in {name}: {names}")
+        if feature_layer not in names:
+            raise ValueError(f"feature_layer {feature_layer!r} not in {names}")
+        if descriptor_dim <= 0:
+            raise ValueError("descriptor_dim must be > 0")
+        self.name = name
+        self.layers = list(layers)
+        self.feature_layer = feature_layer
+        self.descriptor_dim = descriptor_dim
+        self._index = {layer.name: i for i, layer in enumerate(self.layers)}
+
+    # -- structure -----------------------------------------------------------
+
+    def layer_index(self, layer_name: str) -> int:
+        """Position of ``layer_name`` in the stack."""
+        try:
+            return self._index[layer_name]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no layer {layer_name!r}") from None
+
+    def layer(self, layer_name: str) -> Layer:
+        """The layer object called ``layer_name``."""
+        return self.layers[self.layer_index(layer_name)]
+
+    @property
+    def total_gflops(self) -> float:
+        """FLOPs for a full forward pass."""
+        return sum(layer.gflops for layer in self.layers)
+
+    @property
+    def backbone_gflops(self) -> float:
+        """FLOPs up to and including the feature tap."""
+        return self.gflops_between(None, self.feature_layer)
+
+    def gflops_between(self, after: str | None, upto: str) -> float:
+        """FLOPs of layers in ``(after, upto]``; ``after=None`` means input.
+
+        This is the cost of resuming inference from a cached intermediate
+        at layer ``after`` and running through layer ``upto``.
+        """
+        start = 0 if after is None else self.layer_index(after) + 1
+        end = self.layer_index(upto) + 1
+        if end < start:
+            raise ValueError(f"layer {upto!r} precedes {after!r}")
+        return sum(layer.gflops for layer in self.layers[start:end])
+
+    # -- timing --------------------------------------------------------------
+
+    def inference_time(self, device: ComputeDevice) -> float:
+        """Seconds for a full forward pass on ``device``."""
+        return (device.invocation_overhead_s
+                + device.seconds_for_gflops(self.total_gflops))
+
+    def extraction_time(self, device: ComputeDevice) -> float:
+        """Seconds to compute the feature descriptor (backbone tap)."""
+        return (device.invocation_overhead_s
+                + device.seconds_for_gflops(self.backbone_gflops))
+
+    def resume_time(self, device: ComputeDevice, after: str) -> float:
+        """Seconds to finish inference from a cached activation at ``after``."""
+        gflops = self.gflops_between(after, self.layers[-1].name)
+        return device.invocation_overhead_s + device.seconds_for_gflops(gflops)
+
+    @property
+    def descriptor_bytes(self) -> int:
+        """Wire size of the compact descriptor (float32) plus framing."""
+        return self.descriptor_dim * 4 + 64
+
+    def __repr__(self) -> str:
+        return (f"DnnModel({self.name!r}, {len(self.layers)} layers, "
+                f"{self.total_gflops:.2f} GFLOPs, tap={self.feature_layer!r})")

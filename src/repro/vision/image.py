@@ -1,0 +1,104 @@
+"""Synthetic camera frames.
+
+Only two properties of a frame matter to CoIC's latency story: its wire
+size (what crosses the network) and what object it depicts from what
+viewpoint (what the feature descriptor encodes).  :class:`CameraFrame`
+carries exactly those, with a JPEG-like size model: compressed size =
+pixels x 3 bytes x compression ratio, where the ratio follows the quality
+knob the way libjpeg quality levels do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Resolution:
+    """A frame resolution preset."""
+
+    name: str
+    width: int
+    height: int
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+
+#: Resolutions named by the paper's motivation ("4K or 8K resolution").
+RESOLUTIONS: dict[str, Resolution] = {
+    "720p": Resolution("720p", 1280, 720),
+    "1080p": Resolution("1080p", 1920, 1080),
+    "1440p": Resolution("1440p", 2560, 1440),
+    "4k": Resolution("4k", 3840, 2160),
+    "8k": Resolution("8k", 7680, 4320),
+}
+
+#: JPEG quality -> approximate compressed bits per pixel (photographic
+#: content).  Linear interpolation between anchor points.
+_JPEG_BPP_ANCHORS = ((30, 0.45), (50, 0.65), (70, 0.95),
+                     (85, 1.60), (95, 3.00), (100, 6.00))
+
+
+def jpeg_bits_per_pixel(quality: int) -> float:
+    """Approximate compressed bits/pixel at a given JPEG quality (1..100)."""
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in 1..100, got {quality}")
+    pairs = _JPEG_BPP_ANCHORS
+    if quality <= pairs[0][0]:
+        return pairs[0][1]
+    for (q0, b0), (q1, b1) in zip(pairs, pairs[1:]):
+        if quality <= q1:
+            frac = (quality - q0) / (q1 - q0)
+            return b0 + frac * (b1 - b0)
+    return pairs[-1][1]
+
+
+def jpeg_size_bytes(resolution: Resolution, quality: int = 85) -> int:
+    """Compressed frame size for a resolution/quality pair."""
+    bits = resolution.pixels * jpeg_bits_per_pixel(quality)
+    return int(bits / 8)
+
+
+@dataclasses.dataclass(frozen=True)
+class CameraFrame:
+    """One captured frame: an object seen from a viewpoint.
+
+    Attributes:
+        object_class: Ground-truth class id of the dominant object
+            (e.g. "the stop sign at crossing 7" is one class).
+        viewpoint: Abstract viewpoint coordinate; observations of the same
+            class from nearby viewpoints produce nearby descriptors.
+        resolution: Capture resolution preset.
+        quality: JPEG quality used for the wire encoding.
+        user: Name of the capturing user/device (for traces).
+        seq: Capture sequence number within the trace.
+        capture_id: Globally unique capture id; seeds the frame's sensor
+            noise so every extractor derives the same descriptor from the
+            same frame.  Negative means "no sensor noise".
+    """
+
+    object_class: int
+    viewpoint: float = 0.0
+    resolution: Resolution = RESOLUTIONS["4k"]
+    quality: int = 85
+    user: str = ""
+    seq: int = 0
+    capture_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.object_class < 0:
+            raise ValueError("object_class must be >= 0")
+        if not 1 <= self.quality <= 100:
+            raise ValueError("quality must be in 1..100")
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the compressed frame."""
+        return jpeg_size_bytes(self.resolution, self.quality)
+
+    def __repr__(self) -> str:
+        return (f"CameraFrame(class={self.object_class} "
+                f"view={self.viewpoint:+.3f} {self.resolution.name} "
+                f"q{self.quality} {self.size_bytes / 1e6:.2f}MB)")

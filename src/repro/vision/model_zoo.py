@@ -1,0 +1,105 @@
+"""Calibrated 2018-era devices and networks.
+
+Device throughputs are *effective* sustained rates for DNN inference with
+2018 frameworks, calibrated against published measurements rather than
+datasheet peaks:
+
+* Pixel-class phone SoC: MobileNetV2 ~80-120 ms, VGG16 >1 s on CPU paths.
+* Single-socket edge Xeon: VGG16 ~0.8-1.0 s single-stream.
+* Cloud GPU (K80/M60 class): full detection pipelines ~0.3-0.5 s
+  including pre/post-processing and queueing.
+
+Layer FLOP counts follow the published per-layer budgets of each network
+(VGG16 ~15.5 GFLOPs, MobileNetV2 ~0.31 GFLOPs, ResNet50 ~3.9 GFLOPs).
+"""
+
+from __future__ import annotations
+
+from repro.vision.dnn import ComputeDevice, DnnModel, Layer
+
+# -- devices -----------------------------------------------------------------
+
+#: Pixel-class phone running 2018 TensorFlow Mobile (CPU path).
+MOBILE_SOC_2018 = ComputeDevice(
+    name="pixel-soc-2018", effective_gflops=15.0, invocation_overhead_s=0.030)
+
+#: Single-socket edge server, AVX2 CPU inference.
+EDGE_CPU_2018 = ComputeDevice(
+    name="edge-xeon-2018", effective_gflops=18.0, invocation_overhead_s=0.010)
+
+#: Cloud GPU instance; overhead includes RPC deserialize + batch queueing.
+CLOUD_GPU_2018 = ComputeDevice(
+    name="cloud-gpu-2018", effective_gflops=60.0, invocation_overhead_s=0.150)
+
+DEVICES: dict[str, ComputeDevice] = {
+    device.name: device
+    for device in (MOBILE_SOC_2018, EDGE_CPU_2018, CLOUD_GPU_2018)
+}
+
+
+# -- networks ------------------------------------------------------------------
+
+def vgg16(descriptor_dim: int = 128) -> DnnModel:
+    """VGG16-class recognition network (~15.5 GFLOPs backbone + head).
+
+    The feature tap is the last pooled conv block (``conv5``), the standard
+    retrieval descriptor location.
+    """
+    layers = [
+        Layer("conv1", 3.87, 64 * 224 * 224),
+        Layer("conv2", 5.55, 128 * 112 * 112),
+        Layer("conv3", 2.77, 256 * 56 * 56),
+        Layer("conv4", 2.77, 512 * 28 * 28),
+        Layer("conv5", 0.69, 512 * 7 * 7),
+        Layer("fc6", 0.206, 4096),
+        Layer("fc7", 0.034, 4096),
+        Layer("fc8", 0.008, 1000),
+    ]
+    return DnnModel("vgg16", layers, feature_layer="conv5",
+                    descriptor_dim=descriptor_dim)
+
+
+def mobilenet_v2(descriptor_dim: int = 128) -> DnnModel:
+    """MobileNetV2-class network (~0.31 GFLOPs), the mobile-side option."""
+    layers = [
+        Layer("stem", 0.022, 32 * 112 * 112),
+        Layer("block1", 0.030, 24 * 56 * 56),
+        Layer("block2", 0.050, 32 * 28 * 28),
+        Layer("block3", 0.071, 64 * 14 * 14),
+        Layer("block4", 0.060, 96 * 14 * 14),
+        Layer("block5", 0.050, 160 * 7 * 7),
+        Layer("block6", 0.020, 320 * 7 * 7),
+        Layer("pool", 0.004, 1280),
+        Layer("classifier", 0.003, 1000),
+    ]
+    return DnnModel("mobilenet_v2", layers, feature_layer="pool",
+                    descriptor_dim=descriptor_dim)
+
+
+def resnet50(descriptor_dim: int = 128) -> DnnModel:
+    """ResNet50-class network (~3.9 GFLOPs), a middle ground."""
+    layers = [
+        Layer("stem", 0.24, 64 * 112 * 112),
+        Layer("stage1", 0.68, 256 * 56 * 56),
+        Layer("stage2", 1.04, 512 * 28 * 28),
+        Layer("stage3", 1.47, 1024 * 14 * 14),
+        Layer("stage4", 0.47, 2048 * 7 * 7),
+        Layer("pool", 0.002, 2048),
+        Layer("classifier", 0.004, 1000),
+    ]
+    return DnnModel("resnet50", layers, feature_layer="pool",
+                    descriptor_dim=descriptor_dim)
+
+
+NETWORKS = {"vgg16": vgg16, "mobilenet_v2": mobilenet_v2, "resnet50": resnet50}
+
+
+def get_network(name: str, descriptor_dim: int = 128) -> DnnModel:
+    """Construct a zoo network by name."""
+    try:
+        factory = NETWORKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; choose from {sorted(NETWORKS)}"
+        ) from None
+    return factory(descriptor_dim=descriptor_dim)

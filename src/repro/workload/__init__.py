@@ -1,0 +1,45 @@
+"""Workload generation: who asks for what, when, and from where.
+
+CoIC's benefit is entirely workload-dependent — it exists because
+"computation-intensive tasks of mobile IC applications can be similar or
+redundant, especially when applications/users are in the close location"
+(paper §1.2).  This package turns that observation into controllable
+generators:
+
+* :mod:`~repro.workload.zipf` — popularity skew over objects/models.
+* :mod:`~repro.workload.mobility` — places, user movement, co-location.
+* :mod:`~repro.workload.ar_trace` — AR recognition request streams.
+* :mod:`~repro.workload.render_trace` — shared-arena 3D model loads.
+* :mod:`~repro.workload.vr_trace` — multi-viewer panorama streams.
+* :mod:`~repro.workload.apps` — a synthetic population in the image of
+  the paper's 30-app study, with a redundancy report.
+"""
+
+from repro.workload.apps import (
+    AppProfile,
+    RedundancyStats,
+    build_app_population,
+    redundancy_report,
+)
+from repro.workload.ar_trace import ArRequest, ArTraceGenerator
+from repro.workload.mobility import Place, RandomWaypointUser, World
+from repro.workload.render_trace import ArenaTraceGenerator, LoadRequest
+from repro.workload.vr_trace import PanoRequest, VrTraceGenerator
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "AppProfile",
+    "ArRequest",
+    "ArTraceGenerator",
+    "ArenaTraceGenerator",
+    "LoadRequest",
+    "PanoRequest",
+    "Place",
+    "RandomWaypointUser",
+    "RedundancyStats",
+    "VrTraceGenerator",
+    "World",
+    "ZipfSampler",
+    "build_app_population",
+    "redundancy_report",
+]

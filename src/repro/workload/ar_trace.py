@@ -1,0 +1,102 @@
+"""AR recognition request traces.
+
+Each user wanders the world; while at a place they point the camera at
+the objects visible there, issuing recognition requests as a Poisson
+stream.  Which object they look at follows a per-place Zipf (landmarks
+draw the eye); the viewpoint is the user's own (offset per user, drifting
+per request) — so co-located users request *similar but not identical*
+inputs, exactly the regime CoIC's threshold matching targets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.workload.mobility import RandomWaypointUser, World
+from repro.workload.zipf import ZipfSampler
+
+
+@dataclasses.dataclass(frozen=True)
+class ArRequest:
+    """One recognition request in a trace."""
+
+    time_s: float
+    user: str
+    object_class: int
+    viewpoint: float
+    place_id: int
+
+
+class ArTraceGenerator:
+    """Generates multi-user AR recognition traces over a world.
+
+    Args:
+        world: Places and their objects.
+        users: The moving users.
+        rng: Source of randomness.
+        request_rate_hz: Per-user recognition request rate (continuous
+            vision apps re-recognize a few times per second; interactive
+            ones much less).
+        within_place_alpha: Zipf skew of attention across a place's
+            objects.
+        viewpoint_spread: Std-dev of a user's base viewpoint offset
+            (users stand at different angles).
+        viewpoint_walk: Per-request viewpoint drift std-dev.
+    """
+
+    def __init__(self, world: World, users: list[RandomWaypointUser],
+                 rng: np.random.Generator, request_rate_hz: float = 0.5,
+                 within_place_alpha: float = 0.9,
+                 viewpoint_spread: float = 0.4,
+                 viewpoint_walk: float = 0.08):
+        if not users:
+            raise ValueError("need at least one user")
+        if request_rate_hz <= 0:
+            raise ValueError("request_rate_hz must be > 0")
+        self.world = world
+        self.users = users
+        self._rng = rng
+        self.request_rate_hz = request_rate_hz
+        self.within_place_alpha = within_place_alpha
+        self.viewpoint_spread = viewpoint_spread
+        self.viewpoint_walk = viewpoint_walk
+
+    def generate(self, duration_s: float) -> list[ArRequest]:
+        """A time-sorted request trace covering ``duration_s``."""
+        if duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        requests: list[ArRequest] = []
+        for user in self.users:
+            itinerary = user.itinerary(duration_s)
+            base_view = float(self._rng.normal(0.0, self.viewpoint_spread))
+            view = base_view
+            t = float(self._rng.exponential(1.0 / self.request_rate_hz))
+            while t < duration_s:
+                place_id = RandomWaypointUser.place_at(itinerary, t)
+                place = self.world.place(place_id)
+                # Attention sampler is cheap to rebuild; alpha is the same
+                # but the object pool differs per place.
+                attention = ZipfSampler(len(place.object_classes),
+                                        self.within_place_alpha, self._rng)
+                object_class = place.object_classes[attention.sample()]
+                view += float(self._rng.normal(0.0, self.viewpoint_walk))
+                requests.append(ArRequest(
+                    time_s=t, user=user.name, object_class=object_class,
+                    viewpoint=view, place_id=place_id))
+                t += float(self._rng.exponential(1.0 / self.request_rate_hz))
+        requests.sort(key=lambda r: r.time_s)
+        return requests
+
+    @staticmethod
+    def redundancy_ratio(requests: list[ArRequest]) -> float:
+        """Fraction of requests whose object was already requested earlier
+        (by anyone) — an upper bound on the achievable hit ratio."""
+        seen: set[int] = set()
+        redundant = 0
+        for req in requests:
+            if req.object_class in seen:
+                redundant += 1
+            seen.add(req.object_class)
+        return redundant / len(requests) if requests else 0.0

@@ -1,0 +1,161 @@
+"""Places, users and co-location.
+
+The paper's redundancy insights are spatial: "two safe-driving
+applications are likely to recognize the same stop sign ... at the same
+crossroads"; "two Pokemon Go players ... in the same place".  This module
+models a world of :class:`Place` s, each exposing a set of visible object
+classes, and users that move between places — users standing at the same
+place observe the same objects, which is exactly what makes their IC
+requests redundant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+import numpy as np
+
+from repro.workload.zipf import ZipfSampler
+
+
+@dataclasses.dataclass(frozen=True)
+class Place:
+    """A point of interest with a fixed set of visible objects.
+
+    Attributes:
+        place_id: Index in the world.
+        x, y: Position in metres.
+        object_classes: Classes observable here (e.g. the stop sign at
+            this crossroads).  Popular classes appear at several places.
+    """
+
+    place_id: int
+    x: float
+    y: float
+    object_classes: tuple
+
+    def __post_init__(self) -> None:
+        if not self.object_classes:
+            raise ValueError("a place needs at least one object")
+
+
+class World:
+    """A square world of places drawing objects from a global popularity.
+
+    Args:
+        n_places: Number of points of interest.
+        n_classes: Global object-class vocabulary size.
+        objects_per_place: Distinct classes visible at each place.
+        extent_m: World side length in metres.
+        popularity_alpha: Zipf exponent for class-to-place assignment —
+            higher alpha means the same landmark objects recur at many
+            places (more cross-place redundancy).
+        rng: Source of randomness.
+    """
+
+    def __init__(self, n_places: int, n_classes: int,
+                 objects_per_place: int, rng: np.random.Generator,
+                 extent_m: float = 1000.0, popularity_alpha: float = 0.8):
+        if n_places < 1:
+            raise ValueError("n_places must be >= 1")
+        if objects_per_place < 1:
+            raise ValueError("objects_per_place must be >= 1")
+        if objects_per_place > n_classes:
+            raise ValueError("objects_per_place cannot exceed n_classes")
+        self.n_classes = n_classes
+        self.extent_m = extent_m
+        sampler = ZipfSampler(n_classes, popularity_alpha, rng)
+        self.places: list[Place] = []
+        for place_id in range(n_places):
+            classes: set[int] = set()
+            # Rejection-sample distinct classes from the popularity law.
+            while len(classes) < objects_per_place:
+                classes.add(sampler.sample())
+            self.places.append(Place(
+                place_id=place_id,
+                x=float(rng.uniform(0, extent_m)),
+                y=float(rng.uniform(0, extent_m)),
+                object_classes=tuple(sorted(classes))))
+
+    def place(self, place_id: int) -> Place:
+        return self.places[place_id]
+
+    def __len__(self) -> int:
+        return len(self.places)
+
+    def shared_classes(self, place_a: int, place_b: int) -> set[int]:
+        """Object classes visible at both places."""
+        return (set(self.places[place_a].object_classes)
+                & set(self.places[place_b].object_classes))
+
+
+class RandomWaypointUser:
+    """A user hopping between places with exponentially distributed dwell.
+
+    Args:
+        name: User/device name (matches a deployment client name).
+        world: The world to move in.
+        rng: Source of randomness.
+        mean_dwell_s: Average time spent at a place before moving.
+        home_place: Starting place (random if None).
+    """
+
+    def __init__(self, name: str, world: World, rng: np.random.Generator,
+                 mean_dwell_s: float = 60.0, home_place: int | None = None):
+        if mean_dwell_s <= 0:
+            raise ValueError("mean_dwell_s must be > 0")
+        self.name = name
+        self.world = world
+        self._rng = rng
+        self.mean_dwell_s = mean_dwell_s
+        self.place_id = (int(rng.integers(len(world)))
+                         if home_place is None else home_place)
+
+    def itinerary(self, duration_s: float) -> list[tuple[float, int]]:
+        """[(arrival_time_s, place_id), ...] covering ``duration_s``.
+
+        The first entry is (0, starting place).
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be > 0")
+        stops = [(0.0, self.place_id)]
+        t = float(self._rng.exponential(self.mean_dwell_s))
+        current = self.place_id
+        while t < duration_s:
+            if len(self.world) > 1:
+                nxt = int(self._rng.integers(len(self.world)))
+                while nxt == current:
+                    nxt = int(self._rng.integers(len(self.world)))
+                current = nxt
+            stops.append((t, current))
+            t += float(self._rng.exponential(self.mean_dwell_s))
+        return stops
+
+    @staticmethod
+    def place_at(itinerary: list[tuple[float, int]], when: float) -> int:
+        """The place a user with ``itinerary`` occupies at time ``when``."""
+        place = itinerary[0][1]
+        for arrival, place_id in itinerary:
+            if arrival > when:
+                break
+            place = place_id
+        return place
+
+
+def colocation_matrix(itineraries: dict[str, list[tuple[float, int]]],
+                      times: typing.Sequence[float]) -> dict[float, dict[int, list[str]]]:
+    """Who shares a place at each sample time.
+
+    Returns {time: {place_id: [user names]}} including only places with
+    two or more users — the co-location events CoIC feeds on.
+    """
+    out: dict[float, dict[int, list[str]]] = {}
+    for when in times:
+        groups: dict[int, list[str]] = {}
+        for name, itin in itineraries.items():
+            groups.setdefault(
+                RandomWaypointUser.place_at(itin, when), []).append(name)
+        out[when] = {pid: names for pid, names in groups.items()
+                     if len(names) >= 2}
+    return out

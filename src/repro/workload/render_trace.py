@@ -1,0 +1,108 @@
+"""Shared-arena 3D model-load traces.
+
+The paper's rendering insight: "two Pokemon Go players require rendering
+the same 3D avatar when they are interacting ... in the same place."  An
+*arena* session has shared scene content (the avatars/props everyone must
+load) plus per-user content (their own skin).  Users join over time; each
+join triggers a burst of loads — shared ones are redundant across users,
+personal ones never are.  The shared:personal ratio is the workload knob
+that decides how much CoIC can help.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.workload.zipf import ZipfSampler
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadRequest:
+    """One 3D model load in a trace."""
+
+    time_s: float
+    user: str
+    model_id: int
+    shared: bool
+
+
+class ArenaTraceGenerator:
+    """Join-and-load traces for a shared interactive arena.
+
+    Args:
+        n_shared_models: Models every participant must load (the scene).
+        n_personal_models: Extra models unique to each user.
+        shared_popularity_alpha: Zipf skew over which shared models a user
+            actually encounters first (everyone eventually loads all).
+        mean_interarrival_s: Average gap between user joins.
+        load_spacing_s: Gap between consecutive loads of one user's burst
+            (render loop paces the loads).
+        rng: Source of randomness.
+
+    Model id convention: shared models are 0..n_shared-1; personal models
+    of the i-th user occupy a disjoint range above that.
+    """
+
+    def __init__(self, n_shared_models: int, n_personal_models: int,
+                 rng: np.random.Generator,
+                 shared_popularity_alpha: float = 0.5,
+                 mean_interarrival_s: float = 20.0,
+                 load_spacing_s: float = 0.5):
+        if n_shared_models < 1:
+            raise ValueError("n_shared_models must be >= 1")
+        if n_personal_models < 0:
+            raise ValueError("n_personal_models must be >= 0")
+        if mean_interarrival_s <= 0 or load_spacing_s < 0:
+            raise ValueError("times must be positive")
+        self.n_shared = n_shared_models
+        self.n_personal = n_personal_models
+        self._rng = rng
+        self.alpha = shared_popularity_alpha
+        self.mean_interarrival_s = mean_interarrival_s
+        self.load_spacing_s = load_spacing_s
+
+    def personal_model_id(self, user_index: int, k: int) -> int:
+        """Catalog id of user ``user_index``'s k-th personal model."""
+        if not 0 <= k < max(self.n_personal, 1):
+            raise ValueError(f"k outside [0, {self.n_personal})")
+        return self.n_shared + user_index * self.n_personal + k
+
+    def generate(self, n_users: int,
+                 user_names: list[str] | None = None) -> list[LoadRequest]:
+        """A time-sorted load trace for ``n_users`` joining users."""
+        if n_users < 1:
+            raise ValueError("n_users must be >= 1")
+        if user_names is not None and len(user_names) != n_users:
+            raise ValueError("user_names length must equal n_users")
+        order_sampler = ZipfSampler(self.n_shared, self.alpha, self._rng)
+        requests: list[LoadRequest] = []
+        join_time = 0.0
+        for index in range(n_users):
+            join_time += float(
+                self._rng.exponential(self.mean_interarrival_s))
+            name = (user_names[index] if user_names is not None
+                    else f"user{index}")
+            # Shared scene first, in popularity-biased discovery order...
+            discovery: list[int] = []
+            remaining = set(range(self.n_shared))
+            while remaining:
+                candidate = order_sampler.sample()
+                if candidate in remaining:
+                    remaining.remove(candidate)
+                    discovery.append(candidate)
+            # ...then the user's own content.
+            personal = [self.personal_model_id(index, k)
+                        for k in range(self.n_personal)]
+            t = join_time
+            for model_id in discovery:
+                requests.append(LoadRequest(time_s=t, user=name,
+                                            model_id=model_id, shared=True))
+                t += self.load_spacing_s
+            for model_id in personal:
+                requests.append(LoadRequest(time_s=t, user=name,
+                                            model_id=model_id, shared=False))
+                t += self.load_spacing_s
+        requests.sort(key=lambda r: r.time_s)
+        return requests

@@ -1,0 +1,114 @@
+"""Multi-viewer VR panorama request traces.
+
+"Multiple users playing the same VR applications or watching the same VR
+video might use the same panorama" (paper §1.2).  Viewers join a 360
+video at offsets, then request one panorama per segment at the content's
+segment rate; head pose follows a bounded random walk quantized onto a
+:class:`~repro.render.panorama.PanoramaGrid`.  With a single pose cell
+(FlashBack-style full panoramas) all viewers of a segment share one
+frame; finer grids trade sharing for pose specificity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.render.panorama import PanoramaGrid
+
+
+@dataclasses.dataclass(frozen=True)
+class PanoRequest:
+    """One panorama fetch in a trace."""
+
+    time_s: float
+    user: str
+    content_id: int
+    segment: int
+    pose_cell: int
+
+
+class VrTraceGenerator:
+    """Generates viewing sessions over a shared video catalog.
+
+    Args:
+        n_contents: Videos in the catalog.
+        segment_rate_hz: Panorama requests per second of playback (chunked
+            streaming: 1-2 Hz typical; per-frame: 60+).
+        content_alpha: Zipf skew of content popularity.
+        grid: Pose quantization grid.
+        yaw_walk_deg: Per-segment yaw drift std-dev.
+        pitch_walk_deg: Per-segment pitch drift std-dev.
+        mean_join_gap_s: Average gap between viewer joins.
+        session_segments: Segments each viewer watches.
+        rng: Source of randomness.
+    """
+
+    def __init__(self, n_contents: int, rng: np.random.Generator,
+                 segment_rate_hz: float = 1.0, content_alpha: float = 0.8,
+                 grid: PanoramaGrid | None = None,
+                 yaw_walk_deg: float = 15.0, pitch_walk_deg: float = 5.0,
+                 mean_join_gap_s: float = 10.0,
+                 session_segments: int = 30):
+        if n_contents < 1:
+            raise ValueError("n_contents must be >= 1")
+        if segment_rate_hz <= 0:
+            raise ValueError("segment_rate_hz must be > 0")
+        if session_segments < 1:
+            raise ValueError("session_segments must be >= 1")
+        from repro.workload.zipf import ZipfSampler
+
+        self._rng = rng
+        self.grid = grid if grid is not None else PanoramaGrid()
+        self.segment_rate_hz = segment_rate_hz
+        self.yaw_walk_deg = yaw_walk_deg
+        self.pitch_walk_deg = pitch_walk_deg
+        self.mean_join_gap_s = mean_join_gap_s
+        self.session_segments = session_segments
+        self._content_sampler = ZipfSampler(n_contents, content_alpha, rng)
+
+    def generate(self, n_viewers: int,
+                 user_names: list[str] | None = None) -> list[PanoRequest]:
+        """A time-sorted panorama trace for ``n_viewers`` sessions."""
+        if n_viewers < 1:
+            raise ValueError("n_viewers must be >= 1")
+        if user_names is not None and len(user_names) != n_viewers:
+            raise ValueError("user_names length must equal n_viewers")
+        requests: list[PanoRequest] = []
+        join_time = 0.0
+        period = 1.0 / self.segment_rate_hz
+        for index in range(n_viewers):
+            join_time += float(self._rng.exponential(self.mean_join_gap_s))
+            name = (user_names[index] if user_names is not None
+                    else f"viewer{index}")
+            content = self._content_sampler.sample()
+            # Viewers join near the live edge: same segment numbers align
+            # across concurrent viewers of one content.
+            start_segment = int(join_time * self.segment_rate_hz)
+            yaw = float(self._rng.uniform(0, 360))
+            pitch = 0.0
+            for step in range(self.session_segments):
+                yaw += float(self._rng.normal(0.0, self.yaw_walk_deg))
+                pitch = float(np.clip(
+                    pitch + self._rng.normal(0.0, self.pitch_walk_deg),
+                    -90.0, 90.0))
+                requests.append(PanoRequest(
+                    time_s=join_time + step * period, user=name,
+                    content_id=content, segment=start_segment + step,
+                    pose_cell=self.grid.cell_for(yaw, pitch)))
+        requests.sort(key=lambda r: r.time_s)
+        return requests
+
+    @staticmethod
+    def sharing_ratio(requests: list[PanoRequest]) -> float:
+        """Fraction of requests for a (content, segment, cell) already
+        requested by someone else — the cacheable share."""
+        seen: set[tuple[int, int, int]] = set()
+        shared = 0
+        for req in requests:
+            key = (req.content_id, req.segment, req.pose_cell)
+            if key in seen:
+                shared += 1
+            seen.add(key)
+        return shared / len(requests) if requests else 0.0

@@ -1,0 +1,162 @@
+"""Unit tests for repro.core.cache (the edge IC cache)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import ICCache
+from repro.core.descriptors import HashDescriptor, VectorDescriptor
+from repro.core.policies import make_policy
+
+
+def hd(digest, kind="model_load"):
+    return HashDescriptor(kind, digest)
+
+
+def vd(values, kind="recognition"):
+    return VectorDescriptor(kind, np.asarray(values, dtype=np.float32))
+
+
+class TestBasicOperations:
+    def test_insert_lookup_hash(self):
+        cache = ICCache(capacity_bytes=1000)
+        cache.insert(hd("aa"), result="model-A", size_bytes=100)
+        entry = cache.lookup(hd("aa"))
+        assert entry is not None and entry.result == "model-A"
+        assert cache.lookup(hd("bb")) is None
+
+    def test_insert_lookup_vector_threshold(self):
+        cache = ICCache(capacity_bytes=1000, default_threshold=0.1)
+        cache.insert(vd([1, 0, 0]), result="obj", size_bytes=10)
+        assert cache.lookup(vd([0.99, 0.05, 0])) is not None
+        assert cache.lookup(vd([0, 1, 0])) is None
+
+    def test_explicit_threshold_overrides_default(self):
+        cache = ICCache(capacity_bytes=1000, default_threshold=0.0)
+        cache.insert(vd([1, 0]), result="x", size_bytes=10)
+        assert cache.lookup(vd([0.9, 0.1])) is None
+        assert cache.lookup(vd([0.9, 0.1]), threshold=0.5) is not None
+
+    def test_kind_namespaces_isolated(self):
+        cache = ICCache(capacity_bytes=1000)
+        cache.insert(hd("aa", kind="model_load"), "model", 10)
+        assert cache.lookup(hd("aa", kind="panorama")) is None
+
+    def test_hit_updates_entry_state(self):
+        cache = ICCache(capacity_bytes=1000)
+        cache.insert(hd("aa"), "x", 10, now=1.0)
+        entry = cache.lookup(hd("aa"), now=5.0)
+        assert entry.hits == 1
+        assert entry.last_access == 5.0
+
+    def test_stats_track_everything(self):
+        cache = ICCache(capacity_bytes=1000)
+        cache.insert(hd("aa"), "x", 10)
+        cache.lookup(hd("aa"))
+        cache.lookup(hd("ff"))
+        stats = cache.stats
+        assert (stats.insertions, stats.hits, stats.misses) == (1, 1, 1)
+        assert stats.hit_ratio == 0.5
+
+    def test_remove(self):
+        cache = ICCache(capacity_bytes=1000)
+        entry = cache.insert(hd("aa"), "x", 10)
+        cache.remove(entry)
+        assert cache.lookup(hd("aa")) is None
+        with pytest.raises(KeyError):
+            cache.remove(entry)
+
+    def test_clear_preserves_stats(self):
+        cache = ICCache(capacity_bytes=1000)
+        cache.insert(hd("aa"), "x", 10)
+        cache.lookup(hd("aa"))
+        cache.clear()
+        assert len(cache) == 0 and cache.size_bytes == 0
+        assert cache.stats.hits == 1
+
+
+class TestCapacity:
+    def test_never_exceeds_capacity(self):
+        cache = ICCache(capacity_bytes=250)
+        for i in range(10):
+            cache.insert(hd(f"{i:x}"), i, size_bytes=100)
+            assert cache.size_bytes <= 250
+        assert cache.stats.evictions > 0
+
+    def test_eviction_is_lru_by_default(self):
+        cache = ICCache(capacity_bytes=200)
+        cache.insert(hd("aa"), "a", 100, now=0)
+        cache.insert(hd("bb"), "b", 100, now=1)
+        cache.lookup(hd("aa"), now=2)       # refresh aa
+        cache.insert(hd("cc"), "c", 100, now=3)  # evicts bb
+        assert cache.lookup(hd("aa"), now=4) is not None
+        assert cache.lookup(hd("bb"), now=4) is None
+
+    def test_oversized_entry_rejected(self):
+        cache = ICCache(capacity_bytes=100)
+        assert cache.insert(hd("aa"), "x", size_bytes=500) is None
+        assert cache.stats.rejected == 1
+        assert len(cache) == 0
+
+    def test_eviction_removes_from_index(self):
+        cache = ICCache(capacity_bytes=100)
+        cache.insert(hd("aa"), "a", 100)
+        cache.insert(hd("bb"), "b", 100)  # evicts aa
+        assert cache.lookup(hd("aa")) is None
+        assert cache.lookup(hd("bb")) is not None
+
+    def test_policy_plugging(self):
+        cache = ICCache(capacity_bytes=200, policy=make_policy("size"))
+        cache.insert(hd("a1"), "s", 50)
+        cache.insert(hd("b2"), "l", 150)
+        cache.insert(hd("c3"), "n", 100)  # must evict the 150-byte one
+        assert cache.lookup(hd("a1")) is not None
+        assert cache.lookup(hd("b2")) is None
+
+
+class TestTtl:
+    def test_expired_entries_miss_and_purge(self):
+        cache = ICCache(capacity_bytes=1000, ttl_s=10.0)
+        cache.insert(hd("aa"), "x", 10, now=0.0)
+        assert cache.lookup(hd("aa"), now=5.0) is not None
+        assert cache.lookup(hd("aa"), now=15.0) is None
+        assert len(cache) == 0
+        assert cache.stats.expirations == 1
+
+    def test_purge_expired_bulk(self):
+        cache = ICCache(capacity_bytes=1000, ttl_s=10.0)
+        for i in range(5):
+            cache.insert(hd(f"{i:x}"), i, 10, now=float(i))
+        assert cache.purge_expired(now=12.0) == 3  # inserted at 0,1,2
+        assert len(cache) == 2
+
+    def test_ttl_policy_propagates_cache_ttl(self):
+        cache = ICCache(capacity_bytes=1000, policy=make_policy("ttl:5"))
+        assert cache.ttl_s == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ICCache(capacity_bytes=0)
+        with pytest.raises(ValueError):
+            ICCache(capacity_bytes=10, ttl_s=0)
+
+
+class TestLookupCost:
+    def test_cost_for_unknown_kind_is_probe(self):
+        cache = ICCache(capacity_bytes=100)
+        assert cache.lookup_cost_s("recognition") > 0
+
+    def test_vector_cost_grows(self):
+        cache = ICCache(capacity_bytes=10_000_000)
+        cache.insert(vd([1.0, 0.0]), "x", 10)
+        small = cache.lookup_cost_s("recognition")
+        for i in range(500):
+            cache.insert(vd([float(i), 1.0]), i, 10)
+        assert cache.lookup_cost_s("recognition") > small
+
+    def test_lsh_index_spec_used_for_vectors(self):
+        cache = ICCache(capacity_bytes=10_000, vector_index="lsh:4:8",
+                        descriptor_dim=8)
+        cache.insert(vd([1, 0, 0, 0, 0, 0, 0, 0]), "x", 10)
+        from repro.core.index import LshIndex
+
+        assert isinstance(cache.index_for("recognition"), LshIndex)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.core.descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.core.descriptors import (
+    HashDescriptor,
+    VectorDescriptor,
+    hash_descriptor_for,
+    vector_descriptor_for,
+)
+
+
+class TestVectorDescriptor:
+    def test_stores_float32(self):
+        d = VectorDescriptor("recognition", np.arange(4, dtype=np.float64))
+        assert d.vector.dtype == np.float32
+        assert d.dim == 4
+
+    def test_size_bytes(self):
+        d = VectorDescriptor("recognition", np.zeros(128))
+        assert d.size_bytes == 128 * 4 + 64
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            VectorDescriptor("r", np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            VectorDescriptor("r", np.zeros(0))
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            VectorDescriptor("r", np.array([1.0, np.nan]))
+        with pytest.raises(ValueError):
+            VectorDescriptor("r", np.array([1.0, np.inf]))
+
+    def test_equality_by_content_and_kind(self):
+        a = VectorDescriptor("r", np.ones(4))
+        b = VectorDescriptor("r", np.ones(4))
+        c = VectorDescriptor("other", np.ones(4))
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_is_vector_flag(self):
+        assert VectorDescriptor("r", np.ones(2)).is_vector
+        assert not HashDescriptor("r", "ab12").is_vector
+
+
+class TestHashDescriptor:
+    def test_valid_hex_required(self):
+        with pytest.raises(ValueError):
+            HashDescriptor("m", "not-hex!")
+        with pytest.raises(ValueError):
+            HashDescriptor("m", "")
+
+    def test_size_bytes(self):
+        d = HashDescriptor("m", "ab" * 32)  # 32-byte digest
+        assert d.size_bytes == 32 + 64
+
+    def test_equality(self):
+        assert HashDescriptor("m", "abcd") == HashDescriptor("m", "abcd")
+        assert HashDescriptor("m", "abcd") != HashDescriptor("x", "abcd")
+
+
+class TestFactories:
+    def test_hash_descriptor_for_content(self):
+        a = hash_descriptor_for("model_load", b"content")
+        b = hash_descriptor_for("model_load", b"content")
+        c = hash_descriptor_for("model_load", b"different")
+        assert a == b
+        assert a.digest != c.digest
+
+    def test_vector_descriptor_for_sequence(self):
+        d = vector_descriptor_for("recognition", [1.0, 2.0, 3.0])
+        assert d.dim == 3

@@ -1,0 +1,74 @@
+"""Unit tests for repro.core.distance."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import (
+    cosine_distance,
+    get_metric,
+    l2_distance,
+    l2sq_distance,
+    pairwise,
+)
+
+
+class TestCosine:
+    def test_identical_vectors_zero(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert pairwise("cosine", v, v) == pytest.approx(0.0, abs=1e-12)
+
+    def test_orthogonal_vectors_one(self):
+        assert pairwise("cosine", [1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_opposite_vectors_two(self):
+        assert pairwise("cosine", [1, 0], [-1, 0]) == pytest.approx(2.0)
+
+    def test_scale_invariant(self):
+        a, b = np.array([1.0, 2.0]), np.array([2.0, 1.0])
+        assert pairwise("cosine", a, b) == pytest.approx(
+            pairwise("cosine", 10 * a, 0.5 * b))
+
+    def test_zero_vector_max_distance(self):
+        matrix = np.array([[0.0, 0.0], [1.0, 0.0]])
+        distances = cosine_distance(matrix, np.array([1.0, 0.0]))
+        assert distances[0] == pytest.approx(2.0)
+        assert distances[1] == pytest.approx(0.0)
+
+    def test_vectorized_matches_pairwise(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(10, 8))
+        query = rng.normal(size=8)
+        batch = cosine_distance(matrix, query)
+        for row, expected in zip(matrix, batch):
+            assert pairwise("cosine", row, query) == pytest.approx(expected)
+
+
+class TestL2:
+    def test_known_distance(self):
+        assert pairwise("l2", [0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_l2sq_is_square(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(5, 4))
+        query = rng.normal(size=4)
+        assert np.allclose(l2sq_distance(matrix, query),
+                           l2_distance(matrix, query) ** 2)
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            a, b, c = rng.normal(size=(3, 6))
+            ab = pairwise("l2", a, b)
+            bc = pairwise("l2", b, c)
+            ac = pairwise("l2", a, c)
+            assert ac <= ab + bc + 1e-9
+
+
+class TestRegistry:
+    def test_known_metrics(self):
+        for name in ("cosine", "l2", "l2sq"):
+            assert callable(get_metric(name))
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            get_metric("manhattan")

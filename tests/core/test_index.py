@@ -1,0 +1,176 @@
+"""Unit tests for repro.core.index."""
+
+import numpy as np
+import pytest
+
+from repro.core.descriptors import HashDescriptor, VectorDescriptor
+from repro.core.index import (
+    ExactIndex,
+    IndexEntryExists,
+    LinearIndex,
+    LshIndex,
+    make_index,
+)
+
+
+def vec(kind, values):
+    return VectorDescriptor(kind, np.asarray(values, dtype=np.float32))
+
+
+class TestExactIndex:
+    def test_insert_query_remove(self):
+        index = ExactIndex()
+        d = HashDescriptor("m", "aa11")
+        index.insert(1, d)
+        assert index.query(d, threshold=0.0) == (1, 0.0)
+        index.remove(1)
+        assert index.query(d, threshold=0.0) is None
+        assert len(index) == 0
+
+    def test_duplicate_entry_id_rejected(self):
+        index = ExactIndex()
+        index.insert(1, HashDescriptor("m", "aa"))
+        with pytest.raises(IndexEntryExists):
+            index.insert(1, HashDescriptor("m", "bb"))
+
+    def test_duplicate_digest_last_wins(self):
+        index = ExactIndex()
+        d = HashDescriptor("m", "cc")
+        index.insert(1, d)
+        index.insert(2, d)
+        assert index.query(d, 0.0) == (2, 0.0)
+        # Removing the superseded entry must not disturb the winner.
+        index.remove(1)
+        assert index.query(d, 0.0) == (2, 0.0)
+
+    def test_type_checked(self):
+        index = ExactIndex()
+        with pytest.raises(TypeError):
+            index.insert(1, vec("m", [1.0]))
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            ExactIndex().remove(5)
+
+    def test_constant_lookup_cost(self):
+        index = ExactIndex()
+        cost_empty = index.lookup_cost_s()
+        for i in range(100):
+            index.insert(i, HashDescriptor("m", f"{i:x}"))
+        assert index.lookup_cost_s() == cost_empty
+
+
+class TestLinearIndex:
+    def test_nearest_within_threshold(self):
+        index = LinearIndex()
+        index.insert(1, vec("r", [1, 0, 0]))
+        index.insert(2, vec("r", [0, 1, 0]))
+        hit = index.query(vec("r", [0.9, 0.1, 0]), threshold=0.2)
+        assert hit is not None and hit[0] == 1
+
+    def test_miss_outside_threshold(self):
+        index = LinearIndex()
+        index.insert(1, vec("r", [1, 0, 0]))
+        assert index.query(vec("r", [0, 1, 0]), threshold=0.5) is None
+
+    def test_returns_best_not_first(self):
+        index = LinearIndex()
+        index.insert(1, vec("r", [0.7, 0.7, 0]))
+        index.insert(2, vec("r", [1, 0, 0]))
+        hit = index.query(vec("r", [0.99, 0.05, 0]), threshold=1.0)
+        assert hit[0] == 2
+
+    def test_empty_query(self):
+        assert LinearIndex().query(vec("r", [1, 0]), 1.0) is None
+
+    def test_dimension_mismatch(self):
+        index = LinearIndex()
+        index.insert(1, vec("r", [1, 0, 0]))
+        with pytest.raises(ValueError):
+            index.insert(2, vec("r", [1, 0]))
+        with pytest.raises(ValueError):
+            index.query(vec("r", [1, 0]), 1.0)
+
+    def test_remove_rebuilds_scan(self):
+        index = LinearIndex()
+        index.insert(1, vec("r", [1, 0]))
+        index.insert(2, vec("r", [0, 1]))
+        index.query(vec("r", [1, 0]), 1.0)  # builds the matrix
+        index.remove(1)
+        hit = index.query(vec("r", [1, 0]), threshold=2.0)
+        assert hit[0] == 2
+
+    def test_cost_grows_with_occupancy(self):
+        index = LinearIndex()
+        empty_cost = index.lookup_cost_s()
+        for i in range(1000):
+            index.insert(i, vec("r", [i, 1.0]))
+        assert index.lookup_cost_s() > empty_cost
+
+
+class TestLshIndex:
+    @pytest.fixture
+    def population(self):
+        rng = np.random.default_rng(3)
+        vectors = rng.normal(size=(200, 64))
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        return vectors
+
+    def test_finds_near_duplicates(self, population):
+        index = LshIndex(dim=64, n_tables=8, n_bits=10)
+        for i, v in enumerate(population):
+            index.insert(i, vec("r", v))
+        rng = np.random.default_rng(4)
+        found = 0
+        for i in range(50):
+            probe = population[i] + rng.normal(0, 0.02, size=64)
+            hit = index.query(vec("r", probe), threshold=0.05)
+            if hit is not None and hit[0] == i:
+                found += 1
+        assert found >= 45  # high recall on near-duplicates
+
+    def test_respects_threshold(self, population):
+        index = LshIndex(dim=64)
+        index.insert(0, vec("r", population[0]))
+        # A random unrelated vector must not match a tight threshold.
+        assert index.query(vec("r", population[1]), threshold=0.05) is None
+
+    def test_remove(self, population):
+        index = LshIndex(dim=64)
+        index.insert(0, vec("r", population[0]))
+        index.remove(0)
+        assert len(index) == 0
+        assert index.query(vec("r", population[0]), 0.1) is None
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            LshIndex(dim=8).remove(1)
+
+    def test_dimension_checked(self):
+        index = LshIndex(dim=16)
+        with pytest.raises(ValueError):
+            index.insert(0, vec("r", np.ones(8)))
+
+    def test_deterministic_planes(self, population):
+        a = LshIndex(dim=64, seed=9)
+        b = LshIndex(dim=64, seed=9)
+        for i, v in enumerate(population[:20]):
+            a.insert(i, vec("r", v))
+            b.insert(i, vec("r", v))
+        probe = vec("r", population[0])
+        assert a.query(probe, 0.1) == b.query(probe, 0.1)
+
+
+class TestMakeIndex:
+    def test_specs(self):
+        assert isinstance(make_index("exact"), ExactIndex)
+        assert isinstance(make_index("linear"), LinearIndex)
+        assert isinstance(make_index("lsh", dim=32), LshIndex)
+        custom = make_index("lsh:4:6", dim=32)
+        assert custom.n_tables == 4 and custom.n_bits == 6
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError):
+            make_index("btree")
+        with pytest.raises(ValueError):
+            make_index("lsh:4")

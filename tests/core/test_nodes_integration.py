@@ -1,0 +1,180 @@
+"""Integration tests: client + edge + cloud over the simulated network.
+
+These drive full request pipelines through a
+:class:`~repro.core.framework.CoICDeployment` and verify the semantics
+the figures depend on: hit/miss outcomes, latency ordering, coalescing,
+error surfacing and multi-tenant isolation.
+"""
+
+import pytest
+
+from repro.core import CoICConfig, CoICDeployment
+
+
+def make_deployment(n_clients=2, **net_overrides):
+    config = CoICConfig()
+    config.network.wifi_mbps = net_overrides.get("wifi_mbps", 100)
+    config.network.backhaul_mbps = net_overrides.get("backhaul_mbps", 10)
+    for key, value in net_overrides.items():
+        setattr(config.network, key, value)
+    return CoICDeployment(config, n_clients=n_clients)
+
+
+class TestRecognitionPipeline:
+    def test_miss_then_hit_across_users(self):
+        dep = make_deployment()
+        t1 = dep.recognition_task(5, viewpoint=-0.2)
+        r1 = dep.run_tasks(dep.clients[0], [t1])[0]
+        t2 = dep.recognition_task(5, viewpoint=0.2)
+        r2 = dep.run_tasks(dep.clients[1], [t2])[0]
+        assert (r1.outcome, r2.outcome) == ("miss", "hit")
+        assert r2.latency_s < r1.latency_s
+        assert r2.correct
+
+    def test_different_objects_do_not_collide(self):
+        dep = make_deployment()
+        dep.run_tasks(dep.clients[0], [dep.recognition_task(5)])
+        r = dep.run_tasks(dep.clients[1], [dep.recognition_task(6)])[0]
+        assert r.outcome == "miss"
+        assert r.correct
+
+    def test_latency_ordering_hit_origin_miss(self):
+        dep = make_deployment()
+        origin = dep.run_tasks(dep.origin_clients[0],
+                               [dep.recognition_task(3)])[0]
+        miss = dep.run_tasks(dep.clients[0],
+                             [dep.recognition_task(3, viewpoint=0.1)])[0]
+        hit = dep.run_tasks(dep.clients[1],
+                            [dep.recognition_task(3, viewpoint=0.3)])[0]
+        assert hit.latency_s < origin.latency_s < miss.latency_s
+
+    def test_local_baseline_no_network(self):
+        dep = make_deployment()
+        record = dep.run_tasks(dep.local_clients[0],
+                               [dep.recognition_task(2)])[0]
+        assert record.outcome == "local"
+        # Pure compute: equals the mobile device's inference time.
+        assert record.latency_s == pytest.approx(
+            dep.mobile_recognizer.inference_time())
+
+    def test_client_descriptor_source(self):
+        config = CoICConfig()
+        config.recognition.descriptor_source = "client"
+        dep = CoICDeployment(config, n_clients=2)
+        r1 = dep.run_tasks(dep.clients[0], [dep.recognition_task(1)])[0]
+        r2 = dep.run_tasks(dep.clients[1],
+                           [dep.recognition_task(1, viewpoint=0.3)])[0]
+        assert (r1.outcome, r2.outcome) == ("miss", "hit")
+
+    def test_client_descriptor_without_attached_input(self):
+        """Two-phase miss: edge NACKs, client re-sends with the frame."""
+        config = CoICConfig()
+        config.recognition.descriptor_source = "client"
+        config.recognition.attach_input = False
+        dep = CoICDeployment(config, n_clients=2)
+        r1 = dep.run_tasks(dep.clients[0], [dep.recognition_task(1)])[0]
+        assert r1.outcome == "miss"
+        r2 = dep.run_tasks(dep.clients[1],
+                           [dep.recognition_task(1, viewpoint=0.2)])[0]
+        assert r2.outcome == "hit"
+
+    def test_speculative_forward_miss_near_origin(self):
+        dep_seq = make_deployment()
+        origin = dep_seq.run_tasks(dep_seq.origin_clients[0],
+                                   [dep_seq.recognition_task(1)])[0]
+        config = CoICConfig()
+        config.network.wifi_mbps = 100
+        config.network.backhaul_mbps = 10
+        config.recognition.speculative_forward = True
+        dep = CoICDeployment(config, n_clients=1)
+        miss = dep.run_tasks(dep.clients[0], [dep.recognition_task(1)])[0]
+        assert miss.outcome == "miss"
+        assert miss.latency_s <= origin.latency_s * 1.05
+
+
+class TestModelLoadPipeline:
+    def test_miss_returns_raw_hit_returns_parsed(self):
+        dep = make_deployment()
+        task = dep.model_load_task(0)
+        r1 = dep.run_tasks(dep.clients[0], [task])[0]
+        assert r1.outcome == "miss" and r1.detail["parsed"] is False
+        dep.env.run()  # background edge parse
+        r2 = dep.run_tasks(dep.clients[1], [task])[0]
+        assert r2.outcome == "hit" and r2.detail["parsed"] is True
+        assert r2.latency_s < r1.latency_s
+
+    def test_concurrent_misses_coalesce(self):
+        dep = make_deployment()
+        task = dep.model_load_task(4)  # largest: long fetch window
+        dep.run_concurrent([
+            (0.0, dep.clients[0], task),
+            (0.1, dep.clients[1], task),
+        ])
+        # Exactly one cloud fetch: the second request rode the first.
+        assert dep.cloud.requests_served == 1
+        outcomes = sorted(r.outcome for r in dep.recorder.records)
+        assert outcomes == ["hit", "miss"]
+
+    def test_cache_stores_loaded_bytes(self):
+        dep = make_deployment()
+        task = dep.model_load_task(1)
+        dep.run_tasks(dep.clients[0], [task])
+        dep.env.run()
+        entries = dep.cache.entries()
+        assert len(entries) == 1
+        assert entries[0].size_bytes == task.loaded_bytes
+
+
+class TestPanoramaPipeline:
+    def test_hit_after_miss(self):
+        dep = make_deployment()
+        task = dep.panorama_task(0, 3)
+        r1 = dep.run_tasks(dep.clients[0], [task])[0]
+        r2 = dep.run_tasks(dep.clients[1], [task])[0]
+        assert (r1.outcome, r2.outcome) == ("miss", "hit")
+
+    def test_pose_cells_distinguish(self):
+        dep = make_deployment()
+        dep.run_tasks(dep.clients[0], [dep.panorama_task(0, 3, 0)])
+        r = dep.run_tasks(dep.clients[1], [dep.panorama_task(0, 3, 1)])[0]
+        assert r.outcome == "miss"
+
+
+class TestFaultHandling:
+    def test_lossy_network_still_completes(self):
+        dep = make_deployment(loss_rate=0.05)
+        records = dep.run_tasks(dep.clients[0], [
+            dep.recognition_task(i) for i in range(5)])
+        assert all(r.outcome in ("hit", "miss") for r in records)
+
+    def test_timeout_surfaces_as_error(self):
+        config = CoICConfig()
+        config.network.backhaul_mbps = 0.1   # pathological backhaul
+        config.request_timeout_s = 0.5
+        dep = CoICDeployment(config, n_clients=1)
+        record = dep.run_tasks(dep.clients[0],
+                               [dep.recognition_task(0)])[0]
+        assert record.outcome == "error"
+        dep.env.run()  # nothing left over crashes the sim
+
+
+class TestMetricsPlumbing:
+    def test_recorder_sees_all_clients(self):
+        dep = make_deployment()
+        dep.run_tasks(dep.clients[0], [dep.recognition_task(0)])
+        dep.run_tasks(dep.clients[1],
+                      [dep.recognition_task(0, viewpoint=0.3)])
+        assert dep.recorder.hit_ratio("recognition") == 0.5
+        users = {r.user for r in dep.recorder.records}
+        assert users == {"mobile0", "mobile1"}
+
+    def test_cache_stats_consistent_with_outcomes(self):
+        dep = make_deployment()
+        for i in range(4):
+            dep.run_tasks(dep.clients[0], [dep.recognition_task(i % 2,
+                          viewpoint=0.05 * i)])
+        stats = dep.cache.stats
+        hits = len(dep.recorder.select(outcome="hit"))
+        misses = len(dep.recorder.select(outcome="miss"))
+        assert stats.hits == hits
+        assert stats.misses == misses

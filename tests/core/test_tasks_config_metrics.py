@@ -1,0 +1,152 @@
+"""Unit tests for repro.core.tasks, config and metrics."""
+
+import pytest
+
+from repro.core.config import (
+    CacheConfig,
+    CoICConfig,
+    NetworkConfig,
+    RecognitionConfig,
+    RenderingConfig,
+)
+from repro.core.metrics import (
+    LatencySummary,
+    MetricsRecorder,
+    RequestRecord,
+)
+from repro.core.tasks import (
+    ModelLoadResult,
+    ModelLoadTask,
+    PanoramaTask,
+    RecognitionTask,
+)
+from repro.render.mesh import LOADED_EXPANSION
+from repro.render.panorama import Panorama
+from repro.vision.image import CameraFrame
+
+
+class TestTasks:
+    def test_recognition_input_is_frame_size(self):
+        frame = CameraFrame(object_class=1)
+        task = RecognitionTask(frame=frame)
+        assert task.input_bytes == frame.size_bytes
+        assert task.kind == "recognition"
+
+    def test_model_load_loaded_bytes(self):
+        task = ModelLoadTask(model_id=1, digest="ab", file_bytes=1000)
+        assert task.loaded_bytes == int(1000 * LOADED_EXPANSION)
+        assert task.input_bytes < 1000  # request is a reference
+
+    def test_model_load_validation(self):
+        with pytest.raises(ValueError):
+            ModelLoadTask(model_id=1, digest="ab", file_bytes=0)
+
+    def test_panorama_task_reference_sized(self):
+        task = PanoramaTask(panorama=Panorama(1, 2, 0))
+        assert task.input_bytes < 1000
+
+    def test_model_load_result_size(self):
+        result = ModelLoadResult(digest="ab", payload_bytes=5000,
+                                 parsed=True)
+        assert result.size_bytes == 5000 + 128
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = CoICConfig()
+        assert config.network.wifi_mbps == 400.0
+        assert config.cache.capacity_bytes == int(2048 * 1e6)
+
+    def test_network_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(wifi_mbps=0)
+        with pytest.raises(ValueError):
+            NetworkConfig(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            NetworkConfig(backhaul_delay_ms=-1)
+
+    def test_recognition_validation(self):
+        with pytest.raises(ValueError):
+            RecognitionConfig(descriptor_source="fog")
+        with pytest.raises(ValueError):
+            RecognitionConfig(threshold=-0.1)
+
+    def test_rendering_validation(self):
+        with pytest.raises(ValueError):
+            RenderingConfig(catalog_sizes_kb=())
+        with pytest.raises(ValueError):
+            RenderingConfig(catalog_sizes_kb=(0,))
+
+    def test_cache_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(capacity_mb=0)
+
+    def test_worker_validation(self):
+        with pytest.raises(ValueError):
+            CoICConfig(edge_workers=0)
+
+
+class TestLatencySummary:
+    def test_of_values(self):
+        s = LatencySummary.of([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.p50 == pytest.approx(2.5)
+        assert (s.min, s.max) == (1.0, 4.0)
+
+    def test_empty(self):
+        s = LatencySummary.of([])
+        assert s.n == 0
+
+    def test_single_value_zero_std(self):
+        assert LatencySummary.of([5.0]).std == 0.0
+
+
+class TestMetricsRecorder:
+    @pytest.fixture
+    def recorder(self):
+        r = MetricsRecorder()
+        rows = [
+            ("recognition", "hit", "u1", 0.0, 1.0, True),
+            ("recognition", "miss", "u1", 1.0, 3.5, True),
+            ("recognition", "hit", "u2", 2.0, 2.9, False),
+            ("model_load", "origin", "u1", 0.0, 2.0, None),
+        ]
+        for kind, outcome, user, start, end, correct in rows:
+            r.record(RequestRecord(task_kind=kind, outcome=outcome,
+                                   user=user, start_s=start, end_s=end,
+                                   correct=correct))
+        return r
+
+    def test_select_filters(self, recorder):
+        assert len(recorder.select(task_kind="recognition")) == 3
+        assert len(recorder.select(outcome="hit")) == 2
+        assert len(recorder.select(user="u2")) == 1
+        assert len(recorder.select(task_kind="recognition",
+                                   outcome="hit", user="u1")) == 1
+
+    def test_hit_ratio(self, recorder):
+        assert recorder.hit_ratio("recognition") == pytest.approx(2 / 3)
+        assert recorder.hit_ratio("model_load") == 0.0
+
+    def test_accuracy(self, recorder):
+        assert recorder.accuracy("recognition") == pytest.approx(2 / 3)
+
+    def test_latencies(self, recorder):
+        assert recorder.latencies(outcome="miss") == [2.5]
+
+    def test_reduction(self):
+        assert MetricsRecorder.reduction(2.0, 1.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            MetricsRecorder.reduction(0.0, 1.0)
+
+    def test_invalid_record_rejected(self):
+        r = MetricsRecorder()
+        with pytest.raises(ValueError):
+            r.record(RequestRecord(task_kind="x", outcome="hit", user="u",
+                                   start_s=5.0, end_s=1.0))
+
+    def test_group_summaries(self, recorder):
+        groups = recorder.group_summaries(lambda r: r.outcome)
+        assert set(groups) == {"hit", "miss", "origin"}
+        assert groups["hit"].n == 2

@@ -1,0 +1,58 @@
+"""Unit tests for repro.eval.charts."""
+
+import pytest
+
+from repro.eval.charts import bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_renders_all_groups_and_series(self):
+        text = bar_chart("Fig", ["(90,9)", "(400,40)"],
+                         {"Origin": [2061, 802], "Hit": [1029, 915]})
+        assert "(90,9)" in text and "(400,40)" in text
+        assert "Origin" in text and "Hit" in text
+        assert "2061" in text
+
+    def test_bars_proportional(self):
+        text = bar_chart("Fig", ["a"], {"big": [100], "small": [50]},
+                         width=20)
+        lines = [l for l in text.splitlines() if "|" in l]
+        big = lines[0].count("#")
+        small = lines[1].count("#")
+        assert big == 20
+        assert small == pytest.approx(10, abs=1)
+
+    def test_zero_value_empty_bar(self):
+        text = bar_chart("Fig", ["a"], {"none": [0], "some": [10]})
+        zero_line = [l for l in text.splitlines() if "none" in l][0]
+        assert "#" not in zero_line
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", [], {"s": []})
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], {"s": [1, 2]})
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], {"s": [-1]})
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], {"s": [1]}, width=0)
+
+    def test_all_zero_values_ok(self):
+        text = bar_chart("t", ["a"], {"s": [0.0]})
+        assert "0" in text
+
+
+class TestSparkline:
+    def test_monotone_values_monotone_blocks(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line == "".join(sorted(line))
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_length_matches(self):
+        assert len(sparkline(list(range(10)))) == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])

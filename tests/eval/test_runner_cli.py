@@ -1,0 +1,63 @@
+"""Tests for the experiment registry, replication runner and CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.eval.runner import (
+    Replication,
+    experiment_names,
+    replicate,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        names = experiment_names()
+        for expected in ("fig2a", "fig2b", "thresholds", "sharing",
+                         "eviction", "layers", "privacy", "panorama",
+                         "index", "speculative", "federation"):
+            assert expected in names
+
+    def test_run_by_name_with_overrides(self):
+        result = run_experiment("fig2a", pairs=((90, 9),), repeats=1)
+        assert len(result.rows) == 1
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+
+class TestReplicate:
+    def test_seed_sweep_summary(self):
+        rep = replicate("sharing", seeds=(0, 1),
+                        metric=lambda rows: rows[-1].hit_ratio,
+                        user_counts=(1, 4), requests_per_user=4)
+        assert isinstance(rep, Replication)
+        assert len(rep.values) == 2
+        assert rep.ci_low <= rep.mean <= rep.ci_high
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate("fig2a", seeds=(), metric=lambda r: 0.0)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2a" in out and "federation" in out
+
+    def test_run_renders_table(self, capsys):
+        assert main(["run", "index"]) == 0
+        out = capsys.readouterr().out
+        assert "n_entries" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--wifi", "90", "--backhaul", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "origin" in out and "hit" in out

@@ -1,0 +1,77 @@
+"""Unit tests for repro.net.access (WiFi / LTE models)."""
+
+import pytest
+
+from repro.net import Topology, lte_epc_profile, wifi_80211ac_profile
+from repro.net.access import (
+    attach_lte,
+    attach_wifi,
+    wifi_mcs_rate_mbps,
+    wifi_rate_at_distance_mbps,
+)
+from repro.sim import Environment
+
+
+class TestWifiRates:
+    def test_mcs_rates_monotone(self):
+        rates = [wifi_mcs_rate_mbps(m) for m in range(10)]
+        assert rates == sorted(rates)
+
+    def test_spatial_streams_scale(self):
+        assert wifi_mcs_rate_mbps(5, spatial_streams=2) == pytest.approx(
+            2 * wifi_mcs_rate_mbps(5, spatial_streams=1))
+
+    def test_mcs_range_validated(self):
+        with pytest.raises(ValueError):
+            wifi_mcs_rate_mbps(10)
+        with pytest.raises(ValueError):
+            wifi_mcs_rate_mbps(-1)
+
+    def test_rate_decreases_with_distance(self):
+        rates = [wifi_rate_at_distance_mbps(d)
+                 for d in (1, 10, 20, 30, 40, 60)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_rate_positive_even_far(self):
+        assert wifi_rate_at_distance_mbps(500) > 0
+
+    def test_mac_efficiency_below_phy(self):
+        # Application rate never exceeds the PHY rate.
+        from repro.net.access import WIFI_80211AC_PHY_MBPS
+
+        for mcs, phy in enumerate(WIFI_80211AC_PHY_MBPS):
+            assert wifi_mcs_rate_mbps(mcs, 1) < phy
+
+
+class TestProfiles:
+    def test_wifi_profile_defaults_match_paper(self):
+        profile = wifi_80211ac_profile()
+        assert profile.rate_mbps == 400.0  # "up to 400 Mbps"
+        assert profile.rate_bps == 400e6
+
+    def test_lte_one_way_delay_includes_core(self):
+        profile = lte_epc_profile(radio_delay_ms=10, core_delay_ms=15)
+        assert profile.one_way_delay_s == pytest.approx(0.025)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            wifi_80211ac_profile(rate_mbps=0)
+        with pytest.raises(ValueError):
+            lte_epc_profile(downlink_mbps=-1)
+
+
+class TestAttachment:
+    def test_wifi_attach_symmetric(self):
+        env = Environment()
+        topo = Topology(env)
+        up, down = attach_wifi(topo, "phone", "ap",
+                               wifi_80211ac_profile(jitter_ms=0))
+        assert up.bandwidth_bps == down.bandwidth_bps
+
+    def test_lte_attach_asymmetric(self):
+        env = Environment()
+        topo = Topology(env)
+        up, down = attach_lte(topo, "phone", "enb",
+                              lte_epc_profile(jitter_ms=0))
+        assert down.bandwidth_bps > up.bandwidth_bps
+        assert up.propagation_s == down.propagation_s

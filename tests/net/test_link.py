@@ -1,0 +1,143 @@
+"""Unit tests for repro.net.link."""
+
+import numpy as np
+import pytest
+
+from repro.net import Link, LinkDown, Message, TransferLost
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def deliver(env, link, message):
+    """Run a single transfer to completion; returns (ok, delivery_time)."""
+    outcome = {}
+
+    def proc(env):
+        start = env.now
+        try:
+            yield link.transfer(message)
+            outcome["ok"] = True
+        except (TransferLost, LinkDown) as exc:
+            outcome["ok"] = False
+            outcome["error"] = exc
+        outcome["elapsed"] = env.now - start
+
+    env.run(until=env.process(proc(env)))
+    return outcome
+
+
+class TestTiming:
+    def test_serialization_plus_propagation(self, env):
+        link = Link(env, "l", bandwidth_bps=8e6, propagation_s=0.05)
+        msg = Message(size_bytes=100_000)  # 0.1 s at 8 Mbps
+        out = deliver(env, link, msg)
+        assert out["ok"]
+        assert out["elapsed"] == pytest.approx(0.1 + 0.05)
+
+    def test_zero_size_message_costs_propagation_only(self, env):
+        link = Link(env, "l", bandwidth_bps=1e6, propagation_s=0.02)
+        out = deliver(env, link, Message(size_bytes=0))
+        assert out["elapsed"] == pytest.approx(0.02)
+
+    def test_transfers_serialize_but_pipeline(self, env):
+        """Second message waits for the transmitter, not the receiver."""
+        link = Link(env, "l", bandwidth_bps=8e6, propagation_s=1.0)
+        times = []
+
+        def send(env, order):
+            yield env.timeout(0)
+            start = env.now
+            yield link.transfer(Message(size_bytes=100_000))
+            times.append((order, env.now - start))
+
+        env.process(send(env, 1))
+        env.process(send(env, 2))
+        env.run()
+        # msg1: 0.1 tx + 1.0 prop = 1.1; msg2 waits 0.1 then same.
+        assert dict(times)[1] == pytest.approx(1.1)
+        assert dict(times)[2] == pytest.approx(1.2)
+
+    def test_rate_change_affects_later_transfers(self, env):
+        link = Link(env, "l", bandwidth_bps=8e6)
+        msg = Message(size_bytes=100_000)
+        first = deliver(env, link, msg)
+        link.set_bandwidth(16e6)
+        second = deliver(env, link, Message(size_bytes=100_000))
+        assert second["elapsed"] == pytest.approx(first["elapsed"] / 2)
+
+    def test_one_way_delay_helper(self, env):
+        link = Link(env, "l", bandwidth_bps=1e6, propagation_s=0.5)
+        assert link.one_way_delay(125_000) == pytest.approx(1.0 + 0.5)
+
+
+class TestValidation:
+    def test_bad_bandwidth(self, env):
+        with pytest.raises(ValueError):
+            Link(env, "l", bandwidth_bps=0)
+
+    def test_bad_loss_rate(self, env):
+        with pytest.raises(ValueError):
+            Link(env, "l", 1e6, loss_rate=1.0,
+                 rng=np.random.default_rng(0))
+
+    def test_jitter_requires_rng(self, env):
+        with pytest.raises(ValueError):
+            Link(env, "l", 1e6, jitter_s=0.1)
+
+    def test_impairment_update_validation(self, env):
+        link = Link(env, "l", 1e6)
+        with pytest.raises(ValueError):
+            link.set_impairment(propagation_s=-1)
+        with pytest.raises(ValueError):
+            link.set_impairment(loss_rate=0.5)  # no rng configured
+
+
+class TestLossAndDown:
+    def test_loss_fails_transfer(self, env):
+        link = Link(env, "l", 1e9, loss_rate=0.999,
+                    rng=np.random.default_rng(1))
+        out = deliver(env, link, Message(size_bytes=10))
+        assert not out["ok"]
+        assert isinstance(out["error"], TransferLost)
+        assert link.stats.messages_lost == 1
+
+    def test_zero_loss_never_drops(self, env):
+        link = Link(env, "l", 1e9, loss_rate=0.0)
+        for _ in range(50):
+            assert deliver(env, link, Message(size_bytes=10))["ok"]
+
+    def test_down_link_rejects(self, env):
+        link = Link(env, "l", 1e6)
+        link.set_up(False)
+        out = deliver(env, link, Message(size_bytes=10))
+        assert not out["ok"]
+        assert isinstance(out["error"], LinkDown)
+
+    def test_jitter_adds_nonnegative_delay(self, env):
+        link = Link(env, "l", 1e9, propagation_s=0.01, jitter_s=0.005,
+                    rng=np.random.default_rng(2))
+        base = Link(env, "b", 1e9, propagation_s=0.01)
+        for _ in range(20):
+            jittered = deliver(env, link, Message(size_bytes=1000))
+            clean = deliver(env, base, Message(size_bytes=1000))
+            assert jittered["elapsed"] >= clean["elapsed"] - 1e-12
+
+
+class TestStats:
+    def test_counters_accumulate(self, env):
+        link = Link(env, "l", 8e6)
+        for size in (1000, 2000, 3000):
+            deliver(env, link, Message(size_bytes=size))
+        assert link.stats.messages_sent == 3
+        assert link.stats.bytes_sent == 6000
+        assert link.stats.busy_time == pytest.approx(6000 * 8 / 8e6)
+
+    def test_utilization(self, env):
+        link = Link(env, "l", 8e6)
+        deliver(env, link, Message(size_bytes=100_000))  # 0.1 s busy
+        assert link.stats.utilization(1.0) == pytest.approx(0.1)
+        assert link.stats.utilization(0.0) == 0.0

@@ -1,0 +1,33 @@
+"""Unit tests for repro.net.message."""
+
+import pytest
+
+from repro.net import Message
+
+
+class TestMessage:
+    def test_size_bits(self):
+        assert Message(size_bytes=100).size_bits == 800
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(size_bytes=-1)
+
+    def test_ids_unique_and_increasing(self):
+        a, b = Message(size_bytes=1), Message(size_bytes=1)
+        assert b.msg_id > a.msg_id
+
+    def test_reply_swaps_endpoints(self):
+        req = Message(size_bytes=10, src="mobile", dst="edge")
+        rep = req.reply(size_bytes=5)
+        assert (rep.src, rep.dst) == ("edge", "mobile")
+        assert rep.headers["in_reply_to"] == req.msg_id
+
+    def test_reply_propagates_rpc_id(self):
+        req = Message(size_bytes=10, src="a", dst="b")
+        req.headers["rpc_id"] = 77
+        assert req.reply(size_bytes=1).headers["rpc_id"] == 77
+
+    def test_reply_without_rpc_id(self):
+        req = Message(size_bytes=10, src="a", dst="b")
+        assert "rpc_id" not in req.reply(size_bytes=1).headers

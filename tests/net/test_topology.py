@@ -1,0 +1,97 @@
+"""Unit tests for repro.net.topology."""
+
+import pytest
+
+from repro.net import NoRouteError, Topology
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def topo(env):
+    return Topology(env)
+
+
+class TestConstruction:
+    def test_add_host_idempotent(self, topo):
+        a = topo.add_host("a")
+        assert topo.add_host("a") is a
+
+    def test_self_link_rejected(self, topo):
+        with pytest.raises(ValueError):
+            topo.add_link("a", "a", 1e6)
+
+    def test_duplex_creates_both_directions(self, topo):
+        fwd, bwd = topo.add_duplex("a", "b", 1e6)
+        assert topo.link("a", "b") is fwd
+        assert topo.link("b", "a") is bwd
+
+    def test_links_enumeration(self, topo):
+        topo.add_duplex("a", "b", 1e6)
+        topo.add_link("b", "c", 1e6)
+        assert len(topo.links()) == 3
+
+
+class TestRouting:
+    def test_direct_path(self, topo):
+        topo.add_link("a", "b", 1e6)
+        assert topo.shortest_path("a", "b") == ["a", "b"]
+
+    def test_two_hop_path(self, topo):
+        topo.add_link("m", "e", 1e6, propagation_s=0.001)
+        topo.add_link("e", "c", 1e6, propagation_s=0.010)
+        assert topo.shortest_path("m", "c") == ["m", "e", "c"]
+
+    def test_prefers_lower_latency(self, topo):
+        # Direct slow link vs two fast hops.
+        topo.add_link("a", "b", 1e6, propagation_s=1.0)
+        topo.add_link("a", "r", 1e9, propagation_s=0.001)
+        topo.add_link("r", "b", 1e9, propagation_s=0.001)
+        assert topo.shortest_path("a", "b") == ["a", "r", "b"]
+
+    def test_same_host_path(self, topo):
+        topo.add_host("a")
+        assert topo.shortest_path("a", "a") == ["a"]
+
+    def test_unknown_host_raises(self, topo):
+        topo.add_host("a")
+        with pytest.raises(KeyError):
+            topo.shortest_path("a", "ghost")
+
+    def test_no_route_raises(self, topo):
+        topo.add_host("a")
+        topo.add_host("isolated")
+        with pytest.raises(NoRouteError):
+            topo.shortest_path("a", "isolated")
+
+    def test_down_links_excluded(self, topo):
+        link = topo.add_link("a", "b", 1e6)
+        topo.add_link("a", "r", 1e6, propagation_s=0.5)
+        topo.add_link("r", "b", 1e6, propagation_s=0.5)
+        link.set_up(False)
+        assert topo.shortest_path("a", "b") == ["a", "r", "b"]
+
+    def test_path_links_order(self, topo):
+        topo.add_link("m", "e", 1e6)
+        topo.add_link("e", "c", 1e6)
+        links = topo.path_links("m", "c")
+        assert [l.name for l in links] == ["m->e", "e->c"]
+
+    def test_nominal_latency_sums_hops(self, topo):
+        topo.add_link("m", "e", 8e6, propagation_s=0.001)
+        topo.add_link("e", "c", 8e6, propagation_s=0.010)
+        # 1 MB: 1 s per hop at 8 Mbps, plus props.
+        expected = 1.0 + 0.001 + 1.0 + 0.010
+        assert topo.nominal_latency("m", "c", 1_000_000) == pytest.approx(
+            expected)
+
+    def test_neighbors(self, topo):
+        topo.add_duplex("a", "b", 1e6)
+        link = topo.add_link("a", "c", 1e6)
+        assert set(topo.neighbors("a")) == {"b", "c"}
+        link.set_up(False)
+        assert topo.neighbors("a") == ["b"]

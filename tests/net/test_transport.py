@@ -1,0 +1,201 @@
+"""Unit tests for repro.net.transport (RPC layer)."""
+
+import pytest
+
+from repro.net import Message, Rpc, RpcError, RpcTimeout, Topology
+from repro.sim import Environment, RngStreams
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def net(env):
+    """A mobile--edge--cloud chain with an rpc endpoint."""
+    topo = Topology(env)
+    topo.add_duplex("mobile", "edge", 100e6, propagation_s=0.001)
+    topo.add_duplex("edge", "cloud", 20e6, propagation_s=0.010)
+    return topo, Rpc(env, topo)
+
+
+class TestSend:
+    def test_delivers_to_inbox(self, env, net):
+        topo, rpc = net
+        msg = Message(size_bytes=1000, src="mobile", dst="cloud")
+        received = []
+
+        def server(env):
+            m = yield rpc.serve(topo.hosts["cloud"])
+            received.append((env.now, m))
+
+        env.process(server(env))
+        rpc.send(msg)
+        env.run()
+        assert received and received[0][1] is msg
+        # Two-hop store-and-forward: tx at both links + both props.
+        expected = 1000 * 8 / 100e6 + 0.001 + 1000 * 8 / 20e6 + 0.010
+        assert received[0][0] == pytest.approx(expected)
+
+    def test_missing_addressing_rejected(self, env, net):
+        _, rpc = net
+        with pytest.raises(ValueError):
+            rpc.send(Message(size_bytes=10))
+
+    def test_unroutable_destination_fails_event(self, env, net):
+        topo, rpc = net
+        topo.add_host("island")
+        msg = Message(size_bytes=10, src="mobile", dst="island")
+        failures = []
+
+        def sender(env):
+            try:
+                yield rpc.send(msg)
+            except RpcError as exc:
+                failures.append(exc)
+
+        env.run(until=env.process(sender(env)))
+        assert failures
+
+
+class TestCall:
+    def test_round_trip(self, env, net):
+        topo, rpc = net
+
+        def server(env):
+            request = yield rpc.serve(topo.hosts["cloud"])
+            yield env.timeout(0.05)
+            rpc.respond(request, size_bytes=500, payload="answer")
+
+        def client(env):
+            msg = Message(size_bytes=1000, src="mobile", dst="cloud")
+            response = yield rpc.call(msg)
+            return (response.payload, env.now)
+
+        env.process(server(env))
+        p = env.process(client(env))
+        payload, elapsed = env.run(until=p)
+        assert payload == "answer"
+        assert elapsed > 0.05
+
+    def test_response_does_not_hit_inbox(self, env, net):
+        """Replies resolve the call; server loops never see them."""
+        topo, rpc = net
+
+        def server(env):
+            request = yield rpc.serve(topo.hosts["cloud"])
+            rpc.respond(request, size_bytes=10)
+
+        def client(env):
+            yield rpc.call(Message(size_bytes=10, src="mobile",
+                                   dst="cloud"))
+
+        env.process(server(env))
+        env.run(until=env.process(client(env)))
+        env.run()
+        assert topo.hosts["mobile"].inbox.items == []
+
+    def test_timeout_fires(self, env, net):
+        topo, rpc = net
+        # No server: the call can never be answered.
+        errors = []
+
+        def client(env):
+            try:
+                yield rpc.call(Message(size_bytes=10, src="mobile",
+                                       dst="cloud"), timeout=0.5)
+            except RpcTimeout as exc:
+                errors.append((env.now, exc))
+
+        env.run(until=env.process(client(env)))
+        env.run()
+        assert errors and errors[0][0] == pytest.approx(0.5, abs=0.01)
+
+    def test_late_response_after_timeout_is_ignored(self, env, net):
+        topo, rpc = net
+
+        def slow_server(env):
+            request = yield rpc.serve(topo.hosts["cloud"])
+            yield env.timeout(5.0)
+            # Responds long after the deadline; must not crash anything.
+            yield rpc.respond(request, size_bytes=10, payload="too late")
+
+        outcome = []
+
+        def client(env):
+            try:
+                yield rpc.call(Message(size_bytes=10, src="mobile",
+                                       dst="cloud"), timeout=0.2)
+            except RpcTimeout:
+                outcome.append("timed out")
+
+        env.process(slow_server(env))
+        env.run(until=env.process(client(env)))
+        env.run()
+        assert outcome == ["timed out"]
+
+    def test_concurrent_calls_demultiplex(self, env, net):
+        topo, rpc = net
+
+        def server(env):
+            while True:
+                request = yield rpc.serve(topo.hosts["cloud"])
+                # Answer out of order: second request returns first.
+                delay = 0.2 if request.payload == "first" else 0.05
+                env.process(respond_later(env, request, delay))
+
+        def respond_later(env, request, delay):
+            yield env.timeout(delay)
+            rpc.respond(request, size_bytes=10,
+                        payload=f"re:{request.payload}")
+
+        results = {}
+
+        def client(env, tag):
+            msg = Message(size_bytes=10, src="mobile", dst="cloud",
+                          payload=tag)
+            response = yield rpc.call(msg)
+            results[tag] = response.payload
+
+        env.process(server(env))
+        p1 = env.process(client(env, "first"))
+        p2 = env.process(client(env, "second"))
+        env.run(until=p1)
+        env.run(until=p2) if not p2.processed else None
+        assert results == {"first": "re:first", "second": "re:second"}
+
+
+class TestRetries:
+    def test_loss_is_retried_transparently(self, env):
+        topo = Topology(env)
+        rng = RngStreams(5)
+        topo.add_link("a", "b", 1e9, loss_rate=0.3,
+                      rng=rng.stream("loss"))
+        rpc = Rpc(env, topo, max_retries=50)
+        delivered = []
+
+        def sender(env):
+            for i in range(20):
+                yield rpc.send(Message(size_bytes=100, src="a", dst="b"))
+                delivered.append(i)
+
+        env.run(until=env.process(sender(env)))
+        assert len(delivered) == 20
+
+    def test_retries_exhausted_raises(self, env):
+        topo = Topology(env)
+        rng = RngStreams(6)
+        topo.add_link("a", "b", 1e9, loss_rate=0.99,
+                      rng=rng.stream("loss"))
+        rpc = Rpc(env, topo, max_retries=2)
+        errors = []
+
+        def sender(env):
+            try:
+                yield rpc.send(Message(size_bytes=100, src="a", dst="b"))
+            except RpcError as exc:
+                errors.append(exc)
+
+        env.run(until=env.process(sender(env)))
+        assert errors

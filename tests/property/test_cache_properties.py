@@ -1,0 +1,99 @@
+"""Property-based tests for the IC cache invariants.
+
+The cache is the structure everything else trusts; hypothesis drives it
+with arbitrary operation sequences and checks the invariants that must
+hold for *any* workload and policy:
+
+* stored bytes never exceed capacity;
+* stored bytes always equal the sum of live entry sizes;
+* hits + misses == lookups;
+* a hash descriptor lookup returns an entry with that digest or nothing.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.cache import ICCache
+from repro.core.descriptors import HashDescriptor
+from repro.core.policies import make_policy
+
+POLICIES = ("lru", "lfu", "fifo", "size", "gdsf", "ttl:50")
+
+# An operation is (op, digest_index, size) with op in insert/lookup.
+operations = st.lists(
+    st.tuples(st.sampled_from(["insert", "lookup"]),
+              st.integers(min_value=0, max_value=15),
+              st.integers(min_value=1, max_value=400)),
+    min_size=1, max_size=80)
+
+
+def digest(i: int) -> str:
+    return f"{i:04x}"
+
+
+@given(ops=operations, policy=st.sampled_from(POLICIES),
+       capacity=st.integers(min_value=400, max_value=2000))
+@settings(max_examples=60, deadline=None)
+def test_capacity_and_accounting_invariants(ops, policy, capacity):
+    cache = ICCache(capacity_bytes=capacity, policy=make_policy(policy))
+    clock = 0.0
+    for op, idx, size in ops:
+        clock += 1.0
+        if op == "insert":
+            cache.insert(HashDescriptor("m", digest(idx)), result=idx,
+                         size_bytes=size, now=clock)
+        else:
+            entry = cache.lookup(HashDescriptor("m", digest(idx)),
+                                 now=clock)
+            if entry is not None:
+                assert entry.descriptor.digest == digest(idx)
+        # Core invariants after every operation:
+        assert cache.size_bytes <= capacity
+        assert cache.size_bytes == sum(e.size_bytes
+                                       for e in cache.entries())
+        assert cache.size_bytes >= 0
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.lookups
+    assert len(cache) <= stats.insertions
+
+
+@given(ops=operations)
+@settings(max_examples=30, deadline=None)
+def test_lru_eviction_never_removes_most_recent(ops):
+    """Immediately after any insert, that entry must still be present."""
+    cache = ICCache(capacity_bytes=1000)
+    clock = 0.0
+    for op, idx, size in ops:
+        clock += 1.0
+        if op == "insert" and size <= 1000:
+            entry = cache.insert(HashDescriptor("m", digest(idx)),
+                                 result=idx, size_bytes=size, now=clock)
+            if entry is not None:
+                found = cache.lookup(HashDescriptor("m", digest(idx)),
+                                     now=clock)
+                assert found is not None
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=100),
+                      min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_clear_always_empties(sizes):
+    cache = ICCache(capacity_bytes=10_000)
+    for i, size in enumerate(sizes):
+        cache.insert(HashDescriptor("m", digest(i % 16)), i, size)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.size_bytes == 0
+
+
+@given(ttl=st.floats(min_value=0.5, max_value=100.0),
+       probe_offset=st.floats(min_value=0.0, max_value=200.0))
+@settings(max_examples=50, deadline=None)
+def test_ttl_expiry_is_exact(ttl, probe_offset):
+    cache = ICCache(capacity_bytes=1000, ttl_s=ttl)
+    cache.insert(HashDescriptor("m", "aa"), "x", 10, now=0.0)
+    entry = cache.lookup(HashDescriptor("m", "aa"), now=probe_offset)
+    if probe_offset >= ttl:
+        assert entry is None
+    else:
+        assert entry is not None

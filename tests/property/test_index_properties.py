@@ -1,0 +1,79 @@
+"""Property-based tests: index implementations agree with brute force."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.core.descriptors import VectorDescriptor
+from repro.core.distance import pairwise
+from repro.core.index import LinearIndex, LshIndex
+
+DIM = 8
+
+finite_vector = st.lists(
+    st.floats(min_value=-10, max_value=10,
+              allow_nan=False, allow_infinity=False),
+    min_size=DIM, max_size=DIM).filter(
+        lambda v: float(np.linalg.norm(v)) > 1e-6)
+
+
+def vd(values):
+    return VectorDescriptor("r", np.asarray(values, dtype=np.float32))
+
+
+@given(stored=st.lists(finite_vector, min_size=1, max_size=20),
+       query=finite_vector,
+       threshold=st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=80, deadline=None)
+def test_linear_index_matches_brute_force(stored, query, threshold):
+    index = LinearIndex()
+    for i, vec in enumerate(stored):
+        index.insert(i, vd(vec))
+    got = index.query(vd(query), threshold)
+
+    # float32 storage: brute-force reference must use the same precision.
+    stored32 = [np.asarray(v, dtype=np.float32) for v in stored]
+    query32 = np.asarray(query, dtype=np.float32)
+    distances = [pairwise("cosine", v, query32) for v in stored32]
+    best = int(np.argmin(distances))
+    eps = 1e-6
+    if distances[best] <= threshold - eps:
+        assert got is not None
+        assert abs(got[1] - distances[best]) < 1e-5
+    elif distances[best] > threshold + eps:
+        assert got is None
+
+
+@given(stored=st.lists(finite_vector, min_size=1, max_size=15,
+                       unique_by=tuple))
+@settings(max_examples=50, deadline=None)
+def test_lsh_self_query_always_hits(stored):
+    """Querying an indexed vector itself must find it (distance 0)."""
+    index = LshIndex(dim=DIM, n_tables=6, n_bits=4)
+    for i, vec in enumerate(stored):
+        index.insert(i, vd(vec))
+    for i, vec in enumerate(stored):
+        hit = index.query(vd(vec), threshold=1e-9)
+        assert hit is not None
+        assert hit[1] <= 1e-6
+
+
+@given(stored=st.lists(finite_vector, min_size=2, max_size=15),
+       removals=st.data())
+@settings(max_examples=50, deadline=None)
+def test_insert_remove_consistency(stored, removals):
+    """After removals, removed ids never surface; survivors still do."""
+    for index in (LinearIndex(), LshIndex(dim=DIM, n_tables=4, n_bits=4)):
+        for i, vec in enumerate(stored):
+            index.insert(i, vd(vec))
+        to_remove = removals.draw(st.sets(
+            st.integers(min_value=0, max_value=len(stored) - 1),
+            max_size=len(stored)))
+        for i in to_remove:
+            index.remove(i)
+        assert len(index) == len(stored) - len(to_remove)
+        for i, vec in enumerate(stored):
+            hit = index.query(vd(vec), threshold=1e-9)
+            if i in to_remove:
+                assert hit is None or hit[0] != i
+            # Survivors are found unless a duplicate vector shadows them.

@@ -1,0 +1,66 @@
+"""Property-based tests for network timing invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.net import Link, Message, Topology
+from repro.sim import Environment
+
+
+@given(size=st.integers(min_value=0, max_value=10_000_000),
+       bandwidth_mbps=st.floats(min_value=0.1, max_value=1000),
+       propagation_ms=st.floats(min_value=0, max_value=500))
+@settings(max_examples=100, deadline=None)
+def test_one_way_delay_decomposition(size, bandwidth_mbps, propagation_ms):
+    env = Environment()
+    link = Link(env, "l", bandwidth_mbps * 1e6,
+                propagation_s=propagation_ms / 1e3)
+    delay = link.one_way_delay(size)
+    assert delay == pytest.approx(
+        size * 8 / (bandwidth_mbps * 1e6) + propagation_ms / 1e3)
+    assert delay >= propagation_ms / 1e3
+
+
+@given(size_a=st.integers(min_value=0, max_value=1_000_000),
+       size_b=st.integers(min_value=0, max_value=1_000_000))
+@settings(max_examples=50, deadline=None)
+def test_transfer_time_monotone_in_size(size_a, size_b):
+    env = Environment()
+    link = Link(env, "l", 10e6, propagation_s=0.01)
+    small, large = sorted((size_a, size_b))
+    assert link.one_way_delay(small) <= link.one_way_delay(large)
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=100_000),
+                      min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_measured_transfer_matches_model_without_queueing(sizes):
+    """Sequential transfers take exactly the modeled time each."""
+    env = Environment()
+    link = Link(env, "l", 8e6, propagation_s=0.005)
+    measured = []
+
+    def sender(env):
+        for size in sizes:
+            start = env.now
+            yield link.transfer(Message(size_bytes=size))
+            measured.append(env.now - start)
+
+    env.run(until=env.process(sender(env)))
+    for size, elapsed in zip(sizes, measured):
+        assert elapsed == pytest.approx(link.one_way_delay(size))
+
+
+@given(hops=st.integers(min_value=1, max_value=6),
+       size=st.integers(min_value=1, max_value=100_000))
+@settings(max_examples=40, deadline=None)
+def test_path_latency_is_sum_of_hops(hops, size):
+    env = Environment()
+    topo = Topology(env)
+    names = [f"h{i}" for i in range(hops + 1)]
+    for a, b in zip(names, names[1:]):
+        topo.add_link(a, b, 10e6, propagation_s=0.001)
+    total = topo.nominal_latency(names[0], names[-1], size)
+    per_hop = topo.link(names[0], names[1]).one_way_delay(size)
+    assert total == pytest.approx(hops * per_hop)

@@ -1,0 +1,93 @@
+"""Property-based tests for the event kernel's ordering guarantees."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim import Environment, Resource, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1000,
+                                 allow_nan=False),
+                       min_size=1, max_size=50))
+@settings(max_examples=80, deadline=None)
+def test_events_fire_in_time_order(delays):
+    env = Environment()
+    fired = []
+    for delay in delays:
+        env.timeout(delay).callbacks.append(
+            lambda e, d=delay: fired.append(d))
+    env.run()
+    assert fired == sorted(delays)
+    assert len(fired) == len(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.01, max_value=10,
+                                 allow_nan=False),
+                       min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_clock_is_monotone_through_processes(delays):
+    env = Environment()
+    observed = []
+
+    def worker(env, delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+        yield env.timeout(delay)
+        observed.append(env.now)
+
+    for delay in delays:
+        env.process(worker(env, delay))
+    env.run()
+    assert observed == sorted(observed)
+
+
+@given(holds=st.lists(st.floats(min_value=0.01, max_value=5,
+                                allow_nan=False),
+                      min_size=1, max_size=15),
+       capacity=st.integers(min_value=1, max_value=4))
+@settings(max_examples=50, deadline=None)
+def test_resource_never_oversubscribed(holds, capacity):
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    active = [0]
+    peak = [0]
+
+    def worker(env, hold):
+        req = resource.request()
+        yield req
+        active[0] += 1
+        peak[0] = max(peak[0], active[0])
+        try:
+            yield env.timeout(hold)
+        finally:
+            active[0] -= 1
+            resource.release(req)
+
+    for hold in holds:
+        env.process(worker(env, hold))
+    env.run()
+    assert peak[0] <= capacity
+    assert active[0] == 0
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_store_preserves_fifo_order(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+            yield env.timeout(0.1)
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items

@@ -1,0 +1,57 @@
+"""Property-based tests for vision geometry and mesh serialization."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.distance import pairwise
+from repro.render.mesh import generate_mesh, pack_rmsh, unpack_rmsh
+from repro.vision.features import EmbeddingSpace
+from repro.vision.image import RESOLUTIONS, jpeg_size_bytes
+
+SPACE = EmbeddingSpace(dim=64, n_classes=40, seed=11)
+
+
+@given(cls=st.integers(min_value=0, max_value=39),
+       viewpoint=st.floats(min_value=-5, max_value=5, allow_nan=False),
+       key=st.integers(min_value=0, max_value=1_000_000))
+@settings(max_examples=100, deadline=None)
+def test_observations_always_unit_norm(cls, viewpoint, key):
+    obs = SPACE.observe(cls, viewpoint, noise_key=key)
+    assert np.linalg.norm(obs.vector) == pytest.approx(1.0)
+
+
+@given(cls=st.integers(min_value=0, max_value=39),
+       d1=st.floats(min_value=0, max_value=2, allow_nan=False),
+       d2=st.floats(min_value=0, max_value=2, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_noise_free_distance_monotone_in_viewpoint(cls, d1, d2):
+    base = SPACE.observe(cls, 0.0).vector
+    near_d, far_d = sorted((d1, d2))
+    near = pairwise("cosine", base, SPACE.observe(cls, near_d).vector)
+    far = pairwise("cosine", base, SPACE.observe(cls, far_d).vector)
+    assert near <= far + 1e-9
+
+
+@given(model_id=st.integers(min_value=0, max_value=1000),
+       target_kb=st.floats(min_value=10, max_value=5000),
+       seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_rmsh_roundtrip_any_size(model_id, target_kb, seed):
+    mesh = generate_mesh(model_id, target_kb, seed=seed)
+    blob = pack_rmsh(mesh)
+    restored = unpack_rmsh(blob, model_id=model_id)
+    assert restored.digest() == mesh.digest()
+    assert len(blob) == mesh.file_bytes
+    # Size model holds within tolerance at every scale.
+    assert len(blob) / 1024 == pytest.approx(target_kb, rel=0.25, abs=16)
+
+
+@given(q1=st.integers(min_value=1, max_value=100),
+       q2=st.integers(min_value=1, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_jpeg_size_monotone_in_quality(q1, q2):
+    lo, hi = sorted((q1, q2))
+    resolution = RESOLUTIONS["1080p"]
+    assert jpeg_size_bytes(resolution, lo) <= jpeg_size_bytes(resolution, hi)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.render.panorama."""
+
+import pytest
+
+from repro.render.panorama import (
+    Panorama,
+    PanoramaGrid,
+    Viewport,
+    crop_time_s,
+)
+from repro.vision.image import RESOLUTIONS
+
+
+class TestPanorama:
+    def test_size_megabyte_scale(self):
+        pano = Panorama(content_id=1, segment=0, pose_cell=0)
+        assert 500_000 < pano.size_bytes < 4_000_000
+
+    def test_8k_bigger_than_4k(self):
+        small = Panorama(1, 0, 0, resolution=RESOLUTIONS["4k"])
+        big = Panorama(1, 0, 0, resolution=RESOLUTIONS["8k"])
+        assert big.size_bytes == pytest.approx(4 * small.size_bytes, rel=0.01)
+
+    def test_digest_distinguishes_identity_fields(self):
+        base = Panorama(1, 2, 3)
+        assert base.digest() == Panorama(1, 2, 3).digest()
+        assert base.digest() != Panorama(1, 2, 4).digest()
+        assert base.digest() != Panorama(1, 3, 3).digest()
+        assert base.digest() != Panorama(2, 2, 3).digest()
+
+
+class TestGrid:
+    def test_single_cell_maps_everything(self):
+        grid = PanoramaGrid(1, 1)
+        assert grid.cell_for(0, 0) == grid.cell_for(359, 89) == 0
+
+    def test_yaw_sectors(self):
+        grid = PanoramaGrid(yaw_cells=4, pitch_cells=1)
+        cells = {grid.cell_for(yaw, 0) for yaw in (0, 90, 180, 270)}
+        assert cells == {0, 1, 2, 3}
+
+    def test_yaw_wraps(self):
+        grid = PanoramaGrid(yaw_cells=4, pitch_cells=1)
+        assert grid.cell_for(361, 0) == grid.cell_for(1, 0)
+        assert grid.cell_for(-10, 0) == grid.cell_for(350, 0)
+
+    def test_pitch_bands(self):
+        grid = PanoramaGrid(yaw_cells=1, pitch_cells=2)
+        assert grid.cell_for(0, -45) != grid.cell_for(0, 45)
+
+    def test_pitch_range_validated(self):
+        grid = PanoramaGrid()
+        with pytest.raises(ValueError):
+            grid.cell_for(0, 91)
+
+    def test_cell_count(self):
+        assert PanoramaGrid(8, 3).n_cells == 24
+
+    def test_boundary_poses_stay_in_range(self):
+        grid = PanoramaGrid(yaw_cells=8, pitch_cells=3)
+        for yaw, pitch in ((0, -90), (360, 90), (359.999, 0)):
+            assert 0 <= grid.cell_for(yaw, pitch) < grid.n_cells
+
+
+class TestCrop:
+    def test_crop_time_scales_with_panorama(self):
+        viewport = Viewport()
+        small = Panorama(1, 0, 0, resolution=RESOLUTIONS["1080p"])
+        big = Panorama(1, 0, 0, resolution=RESOLUTIONS["8k"])
+        assert crop_time_s(big, viewport) > crop_time_s(small, viewport)
+
+    def test_crop_time_4k_realistic(self):
+        """4K panorama decode+crop in the ~5 ms range on 2018 hardware."""
+        t = crop_time_s(Panorama(1, 0, 0), Viewport())
+        assert 0.002 < t < 0.02
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            crop_time_s(Panorama(1, 0, 0), Viewport(), crop_pixels_per_s=0)

@@ -1,0 +1,75 @@
+"""Unit tests for repro.render.renderer."""
+
+import pytest
+
+from repro.render import Renderer, generate_mesh
+from repro.render.renderer import (
+    EDGE_RENDER_2018,
+    MOBILE_RENDER_2018,
+    RenderProfile,
+)
+from repro.vision.image import RESOLUTIONS
+
+
+@pytest.fixture
+def renderer():
+    return Renderer(MOBILE_RENDER_2018)
+
+
+@pytest.fixture
+def meshes():
+    return [generate_mesh(i, 800, seed=0) for i in range(3)]
+
+
+class TestFrameTime:
+    def test_more_triangles_slower(self, renderer, meshes):
+        pixels = RESOLUTIONS["1080p"].pixels
+        assert (renderer.frame_time(meshes, pixels)
+                > renderer.frame_time(meshes[:1], pixels))
+
+    def test_more_pixels_slower(self, renderer, meshes):
+        assert (renderer.frame_time(meshes, RESOLUTIONS["4k"].pixels)
+                > renderer.frame_time(meshes, RESOLUTIONS["720p"].pixels))
+
+    def test_overdraw_scales_fill_cost(self, renderer, meshes):
+        pixels = RESOLUTIONS["1080p"].pixels
+        t1 = renderer.frame_time(meshes, pixels, overdraw=1.0)
+        t2 = renderer.frame_time(meshes, pixels, overdraw=3.0)
+        assert t2 > t1
+
+    def test_empty_scene_costs_overhead(self, renderer):
+        pixels = RESOLUTIONS["720p"].pixels
+        t = renderer.frame_time([], pixels, overdraw=1.0)
+        assert t == pytest.approx(
+            MOBILE_RENDER_2018.frame_overhead_s
+            + pixels / MOBILE_RENDER_2018.fill_rate_pixels_per_s)
+
+    def test_fps_reciprocal(self, renderer, meshes):
+        pixels = RESOLUTIONS["1080p"].pixels
+        assert renderer.fps(meshes, pixels) == pytest.approx(
+            1 / renderer.frame_time(meshes, pixels))
+
+    def test_mobile_calibration_60fps_at_1440p(self, renderer):
+        """~500k triangles at 1440p runs near/above 60 fps (2018 phone)."""
+        scene = [generate_mesh(i, 3000, seed=1) for i in range(4)]
+        fps = renderer.fps(scene, RESOLUTIONS["1440p"].pixels)
+        assert fps > 60
+
+    def test_edge_gpu_faster(self, meshes):
+        pixels = RESOLUTIONS["4k"].pixels
+        assert (Renderer(EDGE_RENDER_2018).frame_time(meshes, pixels)
+                < Renderer(MOBILE_RENDER_2018).frame_time(meshes, pixels))
+
+
+class TestValidation:
+    def test_pixels_positive(self, renderer, meshes):
+        with pytest.raises(ValueError):
+            renderer.frame_time(meshes, 0)
+
+    def test_overdraw_at_least_one(self, renderer, meshes):
+        with pytest.raises(ValueError):
+            renderer.frame_time(meshes, 100, overdraw=0.5)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            RenderProfile("bad", triangles_per_s=0)

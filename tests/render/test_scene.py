@@ -1,0 +1,67 @@
+"""Unit tests for repro.render.scene."""
+
+import numpy as np
+import pytest
+
+from repro.render.scene import SceneGraph, SceneNode
+
+
+@pytest.fixture
+def graph():
+    g = SceneGraph()
+    g.add(SceneNode("root", position=[0, 0, 0]))
+    g.add(SceneNode("arena", position=[10, 0, 0]), parent="root")
+    g.add(SceneNode("avatar", model_id=1, position=[1, 0, 0]),
+          parent="arena")
+    g.add(SceneNode("far-prop", model_id=2, position=[500, 0, 0]),
+          parent="root")
+    return g
+
+
+class TestStructure:
+    def test_duplicate_names_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.add(SceneNode("avatar"))
+
+    def test_unknown_parent_rejected(self, graph):
+        with pytest.raises(KeyError):
+            graph.add(SceneNode("x"), parent="ghost")
+
+    def test_contains_and_len(self, graph):
+        assert "avatar" in graph
+        assert len(graph) == 4
+
+    def test_remove_subtree(self, graph):
+        graph.remove("arena")
+        assert "arena" not in graph
+        assert "avatar" not in graph
+        assert "root" in graph
+        assert "arena" not in graph.get("root").children
+
+    def test_world_position_accumulates(self, graph):
+        assert np.allclose(graph.world_position("avatar"), [11, 0, 0])
+
+
+class TestVisibility:
+    def test_visible_models_radius(self, graph):
+        visible = graph.visible_models(eye=[10, 0, 0], radius=5)
+        assert visible == {1}
+
+    def test_shared_working_set(self, graph):
+        a = graph.visible_models(eye=[10, 0, 0], radius=20)
+        b = graph.visible_models(eye=[15, 0, 0], radius=20)
+        assert a & b == {1}  # both see the avatar: shareable content
+
+    def test_radius_validation(self, graph):
+        with pytest.raises(ValueError):
+            graph.visible_models([0, 0, 0], radius=0)
+
+
+class TestNodeValidation:
+    def test_position_shape(self):
+        with pytest.raises(ValueError):
+            SceneNode("x", position=[1, 2])
+
+    def test_scale_positive(self):
+        with pytest.raises(ValueError):
+            SceneNode("x", scale=0)

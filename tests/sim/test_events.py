@@ -1,0 +1,159 @@
+"""Unit tests for repro.sim.events."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    EventAlreadyTriggered,
+    Timeout,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEvent:
+    def test_new_event_is_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        event = env.event()
+        with pytest.raises(RuntimeError):
+            _ = event.value
+        with pytest.raises(RuntimeError):
+            _ = event.ok
+
+    def test_succeed_carries_value(self, env):
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_succeed_twice_raises(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_then_succeed_raises(self, env):
+        event = env.event()
+        event.fail(ValueError("boom"))
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(ValueError):
+            event.fail("not an exception")
+
+    def test_callbacks_invoked_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("hello")
+        env.run()
+        assert seen == ["hello"]
+        assert event.processed
+
+    def test_unhandled_failure_crashes_run(self, env):
+        event = env.event()
+        event.fail(RuntimeError("nobody caught me"))
+        from repro.sim import SimulationError
+
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_defused_failure_is_silent(self, env):
+        event = env.event()
+        event.fail(RuntimeError("handled"))
+        event.defuse()
+        env.run()  # no raise
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, env):
+        fired = []
+        t = env.timeout(2.5, value="done")
+        t.callbacks.append(lambda e: fired.append(env.now))
+        env.run()
+        assert fired == [2.5]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_fires_immediately(self, env):
+        t = env.timeout(0, value=1)
+        env.run()
+        assert t.processed and t.value == 1
+
+    def test_ordering_by_delay(self, env):
+        order = []
+        for delay in (3, 1, 2):
+            env.timeout(delay).callbacks.append(
+                lambda e, d=delay: order.append(d))
+        env.run()
+        assert order == [1, 2, 3]
+
+    def test_fifo_among_equal_delays(self, env):
+        order = []
+        for tag in ("a", "b", "c"):
+            env.timeout(1).callbacks.append(
+                lambda e, t=tag: order.append(t))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestConditions:
+    def test_allof_waits_for_all(self, env):
+        t1, t2 = env.timeout(1, "a"), env.timeout(2, "b")
+        both = AllOf(env, [t1, t2])
+        done_at = []
+        both.callbacks.append(lambda e: done_at.append(env.now))
+        env.run()
+        assert done_at == [2]
+        assert set(both.value.values()) == {"a", "b"}
+
+    def test_anyof_fires_on_first(self, env):
+        t1, t2 = env.timeout(5, "slow"), env.timeout(1, "fast")
+        either = AnyOf(env, [t1, t2])
+        done_at = []
+        either.callbacks.append(lambda e: done_at.append(env.now))
+        env.run()
+        assert done_at == [1]
+        assert "fast" in either.value.values()
+
+    def test_empty_allof_succeeds_immediately(self, env):
+        both = AllOf(env, [])
+        assert both.triggered
+        assert both.value == {}
+
+    def test_allof_propagates_failure(self, env):
+        def failing(env):
+            yield env.timeout(1)
+            raise RuntimeError("inner")
+
+        ok = env.timeout(5)
+        proc = env.process(failing(env))
+        both = AllOf(env, [ok, proc])
+
+        def watcher(env):
+            with pytest.raises(RuntimeError, match="inner"):
+                yield both
+
+        w = env.process(watcher(env))
+        env.run(until=w)
+
+    def test_foreign_environment_rejected(self, env):
+        other = Environment()
+        t = other.timeout(1)
+        with pytest.raises(ValueError):
+            AllOf(env, [t])

@@ -1,0 +1,157 @@
+"""Unit tests for repro.sim.process (generator processes)."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+from repro.sim.process import ProcessCrashed
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestBasics:
+    def test_process_runs_and_returns(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return 99
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        assert env.run(until=p) == 99
+        assert not p.is_alive
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_waits_on_process(self, env):
+        def child(env):
+            yield env.timeout(3)
+            return "child-value"
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return f"got:{value}"
+
+        p = env.process(parent(env))
+        assert env.run(until=p) == "got:child-value"
+        assert env.now == 3
+
+    def test_yield_non_event_crashes_process(self, env):
+        def bad(env):
+            yield 42
+
+        p = env.process(bad(env))
+        with pytest.raises(ProcessCrashed):
+            env.run(until=p)
+
+    def test_yield_foreign_event_crashes_process(self, env):
+        other = Environment()
+
+        def bad(env):
+            yield other.timeout(1)
+
+        p = env.process(bad(env))
+        with pytest.raises(ProcessCrashed):
+            env.run(until=p)
+
+    def test_exception_propagates_to_waiter(self, env):
+        def failing(env):
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        def waiter(env):
+            try:
+                yield env.process(failing(env))
+            except ValueError as exc:
+                return f"caught:{exc}"
+
+        p = env.process(waiter(env))
+        assert env.run(until=p) == "caught:inner"
+
+    def test_unwaited_exception_crashes_simulation(self, env):
+        def failing(env):
+            yield env.timeout(1)
+            raise ValueError("nobody watching")
+
+        env.process(failing(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_yield_already_processed_event(self, env):
+        """Waiting on a finished event resumes promptly with its value."""
+        t = env.timeout(1, value="early")
+        env.run()
+
+        def late(env):
+            value = yield t
+            return value
+
+        p = env.process(late(env))
+        assert env.run(until=p) == "early"
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as exc:
+                return ("interrupted", exc.cause, env.now)
+
+        def interrupter(env, target):
+            yield env.timeout(2)
+            target.interrupt(cause="reason")
+
+        p = env.process(sleeper(env))
+        env.process(interrupter(env, p))
+        assert env.run(until=p) == ("interrupted", "reason", 2)
+
+    def test_interrupted_event_still_fires(self, env):
+        """The event the victim waited on is unaffected by the interrupt."""
+        shared = env.timeout(5, value="fired")
+
+        def victim(env):
+            try:
+                yield shared
+            except Interrupt:
+                return "out"
+
+        def interrupter(env, target):
+            yield env.timeout(1)
+            target.interrupt()
+
+        p = env.process(victim(env))
+        env.process(interrupter(env, p))
+        env.run(until=p)
+        env.run()
+        assert shared.processed and shared.value == "fired"
+
+    def test_interrupt_finished_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run(until=p)
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_process_can_resume_after_interrupt(self, env):
+        def resilient(env):
+            total = 0.0
+            try:
+                yield env.timeout(10)
+            except Interrupt:
+                pass
+            yield env.timeout(1)
+            return env.now
+
+        def interrupter(env, target):
+            yield env.timeout(2)
+            target.interrupt()
+
+        p = env.process(resilient(env))
+        env.process(interrupter(env, p))
+        assert env.run(until=p) == 3  # interrupted at 2, slept 1 more

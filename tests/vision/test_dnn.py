@@ -1,0 +1,84 @@
+"""Unit tests for repro.vision.dnn."""
+
+import pytest
+
+from repro.vision.dnn import ComputeDevice, DnnModel, Layer
+
+
+@pytest.fixture
+def net():
+    return DnnModel("toy", [
+        Layer("a", 1.0, 1000),
+        Layer("b", 2.0, 500),
+        Layer("c", 0.5, 100),
+    ], feature_layer="b")
+
+
+@pytest.fixture
+def device():
+    return ComputeDevice("dev", effective_gflops=10.0,
+                         invocation_overhead_s=0.01)
+
+
+class TestLayer:
+    def test_output_bytes_float32(self):
+        assert Layer("x", 1.0, 256).output_bytes == 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Layer("x", -1.0, 10)
+        with pytest.raises(ValueError):
+            Layer("x", 1.0, 0)
+
+
+class TestDevice:
+    def test_seconds_for_gflops(self, device):
+        assert device.seconds_for_gflops(5.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeDevice("d", effective_gflops=0)
+        with pytest.raises(ValueError):
+            ComputeDevice("d", effective_gflops=1,
+                          invocation_overhead_s=-1)
+
+
+class TestDnnModel:
+    def test_totals(self, net):
+        assert net.total_gflops == pytest.approx(3.5)
+        assert net.backbone_gflops == pytest.approx(3.0)
+
+    def test_gflops_between(self, net):
+        assert net.gflops_between(None, "a") == pytest.approx(1.0)
+        assert net.gflops_between("a", "c") == pytest.approx(2.5)
+        assert net.gflops_between("b", "c") == pytest.approx(0.5)
+
+    def test_gflops_between_backwards_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.gflops_between("c", "a")
+
+    def test_inference_time(self, net, device):
+        assert net.inference_time(device) == pytest.approx(0.01 + 0.35)
+
+    def test_extraction_cheaper_than_inference(self, net, device):
+        assert net.extraction_time(device) < net.inference_time(device)
+
+    def test_resume_time(self, net, device):
+        # Resume after b: only c (0.5 GFLOPs) remains.
+        assert net.resume_time(device, "b") == pytest.approx(0.01 + 0.05)
+
+    def test_unknown_layer_raises(self, net):
+        with pytest.raises(KeyError):
+            net.layer_index("ghost")
+
+    def test_duplicate_layer_names_rejected(self):
+        with pytest.raises(ValueError):
+            DnnModel("bad", [Layer("a", 1, 10), Layer("a", 1, 10)],
+                     feature_layer="a")
+
+    def test_feature_layer_must_exist(self):
+        with pytest.raises(ValueError):
+            DnnModel("bad", [Layer("a", 1, 10)], feature_layer="zz")
+
+    def test_descriptor_bytes(self, net):
+        assert net.descriptor_bytes == 128 * 4 + 64

@@ -1,0 +1,66 @@
+"""Unit tests for repro.vision.image."""
+
+import pytest
+
+from repro.vision.image import (
+    CameraFrame,
+    RESOLUTIONS,
+    Resolution,
+    jpeg_bits_per_pixel,
+    jpeg_size_bytes,
+)
+
+
+class TestResolution:
+    def test_pixel_counts(self):
+        assert RESOLUTIONS["4k"].pixels == 3840 * 2160
+        assert RESOLUTIONS["8k"].pixels == 4 * RESOLUTIONS["4k"].pixels
+
+    def test_presets_exist(self):
+        for name in ("720p", "1080p", "1440p", "4k", "8k"):
+            assert name in RESOLUTIONS
+
+
+class TestJpegModel:
+    def test_bpp_monotone_in_quality(self):
+        values = [jpeg_bits_per_pixel(q) for q in range(1, 101)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_bpp_bounds(self):
+        assert jpeg_bits_per_pixel(1) == pytest.approx(0.45)
+        assert jpeg_bits_per_pixel(100) == pytest.approx(6.0)
+
+    def test_quality_validation(self):
+        with pytest.raises(ValueError):
+            jpeg_bits_per_pixel(0)
+        with pytest.raises(ValueError):
+            jpeg_bits_per_pixel(101)
+
+    def test_4k_frame_size_realistic(self):
+        """A 4K JPEG at q85 is in the single-megabyte range."""
+        size = jpeg_size_bytes(RESOLUTIONS["4k"], 85)
+        assert 1_000_000 < size < 3_000_000
+
+    def test_size_scales_with_pixels(self):
+        small = jpeg_size_bytes(RESOLUTIONS["720p"], 85)
+        big = jpeg_size_bytes(RESOLUTIONS["8k"], 85)
+        ratio = RESOLUTIONS["8k"].pixels / RESOLUTIONS["720p"].pixels
+        assert big == pytest.approx(small * ratio, rel=0.01)
+
+
+class TestCameraFrame:
+    def test_size_from_resolution_quality(self):
+        frame = CameraFrame(object_class=1, resolution=RESOLUTIONS["1080p"],
+                            quality=70)
+        assert frame.size_bytes == jpeg_size_bytes(RESOLUTIONS["1080p"], 70)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CameraFrame(object_class=-1)
+        with pytest.raises(ValueError):
+            CameraFrame(object_class=0, quality=0)
+
+    def test_frames_hashable_and_frozen(self):
+        frame = CameraFrame(object_class=3)
+        with pytest.raises(AttributeError):
+            frame.object_class = 4

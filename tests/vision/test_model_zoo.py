@@ -1,0 +1,59 @@
+"""Unit tests for repro.vision.model_zoo (calibration sanity)."""
+
+import pytest
+
+from repro.vision.model_zoo import (
+    CLOUD_GPU_2018,
+    EDGE_CPU_2018,
+    MOBILE_SOC_2018,
+    get_network,
+    mobilenet_v2,
+    resnet50,
+    vgg16,
+)
+
+
+class TestNetworks:
+    def test_published_flop_budgets(self):
+        """Totals track the published per-network budgets."""
+        assert vgg16().total_gflops == pytest.approx(15.9, rel=0.05)
+        assert mobilenet_v2().total_gflops == pytest.approx(0.31, rel=0.1)
+        assert resnet50().total_gflops == pytest.approx(3.9, rel=0.05)
+
+    def test_network_ordering(self):
+        assert (mobilenet_v2().total_gflops < resnet50().total_gflops
+                < vgg16().total_gflops)
+
+    def test_get_network_by_name(self):
+        assert get_network("vgg16").name == "vgg16"
+        with pytest.raises(KeyError):
+            get_network("alexnet")
+
+    def test_descriptor_dim_propagates(self):
+        assert get_network("vgg16", descriptor_dim=64).descriptor_dim == 64
+
+
+class TestDeviceCalibration:
+    def test_device_speed_ordering(self):
+        assert (MOBILE_SOC_2018.effective_gflops
+                < EDGE_CPU_2018.effective_gflops
+                < CLOUD_GPU_2018.effective_gflops)
+
+    def test_mobilenet_on_phone_is_fast(self):
+        """MobileNet-class on a 2018 phone: tens of ms."""
+        t = mobilenet_v2().inference_time(MOBILE_SOC_2018)
+        assert 0.03 < t < 0.15
+
+    def test_vgg_on_phone_is_slow(self):
+        """VGG-class on a 2018 phone: around a second."""
+        t = vgg16().inference_time(MOBILE_SOC_2018)
+        assert 0.8 < t < 1.5
+
+    def test_cloud_recognition_sub_second(self):
+        t = vgg16().inference_time(CLOUD_GPU_2018)
+        assert 0.2 < t < 0.6
+
+    def test_edge_extraction_calibration(self):
+        """Edge backbone extraction: the ~0.9 s that dominates hits."""
+        t = vgg16().extraction_time(EDGE_CPU_2018)
+        assert 0.7 < t < 1.1

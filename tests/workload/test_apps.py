@@ -1,0 +1,60 @@
+"""Unit tests for repro.workload.apps (the 30-app study stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.apps import (
+    AppProfile,
+    CATEGORY_MIXES,
+    build_app_population,
+    redundancy_report,
+)
+
+
+class TestAppPopulation:
+    def test_population_size(self):
+        apps = build_app_population(30, np.random.default_rng(0))
+        assert len(apps) == 30
+
+    def test_mixes_normalized(self):
+        for app in build_app_population(30, np.random.default_rng(1)):
+            assert sum(app.task_mix) == pytest.approx(1.0)
+
+    def test_categories_from_registry(self):
+        apps = build_app_population(50, np.random.default_rng(2))
+        assert {a.category for a in apps} <= set(CATEGORY_MIXES)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            AppProfile("x", "ar-game", (0.5, 0.2, 0.2), 1.0)  # != 1
+        with pytest.raises(ValueError):
+            AppProfile("x", "ar-game", (1.0, 0.0, 0.0), 0.0)
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            build_app_population(0, np.random.default_rng(0))
+
+
+class TestRedundancyReport:
+    def test_counts_repeats(self):
+        requests = ["a", "b", "a", "a", "c", "b"]
+        stats = redundancy_report(requests, key_fn=lambda r: r)
+        assert stats.total == 6
+        assert stats.redundant == 3
+        assert stats.distinct_keys == 3
+        assert stats.ratio == pytest.approx(0.5)
+
+    def test_window_limits_memory(self):
+        requests = [(0.0, "a"), (5.0, "a"), (100.0, "a")]
+        stats = redundancy_report(
+            requests, key_fn=lambda r: r[1], window_s=10.0,
+            time_fn=lambda r: r[0])
+        assert stats.redundant == 1  # the 100 s repeat fell out of window
+
+    def test_window_requires_time_fn(self):
+        with pytest.raises(ValueError):
+            redundancy_report(["a"], key_fn=lambda r: r, window_s=5.0)
+
+    def test_empty_stream(self):
+        stats = redundancy_report([], key_fn=lambda r: r)
+        assert stats.ratio == 0.0

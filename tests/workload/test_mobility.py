@@ -1,0 +1,107 @@
+"""Unit tests for repro.workload.mobility."""
+
+import numpy as np
+import pytest
+
+from repro.workload.mobility import (
+    Place,
+    RandomWaypointUser,
+    World,
+    colocation_matrix,
+)
+
+
+@pytest.fixture
+def world():
+    return World(n_places=5, n_classes=50, objects_per_place=6,
+                 rng=np.random.default_rng(0))
+
+
+class TestWorld:
+    def test_shape(self, world):
+        assert len(world) == 5
+        for place in world.places:
+            assert len(place.object_classes) == 6
+            assert all(0 <= c < 50 for c in place.object_classes)
+
+    def test_objects_distinct_within_place(self, world):
+        for place in world.places:
+            assert len(set(place.object_classes)) == 6
+
+    def test_popular_objects_shared_across_places(self):
+        """High alpha => the same landmark classes recur at many places."""
+        rng = np.random.default_rng(1)
+        world = World(n_places=20, n_classes=100, objects_per_place=5,
+                      rng=rng, popularity_alpha=1.4)
+        counts = {}
+        for place in world.places:
+            for cls in place.object_classes:
+                counts[cls] = counts.get(cls, 0) + 1
+        assert max(counts.values()) >= 3
+
+    def test_shared_classes_helper(self, world):
+        shared = world.shared_classes(0, 1)
+        expected = (set(world.place(0).object_classes)
+                    & set(world.place(1).object_classes))
+        assert shared == expected
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            World(0, 10, 2, rng)
+        with pytest.raises(ValueError):
+            World(3, 10, 11, rng)
+
+    def test_place_needs_objects(self):
+        with pytest.raises(ValueError):
+            Place(0, 0.0, 0.0, ())
+
+
+class TestRandomWaypoint:
+    def test_itinerary_starts_at_zero(self, world):
+        user = RandomWaypointUser("u", world, np.random.default_rng(2))
+        itinerary = user.itinerary(300)
+        assert itinerary[0][0] == 0.0
+
+    def test_itinerary_times_increase(self, world):
+        user = RandomWaypointUser("u", world, np.random.default_rng(3))
+        times = [t for t, _ in user.itinerary(600)]
+        assert times == sorted(times)
+
+    def test_moves_change_place(self, world):
+        user = RandomWaypointUser("u", world, np.random.default_rng(4),
+                                  mean_dwell_s=10)
+        itinerary = user.itinerary(500)
+        for (_, a), (_, b) in zip(itinerary, itinerary[1:]):
+            assert a != b
+
+    def test_place_at_lookup(self, world):
+        itinerary = [(0.0, 2), (10.0, 4), (20.0, 1)]
+        assert RandomWaypointUser.place_at(itinerary, 5) == 2
+        assert RandomWaypointUser.place_at(itinerary, 10) == 4
+        assert RandomWaypointUser.place_at(itinerary, 99) == 1
+
+    def test_home_place_respected(self, world):
+        user = RandomWaypointUser("u", world, np.random.default_rng(5),
+                                  home_place=3)
+        assert user.itinerary(10)[0][1] == 3
+
+    def test_validation(self, world):
+        with pytest.raises(ValueError):
+            RandomWaypointUser("u", world, np.random.default_rng(0),
+                               mean_dwell_s=0)
+
+
+class TestColocation:
+    def test_detects_shared_place(self, world):
+        itineraries = {
+            "a": [(0.0, 1)],
+            "b": [(0.0, 1)],
+            "c": [(0.0, 2)],
+        }
+        groups = colocation_matrix(itineraries, times=[5.0])
+        assert groups[5.0] == {1: ["a", "b"]}
+
+    def test_no_groups_when_spread(self, world):
+        itineraries = {"a": [(0.0, 1)], "b": [(0.0, 2)]}
+        assert colocation_matrix(itineraries, [0.0])[0.0] == {}

@@ -1,0 +1,152 @@
+"""Unit tests for the AR / arena / VR trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.render.panorama import PanoramaGrid
+from repro.workload.ar_trace import ArTraceGenerator
+from repro.workload.mobility import RandomWaypointUser, World
+from repro.workload.render_trace import ArenaTraceGenerator
+from repro.workload.vr_trace import VrTraceGenerator
+
+
+@pytest.fixture
+def ar_setup():
+    rng = np.random.default_rng(0)
+    world = World(n_places=3, n_classes=40, objects_per_place=5, rng=rng)
+    users = [RandomWaypointUser(f"u{i}", world, np.random.default_rng(i))
+             for i in range(4)]
+    return world, users
+
+
+class TestArTrace:
+    def test_trace_sorted_and_bounded(self, ar_setup):
+        world, users = ar_setup
+        gen = ArTraceGenerator(world, users, np.random.default_rng(9),
+                               request_rate_hz=1.0)
+        trace = gen.generate(60.0)
+        times = [r.time_s for r in trace]
+        assert times == sorted(times)
+        assert all(0 <= t < 60 for t in times)
+
+    def test_requests_reference_place_objects(self, ar_setup):
+        world, users = ar_setup
+        gen = ArTraceGenerator(world, users, np.random.default_rng(9))
+        for req in gen.generate(120.0):
+            assert req.object_class in \
+                world.place(req.place_id).object_classes
+
+    def test_all_users_appear(self, ar_setup):
+        world, users = ar_setup
+        gen = ArTraceGenerator(world, users, np.random.default_rng(9),
+                               request_rate_hz=1.0)
+        names = {r.user for r in gen.generate(120.0)}
+        assert names == {u.name for u in users}
+
+    def test_redundancy_ratio_increases_with_users(self):
+        rng = np.random.default_rng(1)
+        world = World(n_places=1, n_classes=30, objects_per_place=6,
+                      rng=rng)
+
+        def ratio(n_users):
+            users = [RandomWaypointUser(f"u{i}", world,
+                                        np.random.default_rng(i))
+                     for i in range(n_users)]
+            gen = ArTraceGenerator(world, users, np.random.default_rng(2),
+                                   request_rate_hz=0.5)
+            return ArTraceGenerator.redundancy_ratio(gen.generate(120.0))
+
+        assert ratio(8) > ratio(1) * 0.99  # more users, more redundancy
+
+    def test_validation(self, ar_setup):
+        world, users = ar_setup
+        with pytest.raises(ValueError):
+            ArTraceGenerator(world, [], np.random.default_rng(0))
+        gen = ArTraceGenerator(world, users, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            gen.generate(0)
+
+
+class TestArenaTrace:
+    def test_every_user_loads_whole_scene(self):
+        gen = ArenaTraceGenerator(n_shared_models=5, n_personal_models=2,
+                                  rng=np.random.default_rng(0))
+        trace = gen.generate(4)
+        for user in {r.user for r in trace}:
+            shared = [r.model_id for r in trace
+                      if r.user == user and r.shared]
+            assert sorted(shared) == [0, 1, 2, 3, 4]
+
+    def test_personal_models_disjoint(self):
+        gen = ArenaTraceGenerator(n_shared_models=3, n_personal_models=2,
+                                  rng=np.random.default_rng(1))
+        trace = gen.generate(3)
+        personal = {}
+        for r in trace:
+            if not r.shared:
+                personal.setdefault(r.user, set()).add(r.model_id)
+        sets = list(personal.values())
+        for i, a in enumerate(sets):
+            for b in sets[i + 1:]:
+                assert a.isdisjoint(b)
+
+    def test_personal_id_helper(self):
+        gen = ArenaTraceGenerator(n_shared_models=3, n_personal_models=2,
+                                  rng=np.random.default_rng(2))
+        assert gen.personal_model_id(0, 0) == 3
+        assert gen.personal_model_id(1, 1) == 6
+        with pytest.raises(ValueError):
+            gen.personal_model_id(0, 5)
+
+    def test_user_names_applied(self):
+        gen = ArenaTraceGenerator(2, 0, rng=np.random.default_rng(3))
+        trace = gen.generate(2, user_names=["alice", "bob"])
+        assert {r.user for r in trace} == {"alice", "bob"}
+        with pytest.raises(ValueError):
+            gen.generate(2, user_names=["only-one"])
+
+
+class TestVrTrace:
+    def test_segments_consecutive_per_viewer(self):
+        gen = VrTraceGenerator(n_contents=1,
+                               rng=np.random.default_rng(0),
+                               session_segments=10)
+        trace = gen.generate(3)
+        for user in {r.user for r in trace}:
+            segments = [r.segment for r in trace if r.user == user]
+            assert segments == list(range(segments[0], segments[0] + 10))
+
+    def test_single_cell_grid_shares_everything(self):
+        gen = VrTraceGenerator(n_contents=1,
+                               rng=np.random.default_rng(1),
+                               grid=PanoramaGrid(1, 1),
+                               session_segments=10)
+        trace = gen.generate(2)
+        assert all(r.pose_cell == 0 for r in trace)
+
+    def test_sharing_ratio_grows_with_viewers(self):
+        def ratio(n):
+            gen = VrTraceGenerator(n_contents=1,
+                                   rng=np.random.default_rng(2),
+                                   mean_join_gap_s=1.0,
+                                   session_segments=20)
+            return VrTraceGenerator.sharing_ratio(gen.generate(n))
+
+        assert ratio(8) > ratio(2)
+
+    def test_finer_grid_less_sharing(self):
+        def ratio(grid):
+            gen = VrTraceGenerator(n_contents=1,
+                                   rng=np.random.default_rng(3),
+                                   grid=grid, mean_join_gap_s=1.0,
+                                   session_segments=20)
+            return VrTraceGenerator.sharing_ratio(gen.generate(6))
+
+        assert ratio(PanoramaGrid(1, 1)) >= ratio(PanoramaGrid(8, 2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VrTraceGenerator(0, np.random.default_rng(0))
+        gen = VrTraceGenerator(1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            gen.generate(0)

@@ -1,0 +1,59 @@
+"""Unit tests for repro.workload.zipf."""
+
+import numpy as np
+import pytest
+
+from repro.workload.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_pmf_sums_to_one(self):
+        sampler = ZipfSampler(100, 0.8, np.random.default_rng(0))
+        assert sampler.pmf().sum() == pytest.approx(1.0)
+
+    def test_pmf_monotone_decreasing(self):
+        pmf = ZipfSampler(50, 1.0, np.random.default_rng(0)).pmf()
+        assert all(a >= b for a, b in zip(pmf, pmf[1:]))
+
+    def test_alpha_zero_uniform(self):
+        pmf = ZipfSampler(10, 0.0, np.random.default_rng(0)).pmf()
+        assert np.allclose(pmf, 0.1)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(20, 0.8, np.random.default_rng(1))
+        draws = sampler.sample_many(1000)
+        assert draws.min() >= 0 and draws.max() < 20
+
+    def test_empirical_matches_pmf(self):
+        sampler = ZipfSampler(10, 1.0, np.random.default_rng(2))
+        draws = sampler.sample_many(50_000)
+        empirical = np.bincount(draws, minlength=10) / 50_000
+        assert np.allclose(empirical, sampler.pmf(), atol=0.01)
+
+    def test_higher_alpha_more_skew(self):
+        flat = ZipfSampler(100, 0.2, np.random.default_rng(3))
+        skewed = ZipfSampler(100, 1.5, np.random.default_rng(3))
+        assert skewed.pmf()[0] > flat.pmf()[0]
+
+    def test_expected_unique_bounds(self):
+        sampler = ZipfSampler(50, 0.8, np.random.default_rng(4))
+        assert sampler.expected_unique(0) == 0.0
+        assert sampler.expected_unique(10) <= 10
+        assert sampler.expected_unique(100_000) == pytest.approx(50, rel=0.01)
+
+    def test_expected_unique_matches_simulation(self):
+        rng = np.random.default_rng(5)
+        sampler = ZipfSampler(30, 1.0, rng)
+        expected = sampler.expected_unique(100)
+        observed = np.mean([
+            len(set(sampler.sample_many(100))) for _ in range(200)])
+        assert observed == pytest.approx(expected, rel=0.05)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.5, rng)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, 1.0, rng).sample_many(-1)
