@@ -1,37 +1,84 @@
-"""A7 — descriptor index scaling: linear scan vs LSH.
+"""A7 — descriptor index scaling: linear scan vs LSH, scalar vs batch.
 
 Vector lookups sit on every recognition request's critical path; this
 bench measures real wall-clock query times of both index types as the
-cache fills, plus LSH's recall price.
+cache fills — per-query and batched — plus LSH's recall price, and
+records the before/after speedup over the seed implementation in
+``BENCH_index_scaling.json``.
 """
 
-from conftest import emit
+from conftest import emit, emit_json
 
 from repro.eval.experiments.index_scaling import run_index_scaling
 from repro.eval.tables import format_table
 
+SMOKE_KWARGS = {"sizes": (100, 1_000), "n_queries": 10}
 
-def test_index_scaling(benchmark):
-    rows = benchmark.pedantic(run_index_scaling, rounds=1, iterations=1)
 
-    table = [[r.n_entries, f"{r.linear_wall_us:.0f}",
-              f"{r.lsh_wall_us:.0f}", f"{r.lsh_recall:.2f}",
+def test_index_scaling(benchmark, smoke):
+    kwargs = SMOKE_KWARGS if smoke else {}
+    rows = benchmark.pedantic(run_index_scaling, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+    table = [[r.n_entries, f"{r.legacy_linear_us:.0f}",
+              f"{r.linear_wall_us:.0f}", f"{r.linear_batch_us:.1f}",
+              f"{r.lsh_wall_us:.0f}", f"{r.lsh_batch_us:.1f}",
+              f"{r.batch_speedup:.0f}x", f"{r.lsh_recall:.2f}",
               f"{r.lsh_candidates:.0f}"] for r in rows]
     emit(format_table(
-        ["entries", "linear us/query", "LSH us/query", "LSH recall",
+        ["entries", "seed us/q", "linear us/q", "batch us/q",
+         "LSH us/q", "LSH batch us/q", "speedup", "LSH recall",
          "LSH candidates"],
         table, title="A7 — descriptor index scaling (wall clock)"))
 
+    # Shape assertions (hold at any size, smoke included).
+    sizes = [r.n_entries for r in rows]
+    assert sizes == sorted(sizes) and len(sizes) >= 2
+    for row in rows:
+        assert 0.0 <= row.lsh_recall <= 1.0
+        assert row.lsh_recall >= 0.8  # near-duplicate recall stays high
+        assert row.lsh_candidates <= row.n_entries
+        for field in (row.linear_wall_us, row.linear_batch_us,
+                      row.legacy_linear_us, row.lsh_wall_us,
+                      row.lsh_batch_us):
+            assert field > 0.0
+
+    if smoke:
+        return
+
     small, large = rows[0], rows[-1]
+    by_n = {r.n_entries: r for r in rows}
     # Linear scan cost grows with occupancy...
     assert large.linear_wall_us > small.linear_wall_us
     # ...while LSH stays within a modest factor of its small-cache cost.
     assert large.lsh_wall_us < large.linear_wall_us
     # Candidate sets stay tiny relative to occupancy.
     assert large.lsh_candidates < large.n_entries * 0.05
-    # Recall stays high on near-duplicate queries.
-    for row in rows:
-        assert row.lsh_recall >= 0.8
+    # The tentpole targets: the batched path beats the seed's per-query
+    # scan by >= 5x at 10k entries, and the matmul signature path beats
+    # the seed's per-bit Python loop by >= 3x (insert-heavy workloads).
+    assert by_n[10_000].batch_speedup >= 5.0
+    assert by_n[10_000].sig_speedup >= 3.0
 
     benchmark.extra_info["speedup_at_largest"] = (
         large.linear_wall_us / large.lsh_wall_us)
+    benchmark.extra_info["batch_speedup_10k"] = by_n[10_000].batch_speedup
+
+    emit_json("index_scaling", {
+        "workload": {"n_queries": 50, "dim": 128, "metric": "cosine"},
+        "rows": [{
+            "entries": r.n_entries,
+            "baseline_us_per_query": r.legacy_linear_us,
+            "linear_us_per_query": r.linear_wall_us,
+            "linear_batch_us_per_query": r.linear_batch_us,
+            "lsh_us_per_query": r.lsh_wall_us,
+            "lsh_batch_us_per_query": r.lsh_batch_us,
+            "baseline_ops_per_sec": 1e6 / r.legacy_linear_us,
+            "linear_batch_ops_per_sec": 1e6 / r.linear_batch_us,
+            "speedup_vs_baseline": r.batch_speedup,
+            "lsh_signature_us": r.lsh_sig_us,
+            "baseline_lsh_signature_us": r.legacy_sig_us,
+            "lsh_signature_speedup_vs_baseline": r.sig_speedup,
+            "lsh_recall": r.lsh_recall,
+        } for r in rows],
+    })

@@ -10,18 +10,58 @@ Every figure/table of the paper has one bench module here.  Each bench
 3. asserts the *shape* claims (who wins, by roughly what factor).
 
 Emitted tables are buffered and written into the terminal summary, so
-``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
-the reproduced figures alongside pytest-benchmark's timing table.
+``pytest benchmarks/ --benchmark-enable --benchmark-only | tee
+bench_output.txt`` records the reproduced figures alongside
+pytest-benchmark's timing table.  Benches with machine-readable results
+additionally dump them through :func:`emit_json` into
+``BENCH_<name>.json`` next to this file, so the perf trajectory is
+tracked across PRs.
 
-Run:  pytest benchmarks/ --benchmark-only
+Two run modes (the repo-level ``pytest.ini`` passes
+``--benchmark-disable`` by default):
+
+* **smoke** — ``pytest benchmarks/ --benchmark-disable -q`` (or just the
+  tier-1 ``pytest -x -q``, which collects ``bench_*.py`` too): shrunken
+  workloads, shape assertions only, no wall-clock claims, no JSON dumps.
+  Fast enough to gate every commit.
+* **full** — ``pytest benchmarks/ --benchmark-enable --benchmark-only``:
+  paper-sized workloads, timing assertions, JSON results.
+
+Bench modules read the mode from the :func:`smoke` fixture.
 """
 
+import json
+import pathlib
+
+import pytest
+
 _BLOCKS: list[str] = []
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
 
 
 def emit(text: str) -> None:
     """Queue a results block for the end-of-run report."""
     _BLOCKS.append(text)
+
+
+def emit_json(name: str, payload: dict) -> pathlib.Path:
+    """Write machine-readable results to ``BENCH_<name>.json``.
+
+    Sits next to the bench modules so successive full runs leave a
+    commit-able perf trail (ops/sec, entries, speedup vs baseline).
+    """
+    path = _BENCH_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit(f"[machine-readable results -> {path}]")
+    return path
+
+
+@pytest.fixture
+def smoke(request) -> bool:
+    """True when benchmarks run in the fast shape-check-only mode."""
+    option = request.config.option
+    return bool(getattr(option, "benchmark_disable", False)
+                and not getattr(option, "benchmark_enable", False))
 
 
 def pytest_terminal_summary(terminalreporter):

@@ -163,21 +163,93 @@ class ICCache:
         if threshold is None:
             threshold = self.default_threshold
         found = index.query(descriptor, threshold)
+        entry, _purged = self._settle(found, now)
+        return entry
+
+    def lookup_batch(self, descriptors: typing.Sequence[Descriptor],
+                     now: float = 0.0,
+                     threshold: float | None = None
+                     ) -> list[CacheEntry | None]:
+        """Answer a burst of lookups in one vectorized index pass.
+
+        Returns one entry-or-None per descriptor, in input order, with
+        match decisions, stats, and policy updates identical to the
+        equivalent sequence of :meth:`lookup` calls.  Descriptors may mix
+        kinds; each kind's index answers its sub-batch in a single
+        :meth:`~repro.core.index.DescriptorIndex.query_batch` call.
+        Simulated lookup *pricing* stays with the caller (the edge
+        charges per request via :meth:`lookup_cost_s`).
+        """
+        descriptors = list(descriptors)
+        if threshold is None:
+            threshold = self.default_threshold
+        matches = self._batch_matches(descriptors, threshold)
+        results: list[CacheEntry | None] = [None] * len(descriptors)
+        for i, descriptor in enumerate(descriptors):
+            self.stats.lookups += 1
+            entry, purged = self._settle(matches[i], now)
+            results[i] = entry
+            if purged:
+                # The purge changed this kind's index: answers already
+                # computed for later same-kind descriptors may point at
+                # the dropped entry, so recompute them.
+                self._rematch(descriptors, matches, i + 1,
+                              descriptor.kind, threshold)
+        return results
+
+    def _settle(self, found: tuple[int, float] | None,
+                now: float) -> tuple[CacheEntry | None, bool]:
+        """Shared hit/miss/expiry bookkeeping for a raw index answer.
+
+        Returns ``(entry_or_None, purged)`` where ``purged`` reports an
+        expired-entry drop (which mutates the kind's index).
+        """
         if found is None:
             self.stats.misses += 1
-            return None
-        entry_id, _distance = found
-        entry = self._entries[entry_id]
+            return None, False
+        entry = self._entries[found[0]]
         if entry.expired(now):
             self._drop(entry)
             self.stats.expirations += 1
             self.stats.misses += 1
-            return None
+            return None, True
         entry.hits += 1
         entry.last_access = now
         self.policy.on_access(entry)
         self.stats.hits += 1
-        return entry
+        return entry, False
+
+    def _batch_matches(self, descriptors: typing.Sequence[Descriptor],
+                       threshold: float
+                       ) -> list[tuple[int, float] | None]:
+        """Raw per-kind index answers for a batch, in input order."""
+        matches: list[tuple[int, float] | None] = [None] * len(descriptors)
+        by_kind: dict[str, list[int]] = {}
+        for i, descriptor in enumerate(descriptors):
+            by_kind.setdefault(descriptor.kind, []).append(i)
+        for kind, positions in by_kind.items():
+            index = self._indexes.get(kind)
+            if index is None:
+                continue
+            found = index.query_batch([descriptors[i] for i in positions],
+                                      threshold)
+            for i, result in zip(positions, found):
+                matches[i] = result
+        return matches
+
+    def _rematch(self, descriptors: typing.Sequence[Descriptor],
+                 matches: list[tuple[int, float] | None], start: int,
+                 kind: str, threshold: float) -> None:
+        """Recompute pending answers of ``kind`` after an index mutation."""
+        positions = [i for i in range(start, len(descriptors))
+                     if descriptors[i].kind == kind]
+        if not positions:
+            return
+        index = self._indexes.get(kind)
+        found = index.query_batch([descriptors[i] for i in positions],
+                                  threshold)
+        for i, result in zip(positions, found):
+            matches[i] = result
 
     def lookup_cost_s(self, kind: str) -> float:
         """Simulated seconds a lookup against ``kind`` costs right now."""

@@ -1,10 +1,28 @@
 """Distance metrics for vector descriptor matching.
 
-A metric is a callable ``metric(matrix, query) -> distances`` operating on
-a (N, D) candidate matrix and a (D,) query, vectorized for the linear
-index's scan.  ``cosine`` is the default — DNN retrieval descriptors are
-compared by angle — with ``l2`` and ``l2sq`` available for un-normalized
-feature spaces.
+Two call forms per metric, one implementation:
+
+* **matrix-vs-query** — ``metric(matrix, query, row_norms=None,
+  query_norm=None) -> (N,) distances`` for a (N, D) candidate matrix and
+  a (D,) query.  This is what the per-query index scan uses.
+* **matrix-vs-batch** — ``metric_batch(matrix, queries, row_norms=None,
+  query_norms=None) -> (Q, N) distances`` for a (Q, D) query block.  One
+  BLAS call covers the whole burst; this is what
+  :meth:`repro.core.index.DescriptorIndex.query_batch` uses.
+
+The single-query form delegates to the batch form, so both paths share
+one arithmetic pipeline and produce consistent match decisions.
+
+Precomputed-norm support: all metrics accept optional Euclidean row /
+query norms so an index that caches per-row norms (see
+:class:`repro.core.index.LinearIndex`) can skip the
+``np.linalg.norm``-over-the-whole-store pass on every lookup.  ``cosine``
+divides by them; ``l2``/``l2sq`` square them for the Gram-expansion
+``||a-b||^2 = ||a||^2 + ||b||^2 - 2ab``.
+
+``cosine`` is the default — DNN retrieval descriptors are compared by
+angle — with ``l2`` and ``l2sq`` available for un-normalized feature
+spaces.
 """
 
 from __future__ import annotations
@@ -13,34 +31,117 @@ import typing
 
 import numpy as np
 
-MetricFn = typing.Callable[[np.ndarray, np.ndarray], np.ndarray]
+MetricFn = typing.Callable[..., np.ndarray]
+BatchMetricFn = typing.Callable[..., np.ndarray]
 
 
-def cosine_distance(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
-    """1 - cos(angle) for each row against the query.
+def _as_matrix(queries: np.ndarray) -> np.ndarray:
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2:
+        raise ValueError(f"queries must be 2-D (Q, D), got {queries.shape}")
+    return queries
+
+
+def cosine_distance_batch(matrix: np.ndarray, queries: np.ndarray,
+                          row_norms: np.ndarray | None = None,
+                          query_norms: np.ndarray | None = None
+                          ) -> np.ndarray:
+    """1 - cos(angle) for each (query, row) pair; shape (Q, N).
 
     Degenerate zero-norm vectors compare at maximum distance (2.0) rather
     than raising, so a corrupt descriptor can never accidentally match.
     """
-    query_norm = float(np.linalg.norm(query))
-    row_norms = np.linalg.norm(matrix, axis=1)
-    denom = row_norms * query_norm
+    matrix = np.asarray(matrix, dtype=np.float64)
+    queries = _as_matrix(queries)
+    if row_norms is None:
+        row_norms = np.linalg.norm(matrix, axis=1)
+    if query_norms is None:
+        query_norms = np.linalg.norm(queries, axis=1)
+    # One BLAS call plus in-place passes: no (Q, N) temporaries beyond
+    # the result block itself.
+    cos = queries @ matrix.T
     with np.errstate(divide="ignore", invalid="ignore"):
-        cos = (matrix @ query) / denom
-    cos = np.where(denom > 0, cos, -1.0)
-    return 1.0 - np.clip(cos, -1.0, 1.0)
+        cos /= query_norms[:, None]
+        cos /= row_norms[None, :]
+    degenerate_q = query_norms == 0.0
+    if degenerate_q.any():
+        cos[degenerate_q, :] = -1.0
+    degenerate_r = row_norms == 0.0
+    if degenerate_r.any():
+        cos[:, degenerate_r] = -1.0
+    np.clip(cos, -1.0, 1.0, out=cos)
+    np.subtract(1.0, cos, out=cos)
+    return cos
 
 
-def l2_distance(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
-    """Euclidean distance of each row to the query."""
-    diff = matrix - query
-    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+def l2sq_distance_batch(matrix: np.ndarray, queries: np.ndarray,
+                        row_norms: np.ndarray | None = None,
+                        query_norms: np.ndarray | None = None
+                        ) -> np.ndarray:
+    """Squared Euclidean distance per (query, row) pair; shape (Q, N).
+
+    Uses the Gram expansion so the (Q, N) block is one BLAS call instead
+    of a (Q, N, D) difference tensor; cancellation residue is clipped at
+    zero.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    queries = _as_matrix(queries)
+    if row_norms is None:
+        row_sq = np.einsum("ij,ij->i", matrix, matrix)
+    else:
+        row_sq = np.asarray(row_norms, dtype=np.float64) ** 2
+    if query_norms is None:
+        query_sq = np.einsum("ij,ij->i", queries, queries)
+    else:
+        query_sq = np.asarray(query_norms, dtype=np.float64) ** 2
+    sq = queries @ matrix.T
+    sq *= -2.0
+    sq += query_sq[:, None]
+    sq += row_sq[None, :]
+    return np.maximum(sq, 0.0, out=sq)
 
 
-def l2sq_distance(matrix: np.ndarray, query: np.ndarray) -> np.ndarray:
+def l2_distance_batch(matrix: np.ndarray, queries: np.ndarray,
+                      row_norms: np.ndarray | None = None,
+                      query_norms: np.ndarray | None = None) -> np.ndarray:
+    """Euclidean distance per (query, row) pair; shape (Q, N)."""
+    return np.sqrt(l2sq_distance_batch(matrix, queries,
+                                       row_norms=row_norms,
+                                       query_norms=query_norms))
+
+
+def cosine_distance(matrix: np.ndarray, query: np.ndarray,
+                    row_norms: np.ndarray | None = None,
+                    query_norm: float | None = None) -> np.ndarray:
+    """1 - cos(angle) for each row against the query; shape (N,)."""
+    query = np.asarray(query, dtype=np.float64)
+    query_norms = None if query_norm is None else np.array(
+        [query_norm], dtype=np.float64)
+    return cosine_distance_batch(matrix, query[None, :],
+                                 row_norms=row_norms,
+                                 query_norms=query_norms)[0]
+
+
+def l2_distance(matrix: np.ndarray, query: np.ndarray,
+                row_norms: np.ndarray | None = None,
+                query_norm: float | None = None) -> np.ndarray:
+    """Euclidean distance of each row to the query; shape (N,)."""
+    query = np.asarray(query, dtype=np.float64)
+    query_norms = None if query_norm is None else np.array(
+        [query_norm], dtype=np.float64)
+    return l2_distance_batch(matrix, query[None, :], row_norms=row_norms,
+                             query_norms=query_norms)[0]
+
+
+def l2sq_distance(matrix: np.ndarray, query: np.ndarray,
+                  row_norms: np.ndarray | None = None,
+                  query_norm: float | None = None) -> np.ndarray:
     """Squared Euclidean distance (cheaper when only ordering matters)."""
-    diff = matrix - query
-    return np.einsum("ij,ij->i", diff, diff)
+    query = np.asarray(query, dtype=np.float64)
+    query_norms = None if query_norm is None else np.array(
+        [query_norm], dtype=np.float64)
+    return l2sq_distance_batch(matrix, query[None, :], row_norms=row_norms,
+                               query_norms=query_norms)[0]
 
 
 _METRICS: dict[str, MetricFn] = {
@@ -49,14 +150,30 @@ _METRICS: dict[str, MetricFn] = {
     "l2sq": l2sq_distance,
 }
 
+_BATCH_METRICS: dict[str, BatchMetricFn] = {
+    "cosine": cosine_distance_batch,
+    "l2": l2_distance_batch,
+    "l2sq": l2sq_distance_batch,
+}
+
 
 def get_metric(name: str) -> MetricFn:
-    """Look up a metric by name."""
+    """Look up a matrix-vs-query metric by name."""
     try:
         return _METRICS[name]
     except KeyError:
         raise KeyError(
             f"unknown metric {name!r}; choose from {sorted(_METRICS)}"
+        ) from None
+
+
+def get_metric_batch(name: str) -> BatchMetricFn:
+    """Look up the matrix-vs-batch form of a metric by name."""
+    try:
+        return _BATCH_METRICS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown metric {name!r}; choose from {sorted(_BATCH_METRICS)}"
         ) from None
 
 

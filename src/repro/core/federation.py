@@ -84,11 +84,16 @@ class FederatedEdgeNode(EdgeNode):
     def _handle_peer_lookup(self, msg: Message):
         """Answer another edge's cache probe (descriptor only)."""
         descriptor: Descriptor = msg.payload
-        yield self.env.timeout(self.cache.lookup_cost_s(descriptor.kind))
-        threshold = (self.match_threshold if descriptor.is_vector
-                     else None)
-        entry = self.cache.lookup(descriptor, now=self.env.now,
-                                  threshold=threshold)
+        if descriptor.is_vector:
+            # Vector probes join the same same-tick batch pass as local
+            # recognition lookups — one vectorized scan serves both.
+            entry = yield from self._batched_lookup(descriptor,
+                                                    self.match_threshold)
+        else:
+            yield self.env.timeout(self.cache.lookup_cost_s(
+                descriptor.kind))
+            entry = self.cache.lookup(descriptor, now=self.env.now,
+                                      threshold=None)
         if entry is None:
             yield self.rpc.respond(msg, size_bytes=96, payload=None,
                                    kind="peer_result")

@@ -160,3 +160,82 @@ class TestLookupCost:
         from repro.core.index import LshIndex
 
         assert isinstance(cache.index_for("recognition"), LshIndex)
+
+
+class TestLookupBatch:
+    """lookup_batch must be indistinguishable from sequential lookups."""
+
+    def _twin_caches(self, **kwargs):
+        return (ICCache(capacity_bytes=10_000, **kwargs),
+                ICCache(capacity_bytes=10_000, **kwargs))
+
+    def test_matches_sequential_including_stats(self):
+        batched, sequential = self._twin_caches(default_threshold=0.1)
+        stored = [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+        for cache in (batched, sequential):
+            for i, v in enumerate(stored):
+                cache.insert(vd(v), result=f"obj{i}", size_bytes=10)
+        probes = [vd([0.99, 0.05, 0]), vd([0.6, 0.6, 0]),
+                  vd([0, 0.02, 0.99]), vd([0, 1, 0])]
+        got = batched.lookup_batch(probes, now=3.0)
+        want = [sequential.lookup(p, now=3.0) for p in probes]
+        assert [e and e.entry_id for e in got] == \
+            [e and e.entry_id for e in want]
+        assert [e and e.hits for e in got] == [e and e.hits for e in want]
+        assert batched.stats == sequential.stats
+
+    def test_mixed_kinds_one_call(self):
+        cache = ICCache(capacity_bytes=10_000)
+        cache.insert(vd([1, 0]), "vec-obj", 10)
+        cache.insert(hd("aa"), "hash-obj", 10)
+        got = cache.lookup_batch(
+            [hd("aa"), vd([0.99, 0.01]), hd("bb"), vd([0, 1])])
+        assert [e and e.result for e in got] == \
+            ["hash-obj", "vec-obj", None, None]
+        assert (cache.stats.hits, cache.stats.misses) == (2, 2)
+
+    def test_unknown_kind_is_miss(self):
+        cache = ICCache(capacity_bytes=1000)
+        assert cache.lookup_batch([vd([1, 0])]) == [None]
+        assert cache.stats.misses == 1
+
+    def test_empty_batch(self):
+        cache = ICCache(capacity_bytes=1000)
+        assert cache.lookup_batch([]) == []
+        assert cache.stats.lookups == 0
+
+    def test_threshold_override(self):
+        cache = ICCache(capacity_bytes=1000, default_threshold=0.0)
+        cache.insert(vd([1, 0]), "x", 10)
+        assert cache.lookup_batch([vd([0.9, 0.1])]) == [None]
+        got = cache.lookup_batch([vd([0.9, 0.1])], threshold=0.5)
+        assert got[0] is not None
+
+    def test_expired_entry_purged_once_mid_batch(self):
+        cache = ICCache(capacity_bytes=1000, ttl_s=5.0)
+        cache.insert(vd([1, 0, 0]), "stale", 10, now=0.0)
+        cache.insert(vd([0, 1, 0]), "fresh", 10, now=8.0)
+        probes = [vd([1, 0, 0]), vd([0.99, 0.01, 0]), vd([0, 1, 0])]
+        got = cache.lookup_batch(probes, now=10.0)
+        # Both probes of the expired entry miss; only one purge; the
+        # fresh entry still hits after the mid-batch index mutation.
+        assert [e and e.result for e in got] == [None, None, "fresh"]
+        assert cache.stats.expirations == 1
+        assert (cache.stats.hits, cache.stats.misses) == (1, 2)
+        assert len(cache) == 1
+
+    def test_batch_policy_recency_order(self):
+        # LRU recency must reflect batch order exactly as sequential.
+        batched, sequential = self._twin_caches(
+            policy=make_policy("lru"))
+        for cache in (batched, sequential):
+            cache.insert(hd("aa"), "a", 400, now=0.0)
+            cache.insert(hd("bb"), "b", 400, now=0.0)
+        batched.lookup_batch([hd("aa"), hd("bb")], now=1.0)
+        sequential.lookup(hd("aa"), now=1.0)
+        sequential.lookup(hd("bb"), now=1.0)
+        # Force one eviction in each; the same victim must be chosen.
+        batched.insert(hd("cc"), "c", 400, now=2.0)
+        sequential.insert(hd("cc"), "c", 400, now=2.0)
+        assert ([e.result for e in batched.entries()]
+                == [e.result for e in sequential.entries()])

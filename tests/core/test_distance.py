@@ -72,3 +72,81 @@ class TestRegistry:
     def test_unknown_metric(self):
         with pytest.raises(KeyError):
             get_metric("manhattan")
+
+
+class TestBatchForms:
+    """Matrix-vs-batch metrics agree with their single-query forms."""
+
+    METRICS = ("cosine", "l2", "l2sq")
+
+    @pytest.mark.parametrize("name", METRICS)
+    def test_batch_rows_match_single_queries(self, name):
+        from repro.core.distance import get_metric_batch
+
+        rng = np.random.default_rng(3)
+        matrix = rng.normal(size=(12, 6))
+        queries = rng.normal(size=(5, 6))
+        batch = get_metric_batch(name)(matrix, queries)
+        assert batch.shape == (5, 12)
+        single = get_metric(name)
+        for q, row in zip(queries, batch):
+            assert np.allclose(single(matrix, q), row, atol=1e-12)
+
+    @pytest.mark.parametrize("name", METRICS)
+    def test_precomputed_norms_match_default(self, name):
+        from repro.core.distance import get_metric_batch
+
+        rng = np.random.default_rng(4)
+        matrix = rng.normal(size=(9, 5))
+        queries = rng.normal(size=(3, 5))
+        fn = get_metric_batch(name)
+        plain = fn(matrix, queries)
+        primed = fn(matrix, queries,
+                    row_norms=np.linalg.norm(matrix, axis=1),
+                    query_norms=np.linalg.norm(queries, axis=1))
+        assert np.allclose(plain, primed, atol=1e-12)
+
+    def test_cosine_batch_degenerate_vectors(self):
+        from repro.core.distance import cosine_distance_batch
+
+        matrix = np.array([[0.0, 0.0], [1.0, 0.0]])
+        queries = np.array([[1.0, 0.0], [0.0, 0.0]])
+        got = cosine_distance_batch(matrix, queries)
+        # Zero-norm on either side compares at maximum distance.
+        assert got[0, 0] == pytest.approx(2.0)
+        assert got[0, 1] == pytest.approx(0.0)
+        assert got[1, 0] == pytest.approx(2.0)
+        assert got[1, 1] == pytest.approx(2.0)
+
+    def test_l2sq_batch_never_negative(self):
+        from repro.core.distance import l2sq_distance_batch
+
+        # Near-identical vectors: Gram-expansion cancellation must clip
+        # at zero, never go negative.
+        base = np.full((4, 8), 1e3)
+        got = l2sq_distance_batch(base, base + 1e-13)
+        assert np.all(got >= 0.0)
+
+    def test_single_query_norm_kwargs(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(7, 4))
+        query = rng.normal(size=4)
+        plain = get_metric("cosine")(matrix, query)
+        primed = get_metric("cosine")(
+            matrix, query, row_norms=np.linalg.norm(matrix, axis=1),
+            query_norm=float(np.linalg.norm(query)))
+        assert np.allclose(plain, primed, atol=1e-12)
+
+    def test_batch_registry(self):
+        from repro.core.distance import get_metric_batch
+
+        for name in self.METRICS:
+            assert callable(get_metric_batch(name))
+        with pytest.raises(KeyError):
+            get_metric_batch("manhattan")
+
+    def test_batch_rejects_1d_queries(self):
+        from repro.core.distance import cosine_distance_batch
+
+        with pytest.raises(ValueError):
+            cosine_distance_batch(np.eye(3), np.ones(3))

@@ -174,3 +174,162 @@ class TestMakeIndex:
             make_index("btree")
         with pytest.raises(ValueError):
             make_index("lsh:4")
+
+
+class TestQueryBatch:
+    """query_batch must agree element-wise with sequential query calls."""
+
+    def _fill(self, index, vectors):
+        for i, v in enumerate(vectors):
+            index.insert(i, vec("r", v))
+
+    def test_empty_batch(self):
+        assert LinearIndex().query_batch([], 0.5) == []
+        assert LshIndex(dim=4).query_batch([], 0.5) == []
+        assert ExactIndex().query_batch([], 0.5) == []
+
+    def test_batch_on_empty_index(self):
+        probes = [vec("r", [1, 0]), vec("r", [0, 1])]
+        assert LinearIndex().query_batch(probes, 2.0) == [None, None]
+        assert LshIndex(dim=2).query_batch(probes, 2.0) == [None, None]
+
+    def test_linear_batch_matches_sequential(self):
+        rng = np.random.default_rng(11)
+        population = rng.normal(size=(60, 16))
+        index = LinearIndex()
+        self._fill(index, population)
+        probes = [vec("r", population[i] + rng.normal(0, 0.05, 16))
+                  for i in range(20)]
+        probes += [vec("r", rng.normal(size=16)) for _ in range(10)]
+        batch = index.query_batch(probes, threshold=0.05)
+        sequential = [index.query(p, threshold=0.05) for p in probes]
+        assert len(batch) == len(sequential)
+        for got, want in zip(batch, sequential):
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert got[0] == want[0]
+                assert got[1] == pytest.approx(want[1], abs=1e-9)
+
+    def test_lsh_batch_matches_sequential(self):
+        rng = np.random.default_rng(12)
+        population = rng.normal(size=(120, 32))
+        population /= np.linalg.norm(population, axis=1, keepdims=True)
+        index = LshIndex(dim=32, n_tables=6, n_bits=8)
+        self._fill(index, population)
+        probes = [vec("r", population[i] + rng.normal(0, 0.02, 32))
+                  for i in range(30)]
+        batch = index.query_batch(probes, threshold=0.05)
+        sequential = [index.query(p, threshold=0.05) for p in probes]
+        for got, want in zip(batch, sequential):
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert got[0] == want[0]
+                assert got[1] == pytest.approx(want[1], abs=1e-9)
+
+    def test_exact_batch_uses_sequential_fallback(self):
+        index = ExactIndex()
+        index.insert(1, HashDescriptor("m", "aa"))
+        got = index.query_batch(
+            [HashDescriptor("m", "aa"), HashDescriptor("m", "bb")], 0.0)
+        assert got == [(1, 0.0), None]
+
+
+class TestContiguousStore:
+    """Amortized growth and swap-compacted removal, via the public API."""
+
+    def test_growth_beyond_initial_capacity(self):
+        index = LinearIndex()
+        rng = np.random.default_rng(5)
+        population = rng.normal(size=(300, 8))
+        for i, v in enumerate(population):
+            index.insert(i, vec("r", v))
+        assert len(index) == 300
+        # Every stored vector is still retrievable post-doubling.
+        for i in (0, 63, 64, 150, 299):
+            hit = index.query(vec("r", population[i]), threshold=1e-9)
+            assert hit is not None and hit[1] <= 1e-6
+
+    def test_remove_reuses_slots(self):
+        index = LinearIndex()
+        rng = np.random.default_rng(6)
+        population = rng.normal(size=(100, 8))
+        for i, v in enumerate(population):
+            index.insert(i, vec("r", v))
+        for i in range(0, 100, 2):
+            index.remove(i)
+        assert len(index) == 50
+        fresh = rng.normal(size=(50, 8))
+        for i, v in enumerate(fresh):
+            index.insert(1000 + i, vec("r", v))
+        assert len(index) == 100
+        for i in range(1, 100, 2):  # odd survivors still found
+            hit = index.query(vec("r", population[i]), threshold=1e-9)
+            assert hit is not None
+        for i, v in enumerate(fresh):  # and so are the reinserts
+            hit = index.query(vec("r", v), threshold=1e-9)
+            assert hit is not None
+
+    def test_lsh_store_survives_churn(self):
+        index = LshIndex(dim=8, n_tables=4, n_bits=4)
+        rng = np.random.default_rng(7)
+        population = rng.normal(size=(80, 8))
+        for i, v in enumerate(population):
+            index.insert(i, vec("r", v))
+        for i in range(40):
+            index.remove(i)
+        for i in range(40):
+            index.insert(100 + i, vec("r", population[i]))
+        assert len(index) == 80
+        hit = index.query(vec("r", population[10]), threshold=1e-9)
+        assert hit is not None and hit[0] == 110  # the reinserted id
+
+
+class TestLshCostModel:
+    """Regression: lookup pricing must not depend on the previous query."""
+
+    def test_first_lookup_is_not_undercharged(self):
+        # Seed bug: cost was priced from the *previous* query's candidate
+        # set, so the first lookup after construction charged zero
+        # candidates regardless of occupancy.
+        index = LshIndex(dim=8, n_tables=2, n_bits=4)
+        rng = np.random.default_rng(8)
+        for i in range(64):
+            index.insert(i, vec("r", rng.normal(size=8)))
+        floor = index.BASE_COST_S + index.PER_TABLE_COST_S * index.n_tables
+        expected = 2 * 64 / 2 ** 4  # n_tables * n / buckets
+        assert index.lookup_cost_s() == pytest.approx(
+            floor + index.PER_CANDIDATE_COST_S * expected)
+        assert index.lookup_cost_s() > floor
+
+    def test_estimate_is_stateless_across_queries(self):
+        index = LshIndex(dim=8, n_tables=4, n_bits=4)
+        rng = np.random.default_rng(9)
+        for i in range(50):
+            index.insert(i, vec("r", rng.normal(size=8)))
+        before = index.lookup_cost_s()
+        index.query(vec("r", rng.normal(size=8)), threshold=0.5)
+        assert index.lookup_cost_s() == before
+
+    def test_query_records_its_own_cost_atomically(self):
+        index = LshIndex(dim=8, n_tables=4, n_bits=4)
+        rng = np.random.default_rng(10)
+        for i in range(50):
+            index.insert(i, vec("r", rng.normal(size=8)))
+        assert index.last_query_cost_s is None
+        index.query(vec("r", rng.normal(size=8)), threshold=0.5)
+        assert index.last_query_cost_s == pytest.approx(
+            index.BASE_COST_S
+            + index.PER_TABLE_COST_S * index.n_tables
+            + index.PER_CANDIDATE_COST_S * index.last_candidates)
+
+    def test_expected_candidates_capped_at_occupancy(self):
+        index = LshIndex(dim=4, n_tables=8, n_bits=1)  # 2 buckets/table
+        rng = np.random.default_rng(11)
+        for i in range(10):
+            index.insert(i, vec("r", rng.normal(size=4)))
+        # Uniform estimate would be 8 * 10 / 2 = 40 > occupancy.
+        assert index.lookup_cost_s() <= index._price(10.0)
+
+    def test_n_bits_capped_for_int64_signatures(self):
+        with pytest.raises(ValueError):
+            LshIndex(dim=4, n_bits=63)

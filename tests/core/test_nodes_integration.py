@@ -178,3 +178,56 @@ class TestMetricsPlumbing:
         misses = len(dep.recorder.select(outcome="miss"))
         assert stats.hits == hits
         assert stats.misses == misses
+
+
+class TestBatchedLookups:
+    """Same-tick recognition bursts are matched in one vectorized pass."""
+
+    def test_same_tick_burst_shares_one_batch_pass(self):
+        dep = make_deployment(n_clients=4)
+        # Warm the cache with one miss so the burst can hit.
+        dep.run_tasks(dep.clients[0], [dep.recognition_task(7)])
+        batches_before = dep.edge.lookup_batches
+        lookups_before = dep.edge.batched_lookups
+
+        plan = [(0.0, dep.clients[i],
+                 dep.recognition_task(7, viewpoint=0.05 * i))
+                for i in range(4)]
+        dep.run_concurrent(plan)
+
+        new_lookups = dep.edge.batched_lookups - lookups_before
+        new_batches = dep.edge.lookup_batches - batches_before
+        assert new_lookups == 4
+        # Coalescing: the burst needed fewer passes than requests.
+        assert new_batches < 4
+        hits = [r for r in dep.recorder.records if r.outcome == "hit"]
+        assert len(hits) == 4
+
+    def test_burst_outcomes_match_staggered_requests(self):
+        """Batching is a wall-clock optimization only: a same-tick burst
+        and well-separated requests make identical match decisions."""
+        outcomes = {}
+        for label, gap_s in (("burst", 0.0), ("staggered", 3.0)):
+            dep = make_deployment(n_clients=3)
+            dep.run_tasks(dep.clients[0], [dep.recognition_task(4)])
+            plan = [(gap_s * i, dep.clients[i],
+                     dep.recognition_task(4, viewpoint=0.1 * i))
+                    for i in range(3)]
+            dep.run_concurrent(plan)
+            outcomes[label] = [r.outcome for r in dep.recorder.records
+                               if r.task_kind == "recognition"]
+        assert outcomes["burst"] == outcomes["staggered"]
+
+    def test_federated_peer_probe_joins_batch(self):
+        """A federated miss probes the peer; the peer's vector probe
+        goes through the same batched-lookup path and still answers."""
+        from repro.core.federation import FederatedDeployment
+
+        dep = FederatedDeployment(CoICConfig(), n_edges=2,
+                                  clients_per_edge=1)
+        # Edge 1 learns the object; edge 0 then hits via the peer probe.
+        dep.run_tasks(dep.clients[1][0], [dep.recognition_task(3)])
+        record = dep.run_tasks(dep.clients[0][0],
+                               [dep.recognition_task(3, viewpoint=0.2)])[0]
+        assert record.outcome in ("hit", "miss")
+        assert dep.edges[0].peer_hits + dep.edges[0].peer_misses >= 1

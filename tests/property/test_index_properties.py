@@ -77,3 +77,87 @@ def test_insert_remove_consistency(stored, removals):
             if i in to_remove:
                 assert hit is None or hit[0] != i
             # Survivors are found unless a duplicate vector shadows them.
+
+
+@given(stored=st.lists(finite_vector, min_size=1, max_size=20),
+       queries=st.lists(finite_vector, min_size=0, max_size=10),
+       threshold=st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=80, deadline=None)
+def test_linear_query_batch_identical_to_sequential(stored, queries,
+                                                    threshold):
+    """Batched answers match the sequential path element-wise."""
+    index = LinearIndex()
+    for i, vec in enumerate(stored):
+        index.insert(i, vd(vec))
+    probes = [vd(q) for q in queries]
+    batch = index.query_batch(probes, threshold)
+    sequential = [index.query(p, threshold) for p in probes]
+    assert len(batch) == len(sequential)
+    for got, want in zip(batch, sequential):
+        assert (got is None) == (want is None)
+        if got is not None:
+            assert got[0] == want[0]
+            assert abs(got[1] - want[1]) < 1e-9
+
+
+@given(stored=st.lists(finite_vector, min_size=1, max_size=20),
+       queries=st.lists(finite_vector, min_size=0, max_size=10),
+       threshold=st.floats(min_value=0.0, max_value=2.0))
+@settings(max_examples=60, deadline=None)
+def test_lsh_query_batch_identical_to_sequential(stored, queries,
+                                                 threshold):
+    index = LshIndex(dim=DIM, n_tables=6, n_bits=4)
+    for i, vec in enumerate(stored):
+        index.insert(i, vd(vec))
+    probes = [vd(q) for q in queries]
+    batch = index.query_batch(probes, threshold)
+    sequential = [index.query(p, threshold) for p in probes]
+    for got, want in zip(batch, sequential):
+        assert (got is None) == (want is None)
+        if got is not None:
+            assert got[0] == want[0]
+            assert abs(got[1] - want[1]) < 1e-9
+
+
+@given(stored=st.lists(finite_vector, min_size=1, max_size=15),
+       queries=st.lists(finite_vector, min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_cache_lookup_batch_identical_to_sequential(stored, queries):
+    """Two identical caches, one batched and one sequential, stay
+    indistinguishable: same hits, same stats, same recency effects."""
+    from repro.core.cache import ICCache
+
+    batched = ICCache(capacity_bytes=1_000_000, default_threshold=0.3)
+    sequential = ICCache(capacity_bytes=1_000_000, default_threshold=0.3)
+    for cache in (batched, sequential):
+        for i, vec in enumerate(stored):
+            cache.insert(vd(vec), result=i, size_bytes=8)
+    probes = [vd(q) for q in queries]
+    got = batched.lookup_batch(probes, now=1.0)
+    want = [sequential.lookup(p, now=1.0) for p in probes]
+    assert [e and e.entry_id for e in got] == \
+        [e and e.entry_id for e in want]
+    assert batched.stats == sequential.stats
+
+
+def test_lsh_recall_floor_across_seeds():
+    """LSH recall vs LinearIndex ground truth stays >= the documented
+    0.8 floor on near-duplicate workloads, across seeds."""
+    for seed in range(5):
+        rng = np.random.default_rng(seed)
+        population = rng.normal(size=(250, 64))
+        population /= np.linalg.norm(population, axis=1, keepdims=True)
+        linear = LinearIndex()
+        lsh = LshIndex(dim=64, n_tables=8, n_bits=10, seed=seed)
+        for i, vec in enumerate(population):
+            linear.insert(i, vd(vec))
+            lsh.insert(i, vd(vec))
+        probes = [vd(population[i] + rng.normal(0, 0.02, 64))
+                  for i in range(60)]
+        truth = linear.query_batch(probes, threshold=0.05)
+        got = lsh.query_batch(probes, threshold=0.05)
+        matched = [(a, b) for a, b in zip(truth, got) if a is not None]
+        assert matched, f"seed {seed}: ground truth found no matches"
+        recall = sum(1 for a, b in matched
+                     if b is not None and b[0] == a[0]) / len(matched)
+        assert recall >= 0.8, f"seed {seed}: recall {recall:.2f} < 0.8"
