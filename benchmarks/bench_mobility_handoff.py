@@ -1,0 +1,82 @@
+"""A10 — mobile multi-edge metro: handoff rate vs federation policy.
+
+The scenario layer's headline workload: a 4-edge metro grid, users on
+random-waypoint itineraries handing off between edges mid-run, and a
+federation switch deciding whether a user's content follows them.  The
+bench sweeps the handoff dead time and records how federation policy
+trades cache hit ratio against response latency in
+``BENCH_mobility_handoff.json``.
+"""
+
+from conftest import emit, emit_json
+
+from repro.eval.experiments.mobility_exp import run_mobility
+from repro.eval.tables import format_table
+
+SMOKE_KWARGS = {"handoff_latencies_ms": (50.0,), "duration_s": 60.0,
+                "clients_per_edge": 1, "mean_dwell_s": 10.0}
+FULL_KWARGS = {"handoff_latencies_ms": (0.0, 50.0, 250.0),
+               "n_edges": 4, "clients_per_edge": 2, "duration_s": 180.0,
+               "mean_dwell_s": 15.0, "request_interval_s": 2.0}
+
+
+def test_mobility_handoff(benchmark, smoke):
+    kwargs = SMOKE_KWARGS if smoke else FULL_KWARGS
+    rows = benchmark.pedantic(run_mobility, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+    table = [["fed" if r.federate else "iso", f"{r.handoff_latency_ms:.0f}",
+              str(r.requests), str(r.handoffs),
+              str(r.min_handoffs_per_client), f"{r.hit_ratio:.3f}",
+              f"{r.mean_ms:.1f}", f"{r.p95_ms:.1f}",
+              f"{r.peer_hit_ratio:.2f}"] for r in rows]
+    emit(format_table(
+        ["edges", "handoff ms", "requests", "handoffs", "min/client",
+         "hit ratio", "mean ms", "p95 ms", "peer hits"],
+        table, title="A10 — 4-edge metro: mobility + handoff"))
+
+    # Shape assertions (hold in smoke mode too).
+    isolated = [r for r in rows if not r.federate]
+    federated = [r for r in rows if r.federate]
+    assert isolated and federated
+    for row in rows:
+        assert row.requests > 0
+        # Every client crosses a cell boundary at least once mid-run.
+        assert row.min_handoffs_per_client >= 1
+        assert 0.0 <= row.hit_ratio <= 1.0
+    # Federation answers misses the moving user left behind at their
+    # previous edge: the hit ratio never drops below isolated edges'.
+    for iso, fed in zip(isolated, federated):
+        assert fed.handoff_latency_ms == iso.handoff_latency_ms
+        assert fed.hit_ratio >= iso.hit_ratio
+        assert fed.peer_hit_ratio > 0.0
+
+    if smoke:
+        return
+
+    # Longer dead time stalls mid-migration requests: p95 grows with the
+    # handoff latency knob within each policy.
+    for policy_rows in (isolated, federated):
+        latencies = [r.handoff_latency_ms for r in policy_rows]
+        assert latencies == sorted(latencies)
+        assert policy_rows[-1].p95_ms >= policy_rows[0].p95_ms
+
+    best = max(federated, key=lambda r: r.hit_ratio)
+    benchmark.extra_info["federated_hit_ratio"] = best.hit_ratio
+    benchmark.extra_info["handoffs"] = best.handoffs
+
+    emit_json("mobility_handoff", {
+        "workload": {k: v for k, v in kwargs.items()
+                     if k != "handoff_latencies_ms"},
+        "rows": [{
+            "federate": r.federate,
+            "handoff_latency_ms": r.handoff_latency_ms,
+            "requests": r.requests,
+            "handoffs": r.handoffs,
+            "min_handoffs_per_client": r.min_handoffs_per_client,
+            "hit_ratio": r.hit_ratio,
+            "mean_ms": r.mean_ms,
+            "p95_ms": r.p95_ms,
+            "peer_hit_ratio": r.peer_hit_ratio,
+        } for r in rows],
+    })

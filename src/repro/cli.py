@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig2a                  # regenerate a figure
     python -m repro run sharing --seed 3
     python -m repro demo --wifi 90 --backhaul 9   # one miss/hit pair
+    python -m repro scenario city.json --duration 120   # run a spec file
 
 Output is the same plain-text tables the benches print, so the CLI is
 the fastest way to poke at a parameter without writing a script.
@@ -123,6 +124,45 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.core import CoICConfig
+    from repro.core.cluster import ClusterDeployment
+    from repro.core.scenario import load_spec
+    from repro.eval.experiments.mobility_exp import drive_scenario
+
+    try:
+        spec = load_spec(args.spec)
+    except (ValueError, KeyError, TypeError, AttributeError) as exc:
+        print(f"bad scenario spec: {exc}", file=sys.stderr)
+        return 2
+    config = CoICConfig(seed=args.seed or 0)
+    if args.wifi is not None:
+        config.network.wifi_mbps = args.wifi
+    if args.backhaul is not None:
+        config.network.backhaul_mbps = args.backhaul
+    deployment = ClusterDeployment(spec, config=config)
+    drive_scenario(deployment, duration_s=args.duration,
+                   request_interval_s=args.interval)
+
+    recorder = deployment.recorder
+    rows = []
+    for kind in sorted({r.task_kind for r in recorder.records}):
+        for outcome in sorted({r.outcome for r in
+                               recorder.select(task_kind=kind)}):
+            s = recorder.summary(task_kind=kind, outcome=outcome)
+            rows.append([kind, outcome, str(s.n), f"{s.mean * 1e3:.1f}",
+                         f"{s.p95 * 1e3:.1f}"])
+    print(format_table(["task", "outcome", "n", "mean ms", "p95 ms"], rows,
+                       title=f"scenario: {len(deployment.edges)} edges, "
+                             f"{len(deployment.all_clients)} clients"))
+    print(f"\nhit ratio: {recorder.hit_ratio():.3f}")
+    print(f"handoffs: {len(deployment.handoff_log)}")
+    caches = ", ".join(f"{name}={len(cache)}" for name, cache in
+                       zip(deployment.edge_names, deployment.caches))
+    print(f"cache entries: {caches}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -141,12 +181,28 @@ def build_parser() -> argparse.ArgumentParser:
     demo_p.add_argument("--backhaul", type=float, default=9.0,
                         help="edge->cloud bandwidth, Mbps")
     demo_p.add_argument("--seed", type=int, default=None)
+
+    scen_p = sub.add_parser(
+        "scenario",
+        help="build and run a ScenarioSpec from a JSON/YAML dict file")
+    scen_p.add_argument("spec", help="path to a spec file (or inline JSON)")
+    scen_p.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds to run (default: the "
+                             "spec's mobility duration, else 60)")
+    scen_p.add_argument("--interval", type=float, default=2.0,
+                        help="per-client think time between requests, s")
+    scen_p.add_argument("--wifi", type=float, default=None,
+                        help="mobile->edge bandwidth override, Mbps")
+    scen_p.add_argument("--backhaul", type=float, default=None,
+                        help="edge->cloud bandwidth override, Mbps")
+    scen_p.add_argument("--seed", type=int, default=None)
     return parser
 
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"list": cmd_list, "run": cmd_run, "demo": cmd_demo}
+    handlers = {"list": cmd_list, "run": cmd_run, "demo": cmd_demo,
+                "scenario": cmd_scenario}
     return handlers[args.command](args)
 
 

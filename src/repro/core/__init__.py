@@ -13,13 +13,28 @@ The cooperative immersive-computing framework, assembled from:
   :mod:`~repro.core.cloud` — the three node roles of Figure 1.
 * :mod:`~repro.core.baselines` — the paper's Origin baseline (full
   offload, no cache) and a local-only reference.
-* :mod:`~repro.core.framework` — one-call deployment builder.
+* :mod:`~repro.core.scenario` / :mod:`~repro.core.cluster` — the
+  declarative scenario layer: dict-serializable deployment specs and the
+  one builder that wires any of them (single edge, federated clusters,
+  mobile multi-edge with handoff).
+* :mod:`~repro.core.framework` / :mod:`~repro.core.federation` —
+  one-call deployment facades over the scenario layer.
 * :mod:`~repro.core.layer_cache`, :mod:`~repro.core.privacy` — the §4
   future-work directions: per-DNN-layer result reuse and descriptor
   privacy protection.
 """
 
 from repro.core.cache import CacheEntry, CacheStats, ICCache
+from repro.core.cluster import ClusterDeployment, HandoffEvent
+from repro.core.scenario import (
+    ClientSpec,
+    EdgeSpec,
+    InterEdgeLinkSpec,
+    MobilitySpec,
+    ScenarioSpec,
+    WarmupSpec,
+    load_spec,
+)
 from repro.core.config import (
     CacheConfig,
     CoICConfig,
@@ -52,9 +67,17 @@ __all__ = [
     "CacheConfig",
     "CacheEntry",
     "CacheStats",
+    "ClientSpec",
+    "ClusterDeployment",
     "CoICConfig",
     "CoICDeployment",
     "Descriptor",
+    "EdgeSpec",
+    "HandoffEvent",
+    "InterEdgeLinkSpec",
+    "MobilitySpec",
+    "ScenarioSpec",
+    "WarmupSpec",
     "ExactIndex",
     "FifoPolicy",
     "GdsfPolicy",
@@ -77,6 +100,7 @@ __all__ = [
     "VectorDescriptor",
     "VrConfig",
     "get_metric",
+    "load_spec",
     "make_index",
     "make_policy",
 ]

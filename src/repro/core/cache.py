@@ -289,6 +289,78 @@ class ICCache:
         self.stats.insertions += 1
         return entry
 
+    def insert_batch(self, items: typing.Sequence[tuple],
+                     now: float = 0.0,
+                     cost_s: float = 0.0) -> list[CacheEntry | None]:
+        """Store a burst of ``(descriptor, result, size_bytes)`` triples.
+
+        Capacity accounting, eviction order, stats and the resulting
+        entry set match the equivalent sequence of :meth:`insert` calls,
+        but per-kind *index* insertions are batched — a warm-up flood of
+        vector descriptors costs one signature matmul
+        (:meth:`~repro.core.index.DescriptorIndex.insert_batch`) instead
+        of one per entry.  Pending index insertions are flushed before
+        any eviction, so victims are always present in their index; if
+        an index rejects a pending burst (bad descriptor), the entries
+        not yet indexed are rolled back out of the cache bookkeeping
+        before the error propagates, so the cache is never left holding
+        unfindable entries.  Returns one entry-or-None (rejected
+        oversize) per item.
+        """
+        pending: dict[str, list[tuple[int, Descriptor]]] = {}
+        pending_descriptor: dict[str, Descriptor] = {}
+
+        def flush() -> None:
+            try:
+                for kind in list(pending):
+                    self.index_for(kind, pending_descriptor[kind]
+                                   ).insert_batch(pending[kind])
+                    del pending[kind]
+            except Exception:
+                # Index insert_batch is atomic per kind: everything
+                # still in ``pending`` is absent from its index.  Undo
+                # its cache-side registration and re-raise.
+                for batch in pending.values():
+                    for entry_id, _ in batch:
+                        entry = self._entries.pop(entry_id)
+                        self._bytes -= entry.size_bytes
+                        self.policy.on_remove(entry)
+                        self.stats.insertions -= 1
+                pending.clear()
+                raise
+
+        out: list[CacheEntry | None] = []
+        for descriptor, result, size_bytes in items:
+            if size_bytes < 0:
+                flush()
+                raise ValueError("size_bytes must be >= 0")
+            if size_bytes > self.capacity_bytes:
+                self.stats.rejected += 1
+                out.append(None)
+                continue
+            if self._bytes + size_bytes > self.capacity_bytes:
+                flush()
+                while self._bytes + size_bytes > self.capacity_bytes:
+                    victim = self.policy.select_victim()
+                    self._drop(victim)
+                    self.stats.evictions += 1
+            entry = CacheEntry(
+                entry_id=next(self._ids), descriptor=descriptor,
+                result=result, size_bytes=int(size_bytes), cost_s=cost_s,
+                created_at=now, last_access=now,
+                expires_at=(now + self.ttl_s) if self.ttl_s is not None
+                else None)
+            pending.setdefault(descriptor.kind, []).append(
+                (entry.entry_id, descriptor))
+            pending_descriptor[descriptor.kind] = descriptor
+            self._entries[entry.entry_id] = entry
+            self._bytes += entry.size_bytes
+            self.policy.on_insert(entry)
+            self.stats.insertions += 1
+            out.append(entry)
+        flush()
+        return out
+
     def remove(self, entry: CacheEntry) -> None:
         """Explicitly invalidate an entry."""
         if entry.entry_id not in self._entries:

@@ -72,6 +72,53 @@ class CoICClient:
         self.recorder = recorder
         self.edge_name = edge_name
         self.viewport = Viewport()
+        #: (time_s, edge_name) history; mobility re-attachment appends.
+        self.attachments: list[tuple[float, str]] = [(env.now, edge_name)]
+        #: Requests currently between perform() entry and completion.
+        self.inflight = 0
+        self._drained = None
+        self._attach_gate = None
+
+    # -- attachment -----------------------------------------------------------------
+
+    @property
+    def attached(self) -> bool:
+        """False while the client is mid-handoff (radio re-associating)."""
+        return self._attach_gate is None
+
+    def detach(self) -> None:
+        """Start a handoff: new requests stall until :meth:`attach`.
+
+        Requests already in flight keep completing against the previous
+        edge (the deployment keeps its link up until they drain).
+        """
+        if self._attach_gate is None:
+            self._attach_gate = self.env.event()
+
+    def attach(self, edge_name: str, now: float | None = None) -> None:
+        """(Re-)point this client at a serving edge and release the gate.
+
+        Requests issued after this call target ``edge_name``; requests
+        already in flight complete against the previous edge.  The
+        deployment's handoff process drives link teardown/re-setup
+        around this call.
+        """
+        self.edge_name = edge_name
+        self.attachments.append(
+            (self.env.now if now is None else now, edge_name))
+        if self._attach_gate is not None:
+            gate, self._attach_gate = self._attach_gate, None
+            gate.succeed()
+
+    def drained(self):
+        """Event that fires when no request is in flight (maybe now)."""
+        if self.inflight == 0:
+            event = self.env.event()
+            event.succeed()
+            return event
+        if self._drained is None:
+            self._drained = self.env.event()
+        return self._drained
 
     # -- public API -----------------------------------------------------------------
 
@@ -79,6 +126,12 @@ class CoICClient:
         """Simulation process: run one task end-to-end, record and return
         its :class:`RequestRecord`."""
         started = self.env.now
+        while self._attach_gate is not None:
+            # Mid-handoff: the radio is between access points.  The wait
+            # counts against this request's latency, which is exactly the
+            # QoE cost the handoff-latency knob models.
+            yield self._attach_gate
+        self.inflight += 1
         try:
             if isinstance(task, RecognitionTask):
                 outcome, correct, detail = yield from self._do_recognition(
@@ -92,6 +145,11 @@ class CoICClient:
                 raise TypeError(f"client cannot perform {task!r}")
         except RpcError as exc:
             outcome, correct, detail = OUTCOME_ERROR, None, {"error": str(exc)}
+        finally:
+            self.inflight -= 1
+            if self.inflight == 0 and self._drained is not None:
+                drained, self._drained = self._drained, None
+                drained.succeed()
         record = RequestRecord(task_kind=task.kind, outcome=outcome,
                                user=self.name, start_s=started,
                                end_s=self.env.now, correct=correct,
@@ -103,6 +161,9 @@ class CoICClient:
 
     def _do_recognition(self, task: RecognitionTask):
         rec = self.config.recognition
+        # Snapshot the serving edge: a handoff completing mid-request
+        # must not split the two-phase exchange across edges.
+        edge_name = self.edge_name
         headers: dict = {}
         size = 64
         if rec.descriptor_source == "client":
@@ -122,7 +183,7 @@ class CoICClient:
             size += task.input_bytes
 
         request = Message(size_bytes=size, kind="ic_request", payload=task,
-                          src=self.name, dst=self.edge_name,
+                          src=self.name, dst=edge_name,
                           headers=headers)
         response = yield self.rpc.call(
             request, timeout=self.config.request_timeout_s)
@@ -133,7 +194,7 @@ class CoICClient:
                              "has_input": True, "force_forward": True}
             retry = Message(size_bytes=64 + task.input_bytes,
                             kind="ic_request", payload=task, src=self.name,
-                            dst=self.edge_name, headers=retry_headers)
+                            dst=edge_name, headers=retry_headers)
             response = yield self.rpc.call(
                 retry, timeout=self.config.request_timeout_s)
 

@@ -1,0 +1,573 @@
+"""ClusterDeployment: build any scenario; move users between edges.
+
+The builder layer of the scenario architecture (see
+:mod:`repro.core.scenario` for the layering overview).  One constructor
+covers the paper's single testbed edge, isolated or federated multi-edge
+clusters, and mobile metro scenarios where clients hand off between
+edges mid-run:
+
+* topology wiring is driven entirely by the spec — access links per
+  client, one shaped backhaul per edge, and an arbitrary inter-edge
+  graph routed by :class:`~repro.net.topology.Topology` (no star
+  assumption anywhere);
+* client↔edge attachment is a first-class *mutable* association:
+  :meth:`handoff` re-points a :class:`~repro.core.client.CoICClient` at
+  a new edge with configurable dead time, keeping the old WiFi link up
+  until the client's in-flight requests drain (make-before-break), then
+  tearing it down;
+* :meth:`start_mobility` replays
+  :class:`~repro.workload.mobility.RandomWaypointUser` itineraries and
+  hands each client to its nearest edge as it moves;
+* cache warm-up and federation sync go through the vectorized
+  ``insert_batch`` path — one signature matmul per burst.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import typing
+
+from repro.core.baselines import LocalClient, OriginClient
+from repro.core.cache import ICCache
+from repro.core.client import CoICClient
+from repro.core.cloud import CloudNode
+from repro.core.config import CoICConfig
+from repro.core.descriptors import HashDescriptor, VectorDescriptor
+from repro.core.edge import EdgeNode
+from repro.core.metrics import MetricsRecorder
+from repro.core.policies import make_policy
+from repro.core.scenario import ScenarioSpec, WarmupSpec
+from repro.core.tasks import (
+    KIND_MODEL_LOAD,
+    KIND_RECOGNITION,
+    ModelLoadResult,
+    ModelLoadTask,
+    PanoramaTask,
+    RecognitionTask,
+)
+from repro.net.shaper import TrafficShaper
+from repro.net.topology import Topology
+from repro.net.transport import Rpc
+from repro.render.loader import (
+    EDGE_GPU_2018,
+    MOBILE_GPU_2018,
+    ModelLoader,
+)
+from repro.render.panorama import Panorama
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngStreams
+from repro.vision.features import EmbeddingSpace
+from repro.vision.image import CameraFrame, RESOLUTIONS
+from repro.vision.model_zoo import (
+    CLOUD_GPU_2018,
+    EDGE_CPU_2018,
+    MOBILE_SOC_2018,
+    get_network,
+)
+from repro.vision.recognition import RecognitionResult, Recognizer
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link
+    from repro.workload.mobility import RandomWaypointUser, World
+
+CLOUD = "cloud"
+
+
+@dataclasses.dataclass(frozen=True)
+class HandoffEvent:
+    """One completed client migration between edges."""
+
+    started_s: float
+    completed_s: float
+    client: str
+    src_edge: str
+    dst_edge: str
+
+
+class DeploymentDriverMixin:
+    """Task factories and run helpers shared by every deployment facade.
+
+    Hosts the code that used to be copy-pasted (and drifting) between
+    ``CoICDeployment`` and ``FederatedDeployment``.  Requires the
+    deployment to provide ``env``, ``config``, ``catalog`` and
+    ``_capture_ids``.
+    """
+
+    env: Environment
+    config: CoICConfig
+    catalog: dict[int, tuple[str, int]]
+    _capture_ids: typing.Iterator[int]
+
+    # -- task factories ------------------------------------------------------
+
+    def recognition_task(self, object_class: int, viewpoint: float = 0.0,
+                         user: str = "", seq: int = 0) -> RecognitionTask:
+        """A recognition task over a fresh camera capture."""
+        rec = self.config.recognition
+        frame = CameraFrame(
+            object_class=object_class, viewpoint=viewpoint,
+            resolution=RESOLUTIONS[rec.resolution], quality=rec.quality,
+            user=user, seq=seq, capture_id=next(self._capture_ids))
+        return RecognitionTask(frame=frame)
+
+    def model_load_task(self, model_id: int) -> ModelLoadTask:
+        """A load task for a catalog model."""
+        digest, file_bytes = self.catalog[model_id]
+        return ModelLoadTask(model_id=model_id, digest=digest,
+                             file_bytes=file_bytes)
+
+    def panorama_task(self, content_id: int, segment: int,
+                      pose_cell: int = 0) -> PanoramaTask:
+        """A panorama fetch for one (content, segment, pose cell)."""
+        vr = self.config.vr
+        pano = Panorama(content_id=content_id, segment=segment,
+                        pose_cell=pose_cell,
+                        resolution=RESOLUTIONS[vr.resolution],
+                        quality=vr.quality)
+        return PanoramaTask(panorama=pano)
+
+    # -- running -------------------------------------------------------------
+
+    def run_tasks(self, client: typing.Any,
+                  tasks: typing.Sequence, spacing_s: float = 0.0) -> list:
+        """Run ``tasks`` sequentially on ``client``; return their records.
+
+        ``spacing_s`` inserts think-time between consecutive requests.
+        Drains the simulation before returning.
+        """
+        records: list = []
+
+        def driver():
+            for task in tasks:
+                record = yield self.env.process(client.perform(task))
+                records.append(record)
+                if spacing_s > 0:
+                    yield self.env.timeout(spacing_s)
+
+        proc = self.env.process(driver())
+        self.env.run(until=proc)
+        return records
+
+    def run_concurrent(self, plan: typing.Sequence[tuple]) -> None:
+        """Run a multi-client plan of ``(delay_s, client, task)`` triples.
+
+        Each triple starts an independent request ``delay_s`` after the
+        current simulation time.  Returns once everything completes.
+        """
+
+        def launcher(delay: float, client, task):
+            yield self.env.timeout(delay)
+            yield self.env.process(client.perform(task))
+
+        procs = [self.env.process(launcher(d, c, t)) for d, c, t in plan]
+
+        def barrier():
+            for proc in procs:
+                yield proc
+
+        self.env.run(until=self.env.process(barrier()))
+
+
+class ClusterDeployment(DeploymentDriverMixin):
+    """A fully wired cluster built from a :class:`ScenarioSpec`.
+
+    Args:
+        spec: The scenario to build.
+        config: Deployment parameters (``CoICConfig()`` if None).
+
+    Attributes:
+        env: The simulation environment (drive with ``env.run``).
+        edges: Edge nodes, in spec order.
+        caches: Each edge's IC cache, in spec order.
+        clients_by_edge: ``clients_by_edge[k][i]`` is the i-th client
+            initially attached to edge k.
+        all_clients: Every CoIC client, flattened in spec order.
+        cloud: The shared cloud node.
+        recorder: Shared metrics recorder for all clients.
+        handoff_log: Completed :class:`HandoffEvent` s, in time order.
+    """
+
+    def __init__(self, spec: ScenarioSpec,
+                 config: CoICConfig | None = None):
+        self.spec = spec
+        self.config = config if config is not None else CoICConfig()
+        cfg = self.config
+
+        self.env = Environment()
+        self.rng = RngStreams(cfg.seed)
+        self.topology = Topology(self.env)
+        self.shaper = TrafficShaper(self.env)
+        self.rpc = Rpc(self.env, self.topology)
+        self.recorder = MetricsRecorder()
+        self._capture_ids = itertools.count(1)
+
+        # -- network ---------------------------------------------------------
+        net = cfg.network
+        self.edge_names = spec.edge_names
+        self.access_links: dict[tuple[str, str], tuple["Link", "Link"]] = {}
+        self.backhaul: dict[str, tuple["Link", "Link"]] = {}
+        for espec in spec.edges:
+            for cspec in espec.clients:
+                self._add_access(cspec.name, espec.name,
+                                 stream=cspec.wifi_stream or None)
+            self.backhaul[espec.name] = self.topology.add_duplex(
+                espec.name, CLOUD, net.backhaul_mbps * 1e6,
+                propagation_s=net.backhaul_delay_ms / 1e3,
+                jitter_s=(net.backhaul_jitter_ms / 1e3
+                          if spec.impairments else 0.0),
+                loss_rate=net.loss_rate if spec.impairments else 0.0,
+                rng=self.rng.stream(espec.backhaul_stream
+                                    or f"net.backhaul.{espec.name}"))
+        for lspec in spec.inter_edge:
+            self.topology.add_duplex(
+                lspec.a, lspec.b, lspec.mbps * 1e6,
+                propagation_s=lspec.delay_ms / 1e3,
+                rng=self.rng.stream(lspec.stream
+                                    or f"net.metro.{lspec.a}.{lspec.b}"))
+
+        # -- vision ----------------------------------------------------------
+        rec = cfg.recognition
+        self.space = EmbeddingSpace(
+            dim=rec.descriptor_dim, n_classes=rec.n_classes,
+            viewpoint_scale=rec.viewpoint_scale,
+            noise_sigma=rec.noise_sigma, seed=cfg.seed)
+        self._network = get_network(rec.network,
+                                    descriptor_dim=rec.descriptor_dim)
+        self.mobile_recognizer = Recognizer(
+            self._network, MOBILE_SOC_2018, self.space,
+            rng=self._vision_stream("vision.mobile"))
+        self.cloud_recognizer = Recognizer(
+            self._network, CLOUD_GPU_2018, self.space,
+            rng=self._vision_stream("vision.cloud"))
+
+        # -- rendering -------------------------------------------------------
+        self.mobile_loader = ModelLoader(MOBILE_GPU_2018)
+        self.edge_loader = ModelLoader(EDGE_GPU_2018)
+        #: model_id -> (digest, file_bytes): the world's model catalog.
+        self.catalog: dict[int, tuple[str, int]] = {}
+        for model_id, size_kb in enumerate(cfg.rendering.catalog_sizes_kb):
+            digest = hashlib.sha256(
+                f"model:{model_id}:{size_kb}:{cfg.seed}".encode()).hexdigest()
+            self.catalog[model_id] = (digest, int(size_kb * 1024))
+
+        # -- nodes -----------------------------------------------------------
+        self.cloud = CloudNode(
+            self.env, self.rpc, self.topology.hosts[CLOUD],
+            recognizer=self.cloud_recognizer, config=cfg,
+            workers=cfg.cloud_workers)
+
+        self.edges: list[EdgeNode] = []
+        self.caches: list[ICCache] = []
+        self.edge_recognizers: list[Recognizer] = []
+        for espec in spec.edges:
+            cache = ICCache(
+                capacity_bytes=cfg.cache.capacity_bytes,
+                policy=make_policy(cfg.cache.policy),
+                vector_index=cfg.cache.vector_index,
+                metric=cfg.cache.metric,
+                descriptor_dim=rec.descriptor_dim,
+                ttl_s=cfg.cache.ttl_s)
+            self.caches.append(cache)
+            stream_name = ("vision.edge" if len(spec.edges) == 1
+                           else f"vision.edge.{espec.name}")
+            recognizer = Recognizer(self._network, EDGE_CPU_2018, self.space,
+                                    rng=self._vision_stream(stream_name))
+            self.edge_recognizers.append(recognizer)
+            if spec.federate:
+                from repro.core.federation import FederatedEdgeNode
+
+                peers = (list(espec.peers) if espec.peers is not None
+                         else [n for n in self.edge_names
+                               if n != espec.name])
+                node = FederatedEdgeNode(
+                    self.env, self.rpc, self.topology.hosts[espec.name],
+                    cache=cache, config=cfg, recognizer=recognizer,
+                    loader=self.edge_loader, workers=cfg.edge_workers,
+                    peers=peers, peer_timeout_s=spec.peer_timeout_s)
+            else:
+                node = EdgeNode(
+                    self.env, self.rpc, self.topology.hosts[espec.name],
+                    cache=cache, config=cfg, recognizer=recognizer,
+                    loader=self.edge_loader, workers=cfg.edge_workers)
+            self.edges.append(node)
+        self.edge_by_name = dict(zip(self.edge_names, self.edges))
+        self.cache_by_name = dict(zip(self.edge_names, self.caches))
+
+        # -- clients ---------------------------------------------------------
+        self.clients_by_edge: list[list[CoICClient]] = []
+        for espec in spec.edges:
+            row = [CoICClient(self.env, self.rpc, cspec.name, cfg,
+                              recognizer=self.mobile_recognizer,
+                              loader=self.mobile_loader,
+                              recorder=self.recorder, edge_name=espec.name)
+                   for cspec in espec.clients]
+            self.clients_by_edge.append(row)
+        self.all_clients = [c for row in self.clients_by_edge for c in row]
+        self.client_names = [c.name for c in self.all_clients]
+        self.client_by_name = {c.name: c for c in self.all_clients}
+        self.origin_clients: list[OriginClient] = []
+        self.local_clients: list[LocalClient] = []
+        if spec.baselines:
+            self.origin_clients = [
+                OriginClient(self.env, self.rpc, name, cfg,
+                             loader=self.mobile_loader,
+                             recorder=self.recorder, cloud_name=CLOUD)
+                for name in self.client_names]
+            self.local_clients = [
+                LocalClient(self.env, name, cfg,
+                            recognizer=self.mobile_recognizer,
+                            recorder=self.recorder)
+                for name in self.client_names]
+
+        # -- mobility / handoff ---------------------------------------------
+        self.handoff_log: list[HandoffEvent] = []
+        self.world: "World | None" = None
+        self.users: dict[str, "RandomWaypointUser"] = {}
+        self.itineraries: dict[str, list[tuple[float, int]]] = {}
+        self.client_places: dict[str, int] = {}
+        if spec.mobility is not None:
+            self._build_world()
+
+        # -- warm-up ---------------------------------------------------------
+        if spec.warmup is not None:
+            self.warm_caches(spec.warmup)
+
+    def _vision_stream(self, name: str):
+        if not self.spec.vision_streams:
+            return None
+        return self.rng.stream(name)
+
+    # -- access-link management ---------------------------------------------
+
+    def _add_access(self, client_name: str, edge_name: str,
+                    stream: str | None = None) -> tuple["Link", "Link"]:
+        """Create (or re-enable) the WiFi duplex client<->edge."""
+        key = (client_name, edge_name)
+        links = self.access_links.get(key)
+        if links is not None:
+            for link in links:
+                link.set_up(True)
+            return links
+        net = self.config.network
+        links = self.topology.add_duplex(
+            client_name, edge_name, net.wifi_mbps * 1e6,
+            propagation_s=net.wifi_delay_ms / 1e3,
+            jitter_s=(net.wifi_jitter_ms / 1e3
+                      if self.spec.impairments else 0.0),
+            loss_rate=net.loss_rate if self.spec.impairments else 0.0,
+            rng=self.rng.stream(stream
+                                or f"net.wifi.{client_name}.{edge_name}"))
+        self.access_links[key] = links
+        return links
+
+    # -- handoff -------------------------------------------------------------
+
+    def handoff(self, client: CoICClient, new_edge: str,
+                latency_s: float | None = None):
+        """Simulation process: migrate ``client`` to ``new_edge``.
+
+        The client spends ``latency_s`` re-associating: new requests
+        stall at the client's attach gate (their wait counts against
+        their latency), while requests already in flight keep completing
+        against the old edge over its still-up link.  After the dead
+        time the client attaches to the new edge; the old WiFi link is
+        torn down only once the in-flight requests drain, so no request
+        is ever stranded mid-response.
+        """
+        if new_edge not in self.edge_by_name:
+            raise KeyError(f"unknown edge {new_edge!r}")
+        old_edge = client.edge_name
+        if old_edge == new_edge:
+            return
+        if latency_s is None:
+            latency_s = (self.spec.mobility.handoff_latency_s
+                         if self.spec.mobility is not None else 0.05)
+        started = self.env.now
+        client.detach()
+        if latency_s > 0:
+            yield self.env.timeout(latency_s)
+        self._add_access(client.name, new_edge)
+        client.attach(new_edge, now=self.env.now)
+        self.handoff_log.append(HandoffEvent(
+            started_s=started, completed_s=self.env.now, client=client.name,
+            src_edge=old_edge, dst_edge=new_edge))
+        self.env.process(self._retire_access(client, old_edge))
+
+    def _retire_access(self, client: CoICClient, old_edge: str):
+        """Down the old link once the client's in-flight work drains."""
+        while client.inflight:
+            yield client.drained()
+        if client.edge_name != old_edge:
+            for link in self.access_links.get((client.name, old_edge), ()):
+                link.set_up(False)
+
+    def attachment_timeline(self) -> list[tuple[float, str, str]]:
+        """Every (time_s, client, edge) attachment, in time order."""
+        events = [(when, client.name, edge)
+                  for client in self.all_clients
+                  for when, edge in client.attachments]
+        return sorted(events)
+
+    # -- mobility ------------------------------------------------------------
+
+    def _build_world(self) -> None:
+        from repro.workload.mobility import World
+
+        m = self.spec.mobility
+        self.world = World(
+            n_places=m.n_places, n_classes=self.config.recognition.n_classes,
+            objects_per_place=m.objects_per_place,
+            rng=self.rng.stream("mobility.world"),
+            extent_m=m.extent_m, popularity_alpha=m.popularity_alpha)
+
+    def nearest_edge_name(self, place_id: int) -> str:
+        """The edge closest to a world place (ties go to spec order)."""
+        place = self.world.place(place_id)
+        best, best_d2 = None, float("inf")
+        for espec in self.spec.edges:
+            d2 = (espec.x - place.x) ** 2 + (espec.y - place.y) ** 2
+            if d2 < best_d2:
+                best, best_d2 = espec.name, d2
+        return best
+
+    def _home_place(self, client: CoICClient) -> int:
+        """The world place nearest the client's initial edge."""
+        espec = self.spec.edge(client.edge_name)
+        best, best_d2 = 0, float("inf")
+        for place in self.world.places:
+            d2 = (espec.x - place.x) ** 2 + (espec.y - place.y) ** 2
+            if d2 < best_d2:
+                best, best_d2 = place.place_id, d2
+        return best
+
+    def start_mobility(self, duration_s: float | None = None
+                       ) -> dict[str, list[tuple[float, int]]]:
+        """Replay a random-waypoint itinerary per client, handing off.
+
+        Each client starts at the place nearest its configured edge,
+        hops between places with exponential dwell, and is re-attached
+        to the nearest edge after every hop (a no-op when the nearest
+        edge did not change).  Returns the itineraries, which are fully
+        determined by the scenario seed.
+        """
+        from repro.workload.mobility import RandomWaypointUser
+
+        if self.spec.mobility is None:
+            raise ValueError("scenario has no mobility spec")
+        if self.users:
+            raise RuntimeError("mobility already started")
+        m = self.spec.mobility
+        duration = m.duration_s if duration_s is None else duration_s
+        for client in self.all_clients:
+            user = RandomWaypointUser(
+                client.name, self.world,
+                self.rng.stream(f"mobility.user.{client.name}"),
+                mean_dwell_s=m.mean_dwell_s,
+                home_place=self._home_place(client))
+            itinerary = user.itinerary(duration)
+            self.users[client.name] = user
+            self.itineraries[client.name] = itinerary
+            self.client_places[client.name] = itinerary[0][1]
+            self.env.process(self._replay(client, itinerary))
+        return self.itineraries
+
+    def _replay(self, client: CoICClient,
+                itinerary: list[tuple[float, int]]):
+        for arrival, place_id in itinerary:
+            if arrival > self.env.now:
+                yield self.env.timeout(arrival - self.env.now)
+            self.client_places[client.name] = place_id
+            target = self.nearest_edge_name(place_id)
+            if target != client.edge_name:
+                yield from self.handoff(client, target)
+
+    def visible_classes(self, client: CoICClient) -> tuple:
+        """Object classes at the client's current place (mobility only)."""
+        if self.world is None:
+            raise ValueError("scenario has no mobility spec")
+        return self.world.place(self.client_places[client.name]).object_classes
+
+    # -- cache warm-up / federation sync (batched insert path) ---------------
+
+    def warm_caches(self, warmup: WarmupSpec) -> int:
+        """Pre-populate edge caches through ``ICCache.insert_batch``.
+
+        Recognition classes are inserted as their noise-free prototype
+        descriptors (what a zero-viewpoint capture embeds to); models as
+        their parsed, engine-ready form.  One signature matmul per edge
+        per burst.  Returns the number of entries inserted.
+        """
+        targets = (warmup.edges if warmup.edges is not None
+                   else self.edge_names)
+        items: list[tuple] = []
+        for cls in warmup.classes:
+            descriptor = VectorDescriptor(
+                kind=KIND_RECOGNITION,
+                vector=self.space.observe(cls, 0.0).vector)
+            result = RecognitionResult(label=cls, confidence=0.97)
+            items.append((descriptor, result, result.size_bytes))
+        for model_id in warmup.models:
+            task = self.model_load_task(model_id)
+            loaded = ModelLoadResult(digest=task.digest,
+                                     payload_bytes=task.loaded_bytes,
+                                     parsed=True)
+            descriptor = HashDescriptor(kind=KIND_MODEL_LOAD,
+                                        digest=task.digest)
+            items.append((descriptor, loaded, loaded.payload_bytes))
+        inserted = 0
+        for name in targets:
+            entries = self.cache_by_name[name].insert_batch(
+                items, now=self.env.now)
+            inserted += sum(1 for e in entries if e is not None)
+        return inserted
+
+    def sync_federation(self) -> int:
+        """Bulk-replicate each edge's entries to every other edge.
+
+        An out-of-band bootstrap (think nightly rsync between sites):
+        entries a destination already holds — same digest, or same
+        vector bit-for-bit — are skipped; the rest land through one
+        ``insert_batch`` per destination edge.  Returns the number of
+        entries copied.
+        """
+        snapshots = [cache.entries() for cache in self.caches]
+        copied = 0
+        for k, cache in enumerate(self.caches):
+            have: set = set()
+            for entry in snapshots[k]:
+                have.add(self._sync_key(entry.descriptor))
+            items = []
+            for j, snapshot in enumerate(snapshots):
+                if j == k:
+                    continue
+                for entry in snapshot:
+                    key = self._sync_key(entry.descriptor)
+                    if key in have:
+                        continue
+                    have.add(key)
+                    items.append((entry.descriptor, entry.result,
+                                  entry.size_bytes))
+            if items:
+                inserted = cache.insert_batch(items, now=self.env.now)
+                copied += sum(1 for e in inserted if e is not None)
+        return copied
+
+    @staticmethod
+    def _sync_key(descriptor) -> tuple:
+        if isinstance(descriptor, HashDescriptor):
+            return (descriptor.kind, descriptor.digest)
+        return (descriptor.kind, descriptor.vector.tobytes())
+
+    # -- running -------------------------------------------------------------
+
+    def run_for(self, duration_s: float) -> None:
+        """Advance the simulation clock by ``duration_s`` seconds."""
+        self.env.run(until=self.env.now + duration_s)
+
+    def __repr__(self) -> str:
+        return (f"ClusterDeployment({len(self.edges)} edges, "
+                f"{len(self.all_clients)} clients, "
+                f"federate={self.spec.federate}, "
+                f"mobility={self.spec.mobility is not None})")

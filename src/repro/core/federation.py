@@ -28,10 +28,11 @@ from __future__ import annotations
 import typing
 
 from repro.core.cache import ICCache
+from repro.core.cluster import ClusterDeployment
 from repro.core.descriptors import Descriptor
 from repro.core.edge import EdgeNode
-from repro.core.metrics import OUTCOME_HIT, OUTCOME_MISS
-from repro.core.tasks import ModelLoadTask, PanoramaTask
+from repro.core.metrics import OUTCOME_HIT
+from repro.core.scenario import ScenarioSpec
 from repro.net.message import Message
 from repro.net.transport import RpcError
 from repro.sim.kernel import Environment
@@ -156,9 +157,14 @@ class FederatedEdgeNode(EdgeNode):
         yield from super()._hash_task_miss(msg, task, descriptor)
 
 
-class FederatedDeployment:
+class FederatedDeployment(ClusterDeployment):
     """A multi-edge CoIC system: K edges, each with its own clients,
     one shared cloud, metro links between edges.
+
+    A thin facade over :class:`~repro.core.cluster.ClusterDeployment`:
+    it builds ``ScenarioSpec.federated(...)`` (full metro mesh, legacy
+    stream names) and keeps the historical nested ``clients`` shape and
+    seed-identical metrics.
 
     Args:
         config: Per-edge CoIC configuration (network section describes
@@ -173,153 +179,15 @@ class FederatedDeployment:
     def __init__(self, config: "CoICConfig | None" = None, n_edges: int = 2,
                  clients_per_edge: int = 1, metro_mbps: float = 1000.0,
                  metro_delay_ms: float = 2.0, federate: bool = True):
-        from repro.core.config import CoICConfig
-        from repro.core.cloud import CloudNode
-        from repro.core.client import CoICClient
-        from repro.core.metrics import MetricsRecorder
-        from repro.core.policies import make_policy
-        from repro.net.topology import Topology
-        from repro.net.transport import Rpc
-        from repro.render.loader import (EDGE_GPU_2018, MOBILE_GPU_2018,
-                                         ModelLoader)
-        from repro.sim.rng import RngStreams
-        from repro.vision.features import EmbeddingSpace
-        from repro.vision.model_zoo import (CLOUD_GPU_2018, EDGE_CPU_2018,
-                                            MOBILE_SOC_2018, get_network)
-        from repro.vision.recognition import Recognizer
-        import hashlib
-        import itertools
-
         if n_edges < 1:
             raise ValueError("n_edges must be >= 1")
         if clients_per_edge < 1:
             raise ValueError("clients_per_edge must be >= 1")
-        self.config = config if config is not None else CoICConfig()
-        cfg = self.config
-
-        self.env = Environment()
-        self.rng = RngStreams(cfg.seed)
-        self.topology = Topology(self.env)
-        self.rpc = Rpc(self.env, self.topology)
-        self.recorder = MetricsRecorder()
-        self._capture_ids = itertools.count(1)
-
-        net = cfg.network
-        edge_names = [f"edge{k}" for k in range(n_edges)]
-        # Access + backhaul per edge; metro mesh between edges.
-        for k, edge in enumerate(edge_names):
-            for i in range(clients_per_edge):
-                self.topology.add_duplex(
-                    f"mobile{k}_{i}", edge, net.wifi_mbps * 1e6,
-                    propagation_s=net.wifi_delay_ms / 1e3,
-                    rng=self.rng.stream(f"net.wifi.{k}.{i}"))
-            self.topology.add_duplex(
-                edge, "cloud", net.backhaul_mbps * 1e6,
-                propagation_s=net.backhaul_delay_ms / 1e3,
-                rng=self.rng.stream(f"net.backhaul.{k}"))
-        for a, b in itertools.combinations(edge_names, 2):
-            self.topology.add_duplex(
-                a, b, metro_mbps * 1e6,
-                propagation_s=metro_delay_ms / 1e3,
-                rng=self.rng.stream(f"net.metro.{a}.{b}"))
-
-        rec = cfg.recognition
-        self.space = EmbeddingSpace(
-            dim=rec.descriptor_dim, n_classes=rec.n_classes,
-            viewpoint_scale=rec.viewpoint_scale,
-            noise_sigma=rec.noise_sigma, seed=cfg.seed)
-        network = get_network(rec.network, descriptor_dim=rec.descriptor_dim)
-        mobile_recognizer = Recognizer(network, MOBILE_SOC_2018, self.space)
-        cloud_recognizer = Recognizer(network, CLOUD_GPU_2018, self.space)
-        mobile_loader = ModelLoader(MOBILE_GPU_2018)
-        edge_loader = ModelLoader(EDGE_GPU_2018)
-
-        self.catalog: dict[int, tuple[str, int]] = {}
-        for model_id, size_kb in enumerate(cfg.rendering.catalog_sizes_kb):
-            digest = hashlib.sha256(
-                f"model:{model_id}:{size_kb}:{cfg.seed}".encode()).hexdigest()
-            self.catalog[model_id] = (digest, int(size_kb * 1024))
-
-        self.cloud = CloudNode(self.env, self.rpc,
-                               self.topology.hosts["cloud"],
-                               recognizer=cloud_recognizer, config=cfg,
-                               workers=cfg.cloud_workers)
-
-        self.edges: list[FederatedEdgeNode | EdgeNode] = []
-        self.caches: list[ICCache] = []
-        for k, edge in enumerate(edge_names):
-            cache = ICCache(capacity_bytes=cfg.cache.capacity_bytes,
-                            policy=make_policy(cfg.cache.policy),
-                            vector_index=cfg.cache.vector_index,
-                            metric=cfg.cache.metric,
-                            descriptor_dim=rec.descriptor_dim,
-                            ttl_s=cfg.cache.ttl_s)
-            self.caches.append(cache)
-            edge_recognizer = Recognizer(network, EDGE_CPU_2018, self.space)
-            if federate:
-                node = FederatedEdgeNode(
-                    self.env, self.rpc, self.topology.hosts[edge],
-                    cache=cache, config=cfg, recognizer=edge_recognizer,
-                    loader=edge_loader, workers=cfg.edge_workers,
-                    peers=[e for e in edge_names if e != edge])
-            else:
-                node = EdgeNode(
-                    self.env, self.rpc, self.topology.hosts[edge],
-                    cache=cache, config=cfg, recognizer=edge_recognizer,
-                    loader=edge_loader, workers=cfg.edge_workers)
-            self.edges.append(node)
-
+        super().__init__(
+            ScenarioSpec.federated(
+                n_edges=n_edges, clients_per_edge=clients_per_edge,
+                metro_mbps=metro_mbps, metro_delay_ms=metro_delay_ms,
+                federate=federate),
+            config=config)
         #: clients[k][i]: the i-th client attached to edge k.
-        self.clients: list[list[CoICClient]] = []
-        for k, edge in enumerate(edge_names):
-            row = [CoICClient(self.env, self.rpc, f"mobile{k}_{i}", cfg,
-                              recognizer=mobile_recognizer,
-                              loader=mobile_loader,
-                              recorder=self.recorder, edge_name=edge)
-                   for i in range(clients_per_edge)]
-            self.clients.append(row)
-
-    # -- task factories (mirror CoICDeployment) --------------------------------
-
-    def recognition_task(self, object_class: int, viewpoint: float = 0.0):
-        from repro.core.tasks import RecognitionTask
-        from repro.vision.image import CameraFrame, RESOLUTIONS
-
-        rec = self.config.recognition
-        frame = CameraFrame(
-            object_class=object_class, viewpoint=viewpoint,
-            resolution=RESOLUTIONS[rec.resolution], quality=rec.quality,
-            capture_id=next(self._capture_ids))
-        return RecognitionTask(frame=frame)
-
-    def model_load_task(self, model_id: int) -> ModelLoadTask:
-        digest, file_bytes = self.catalog[model_id]
-        return ModelLoadTask(model_id=model_id, digest=digest,
-                             file_bytes=file_bytes)
-
-    def panorama_task(self, content_id: int, segment: int,
-                      pose_cell: int = 0) -> PanoramaTask:
-        from repro.render.panorama import Panorama
-        from repro.vision.image import RESOLUTIONS
-
-        vr = self.config.vr
-        pano = Panorama(content_id=content_id, segment=segment,
-                        pose_cell=pose_cell,
-                        resolution=RESOLUTIONS[vr.resolution],
-                        quality=vr.quality)
-        return PanoramaTask(panorama=pano)
-
-    def run_tasks(self, client, tasks, spacing_s: float = 0.0) -> list:
-        """Sequentially run ``tasks`` on ``client``; drain; return records."""
-        records: list = []
-
-        def driver():
-            for task in tasks:
-                record = yield self.env.process(client.perform(task))
-                records.append(record)
-                if spacing_s > 0:
-                    yield self.env.timeout(spacing_s)
-
-        proc = self.env.process(driver())
-        self.env.run(until=proc)
-        return records
+        self.clients = self.clients_by_edge

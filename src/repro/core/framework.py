@@ -5,6 +5,12 @@ into a running simulated system: mobile hosts on WiFi, an edge with the
 IC cache, a cloud behind a shaped backhaul, plus ready-made CoIC and
 Origin clients and a shared metrics recorder.
 
+Since the scenario refactor this class is a thin facade: it builds
+``ScenarioSpec.single_edge(n_clients)`` and hands construction to
+:class:`~repro.core.cluster.ClusterDeployment`, keeping the historical
+attribute names (``clients``, ``cache``, ``edge``, ``backhaul_up`` ...)
+and producing seed-identical metrics to the pre-refactor constructor.
+
 Example::
 
     from repro.core import CoICConfig, CoICDeployment
@@ -17,46 +23,16 @@ Example::
 
 from __future__ import annotations
 
-import hashlib
-import itertools
-import typing
-
-from repro.core.baselines import LocalClient, OriginClient
-from repro.core.cache import ICCache
-from repro.core.client import CoICClient
-from repro.core.cloud import CloudNode
+from repro.core.cluster import ClusterDeployment
 from repro.core.config import CoICConfig
-from repro.core.edge import EdgeNode
-from repro.core.metrics import MetricsRecorder
-from repro.core.policies import make_policy
-from repro.core.tasks import ModelLoadTask, PanoramaTask, RecognitionTask
-from repro.net.shaper import TrafficShaper
-from repro.net.topology import Topology
-from repro.net.transport import Rpc
-from repro.render.loader import (
-    EDGE_GPU_2018,
-    MOBILE_GPU_2018,
-    ModelLoader,
-)
-from repro.render.panorama import Panorama
-from repro.sim.kernel import Environment
-from repro.sim.rng import RngStreams
-from repro.vision.features import EmbeddingSpace
-from repro.vision.image import CameraFrame, RESOLUTIONS
-from repro.vision.model_zoo import (
-    CLOUD_GPU_2018,
-    EDGE_CPU_2018,
-    MOBILE_SOC_2018,
-    get_network,
-)
-from repro.vision.recognition import Recognizer
+from repro.core.scenario import ScenarioSpec
 
 EDGE = "edge"
 CLOUD = "cloud"
 
 
-class CoICDeployment:
-    """A fully wired simulated CoIC system.
+class CoICDeployment(ClusterDeployment):
+    """A fully wired single-edge CoIC system.
 
     Args:
         config: Deployment parameters.
@@ -74,162 +50,10 @@ class CoICDeployment:
     def __init__(self, config: CoICConfig | None = None, n_clients: int = 1):
         if n_clients < 1:
             raise ValueError("n_clients must be >= 1")
-        self.config = config if config is not None else CoICConfig()
-        cfg = self.config
-
-        self.env = Environment()
-        self.rng = RngStreams(cfg.seed)
-        self.topology = Topology(self.env)
-        self.shaper = TrafficShaper(self.env)
-        self.rpc = Rpc(self.env, self.topology)
-        self.recorder = MetricsRecorder()
-        self._capture_ids = itertools.count(1)
-
-        # -- network ------------------------------------------------------------
-        net = cfg.network
-        self.client_names = [f"mobile{i}" for i in range(n_clients)]
-        for name in self.client_names:
-            self.topology.add_duplex(
-                name, EDGE, net.wifi_mbps * 1e6,
-                propagation_s=net.wifi_delay_ms / 1e3,
-                jitter_s=net.wifi_jitter_ms / 1e3,
-                loss_rate=net.loss_rate,
-                rng=self.rng.stream(f"net.wifi.{name}"))
-        self.backhaul_up, self.backhaul_down = self.topology.add_duplex(
-            EDGE, CLOUD, net.backhaul_mbps * 1e6,
-            propagation_s=net.backhaul_delay_ms / 1e3,
-            jitter_s=net.backhaul_jitter_ms / 1e3,
-            loss_rate=net.loss_rate,
-            rng=self.rng.stream("net.backhaul"))
-
-        # -- vision -------------------------------------------------------------
-        rec = cfg.recognition
-        self.space = EmbeddingSpace(
-            dim=rec.descriptor_dim, n_classes=rec.n_classes,
-            viewpoint_scale=rec.viewpoint_scale,
-            noise_sigma=rec.noise_sigma, seed=cfg.seed)
-        network = get_network(rec.network, descriptor_dim=rec.descriptor_dim)
-        self.mobile_recognizer = Recognizer(
-            network, MOBILE_SOC_2018, self.space,
-            rng=self.rng.stream("vision.mobile"))
-        self.edge_recognizer = Recognizer(
-            network, EDGE_CPU_2018, self.space,
-            rng=self.rng.stream("vision.edge"))
-        self.cloud_recognizer = Recognizer(
-            network, CLOUD_GPU_2018, self.space,
-            rng=self.rng.stream("vision.cloud"))
-
-        # -- rendering ------------------------------------------------------------
-        self.mobile_loader = ModelLoader(MOBILE_GPU_2018)
-        self.edge_loader = ModelLoader(EDGE_GPU_2018)
-        #: model_id -> (digest, file_bytes): the world's model catalog.
-        self.catalog: dict[int, tuple[str, int]] = {}
-        for model_id, size_kb in enumerate(cfg.rendering.catalog_sizes_kb):
-            digest = hashlib.sha256(
-                f"model:{model_id}:{size_kb}:{cfg.seed}".encode()).hexdigest()
-            self.catalog[model_id] = (digest, int(size_kb * 1024))
-
-        # -- cache + nodes -----------------------------------------------------------
-        self.cache = ICCache(
-            capacity_bytes=cfg.cache.capacity_bytes,
-            policy=make_policy(cfg.cache.policy),
-            vector_index=cfg.cache.vector_index,
-            metric=cfg.cache.metric,
-            descriptor_dim=rec.descriptor_dim,
-            ttl_s=cfg.cache.ttl_s)
-        self.cloud = CloudNode(
-            self.env, self.rpc, self.topology.hosts[CLOUD],
-            recognizer=self.cloud_recognizer, config=cfg,
-            workers=cfg.cloud_workers)
-        self.edge = EdgeNode(
-            self.env, self.rpc, self.topology.hosts[EDGE], cache=self.cache,
-            config=cfg, recognizer=self.edge_recognizer,
-            loader=self.edge_loader, cloud_name=CLOUD,
-            workers=cfg.edge_workers)
-
-        # -- clients --------------------------------------------------------------
-        self.clients = [
-            CoICClient(self.env, self.rpc, name, cfg,
-                       recognizer=self.mobile_recognizer,
-                       loader=self.mobile_loader, recorder=self.recorder,
-                       edge_name=EDGE)
-            for name in self.client_names]
-        self.origin_clients = [
-            OriginClient(self.env, self.rpc, name, cfg,
-                         loader=self.mobile_loader, recorder=self.recorder,
-                         cloud_name=CLOUD)
-            for name in self.client_names]
-        self.local_clients = [
-            LocalClient(self.env, name, cfg,
-                        recognizer=self.mobile_recognizer,
-                        recorder=self.recorder)
-            for name in self.client_names]
-
-    # -- task factories ----------------------------------------------------------
-
-    def recognition_task(self, object_class: int, viewpoint: float = 0.0,
-                         user: str = "", seq: int = 0) -> RecognitionTask:
-        """A recognition task over a fresh camera capture."""
-        rec = self.config.recognition
-        frame = CameraFrame(
-            object_class=object_class, viewpoint=viewpoint,
-            resolution=RESOLUTIONS[rec.resolution], quality=rec.quality,
-            user=user, seq=seq, capture_id=next(self._capture_ids))
-        return RecognitionTask(frame=frame)
-
-    def model_load_task(self, model_id: int) -> ModelLoadTask:
-        """A load task for a catalog model."""
-        digest, file_bytes = self.catalog[model_id]
-        return ModelLoadTask(model_id=model_id, digest=digest,
-                             file_bytes=file_bytes)
-
-    def panorama_task(self, content_id: int, segment: int,
-                      pose_cell: int = 0) -> PanoramaTask:
-        """A panorama fetch for one (content, segment, pose cell)."""
-        vr = self.config.vr
-        pano = Panorama(content_id=content_id, segment=segment,
-                        pose_cell=pose_cell,
-                        resolution=RESOLUTIONS[vr.resolution],
-                        quality=vr.quality)
-        return PanoramaTask(panorama=pano)
-
-    # -- running -------------------------------------------------------------------
-
-    def run_tasks(self, client: typing.Any,
-                  tasks: typing.Sequence, spacing_s: float = 0.0) -> list:
-        """Run ``tasks`` sequentially on ``client``; return their records.
-
-        ``spacing_s`` inserts think-time between consecutive requests.
-        Drains the simulation before returning.
-        """
-        records: list = []
-
-        def driver():
-            for task in tasks:
-                record = yield self.env.process(client.perform(task))
-                records.append(record)
-                if spacing_s > 0:
-                    yield self.env.timeout(spacing_s)
-
-        proc = self.env.process(driver())
-        self.env.run(until=proc)
-        return records
-
-    def run_concurrent(self, plan: typing.Sequence[tuple], ) -> None:
-        """Run a multi-client plan of ``(delay_s, client, task)`` triples.
-
-        Each triple starts an independent request ``delay_s`` after the
-        current simulation time.  Returns once everything completes.
-        """
-
-        def launcher(delay: float, client, task):
-            yield self.env.timeout(delay)
-            yield self.env.process(client.perform(task))
-
-        procs = [self.env.process(launcher(d, c, t)) for d, c, t in plan]
-
-        def barrier():
-            for proc in procs:
-                yield proc
-
-        self.env.run(until=self.env.process(barrier()))
+        super().__init__(ScenarioSpec.single_edge(n_clients), config=config)
+        #: Flat client list (single edge), the historical shape.
+        self.clients = self.clients_by_edge[0]
+        self.cache = self.caches[0]
+        self.edge = self.edges[0]
+        self.edge_recognizer = self.edge_recognizers[0]
+        self.backhaul_up, self.backhaul_down = self.backhaul[EDGE]

@@ -124,6 +124,43 @@ class _VectorStore:
         self._row_ids.append(entry_id)
         self._row_of[entry_id] = n
 
+    def add_batch(self, entry_ids: typing.Sequence[int],
+                  matrix: np.ndarray) -> None:
+        """Append many rows at once: one copy, at most one growth.
+
+        ``matrix`` is (k, dim) and row j belongs to ``entry_ids[j]``.
+        Capacity still grows by doubling, but at most once per burst
+        instead of (potentially) several times across k inserts.
+        """
+        k = len(entry_ids)
+        if k == 0:
+            return
+        if self._matrix is None:
+            self.dim = matrix.shape[1]
+            capacity = max(self.MIN_CAPACITY, k)
+            self._matrix = np.empty((capacity, self.dim), dtype=np.float64)
+            self._norms = np.empty(capacity, dtype=np.float64)
+        n = len(self._row_ids)
+        if n + k > self._matrix.shape[0]:
+            capacity = self._matrix.shape[0]
+            while capacity < n + k:
+                capacity *= 2
+            grown = np.empty((capacity, self.dim), dtype=np.float64)
+            grown[:n] = self._matrix[:n]
+            self._matrix = grown
+            grown_norms = np.empty(capacity, dtype=np.float64)
+            grown_norms[:n] = self._norms[:n]
+            self._norms = grown_norms
+        self._matrix[n:n + k] = matrix
+        for j, entry_id in enumerate(entry_ids):
+            # Per-row norms on purpose: an axis-1 reduction rounds
+            # differently than the BLAS norm add() uses, and cached
+            # norms feed simulated match decisions — batch and scalar
+            # inserts must stay bit-identical.
+            self._norms[n + j] = np.linalg.norm(self._matrix[n + j])
+            self._row_ids.append(entry_id)
+            self._row_of[entry_id] = n + j
+
     def remove(self, entry_id: int) -> None:
         row = self._row_of.pop(entry_id)
         last = len(self._row_ids) - 1
@@ -144,6 +181,25 @@ class DescriptorIndex:
 
     def insert(self, entry_id: int, descriptor: Descriptor) -> None:
         raise NotImplementedError
+
+    def insert_batch(self, items: typing.Sequence[
+            tuple[int, Descriptor]]) -> None:
+        """Insert many ``(entry_id, descriptor)`` pairs at once.
+
+        Equivalent to inserting them one by one, but atomic — a
+        validation failure leaves the index untouched — and vectorized
+        where the index can amortize work across the burst: the vector
+        indexes compute one signature matmul for the whole batch.
+        """
+        done: list[int] = []
+        try:
+            for entry_id, descriptor in items:
+                self.insert(entry_id, descriptor)
+                done.append(entry_id)
+        except Exception:
+            for entry_id in reversed(done):
+                self.remove(entry_id)
+            raise
 
     def remove(self, entry_id: int) -> None:
         raise NotImplementedError
@@ -247,6 +303,26 @@ class LinearIndex(DescriptorIndex):
         if entry_id in self._store:
             raise IndexEntryExists(f"entry {entry_id} already indexed")
         self._store.add(entry_id, vec)
+
+    def insert_batch(self, items: typing.Sequence[
+            tuple[int, Descriptor]]) -> None:
+        """Insert a burst in one validated store append."""
+        ids, vecs = self._validate_batch(items)
+        if not ids:
+            return
+        self._store.add_batch(ids, np.stack(vecs))
+
+    def _validate_batch(self, items) -> tuple[list[int], list[np.ndarray]]:
+        ids: list[int] = []
+        vecs: list[np.ndarray] = []
+        seen: set[int] = set()
+        for entry_id, descriptor in items:
+            if entry_id in self._store or entry_id in seen:
+                raise IndexEntryExists(f"entry {entry_id} already indexed")
+            seen.add(entry_id)
+            ids.append(entry_id)
+            vecs.append(self._validate(descriptor))
+        return ids, vecs
 
     def remove(self, entry_id: int) -> None:
         if entry_id not in self._store:
@@ -391,6 +467,33 @@ class LshIndex(DescriptorIndex):
         self._store.add(entry_id, vec)
         for table, sig in enumerate(self._signatures(vec)):
             self._tables[table].setdefault(int(sig), set()).add(entry_id)
+
+    def insert_batch(self, items: typing.Sequence[
+            tuple[int, Descriptor]]) -> None:
+        """Insert a burst with ONE signature matmul for all entries.
+
+        A warm-up flood or federation sync of k vectors costs one
+        ``(k, n_tables * n_bits)`` projection instead of k small ones,
+        plus a single store append.
+        """
+        ids: list[int] = []
+        vecs: list[np.ndarray] = []
+        seen: set[int] = set()
+        for entry_id, descriptor in items:
+            if entry_id in self._store or entry_id in seen:
+                raise IndexEntryExists(f"entry {entry_id} already indexed")
+            seen.add(entry_id)
+            ids.append(entry_id)
+            vecs.append(self._validate(descriptor))
+        if not ids:
+            return
+        block = np.stack(vecs)
+        signatures = self._signatures_batch(block)
+        self._store.add_batch(ids, block)
+        for j, entry_id in enumerate(ids):
+            for table in range(self.n_tables):
+                self._tables[table].setdefault(
+                    int(signatures[j, table]), set()).add(entry_id)
 
     def remove(self, entry_id: int) -> None:
         if entry_id not in self._store:

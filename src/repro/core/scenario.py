@@ -1,0 +1,436 @@
+"""Declarative deployment scenarios: the builder layer of the repo.
+
+Architecture
+============
+Deployment wiring is layered so every topology — the paper's single
+testbed edge, a federated street of cafes, a metro area with moving
+users — is one *data structure* away:
+
+1. **Spec layer (this module).**  A :class:`ScenarioSpec` is a plain,
+   frozen, dict-serializable description of a deployment: edges (with
+   positions and attached clients), the inter-edge backhaul graph,
+   federation and impairment switches, optional cache warm-up and
+   optional user mobility.  Specs carry *names only* — no simulation
+   objects — so the CLI, experiments and config files can all produce
+   them, and ``to_dict``/``from_dict`` round-trip them losslessly.
+2. **Builder layer** (:class:`~repro.core.cluster.ClusterDeployment`).
+   Turns a spec into a running simulated system: topology links routed
+   via :mod:`repro.net.topology` (so inter-edge graphs need not be full
+   meshes — Dijkstra handles multi-hop peer traffic), per-edge caches
+   and :class:`~repro.core.edge.EdgeNode` /
+   :class:`~repro.core.federation.FederatedEdgeNode` instances, one
+   shared cloud, clients with *mutable* edge attachment, and — when the
+   spec has a :class:`MobilitySpec` — a handoff driver that replays
+   :class:`~repro.workload.mobility.RandomWaypointUser` itineraries and
+   re-attaches each client to its nearest edge mid-run.
+3. **Facade layer** (:class:`~repro.core.framework.CoICDeployment`,
+   :class:`~repro.core.federation.FederatedDeployment`).  Thin,
+   API-compatible wrappers that build the legacy specs below and expose
+   the historical attribute names; their metrics are seed-identical to
+   the pre-scenario constructors.
+
+The per-link ``*_stream`` fields pin the :class:`~repro.sim.rng.RngStreams`
+names used for jitter/loss draws, which is what makes the facade layer
+bit-for-bit reproducible against the old hand-wired constructors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientSpec:
+    """One mobile host attached (initially) to an edge.
+
+    Attributes:
+        name: Topology host name; must be unique across the scenario.
+        wifi_stream: RNG stream name for this access link's jitter/loss
+            draws.  Empty selects ``net.wifi.<name>``.
+    """
+
+    name: str
+    wifi_stream: str = ""
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "client name must be non-empty")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "wifi_stream": self.wifi_stream}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClientSpec":
+        return cls(name=data["name"],
+                   wifi_stream=data.get("wifi_stream", ""))
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeSpec:
+    """One edge site: position, initial clients, backhaul stream, peers.
+
+    Attributes:
+        name: Topology host name; must be unique across the scenario.
+        clients: Hosts initially attached here over WiFi.
+        x, y: Site position in metres (drives nearest-edge handoff).
+        backhaul_stream: RNG stream for the edge->cloud link.  Empty
+            selects ``net.backhaul.<name>``.
+        peers: Federation probe order (host names).  None means "all
+            other edges, in scenario order".
+    """
+
+    name: str
+    clients: tuple[ClientSpec, ...] = ()
+    x: float = 0.0
+    y: float = 0.0
+    backhaul_stream: str = ""
+    peers: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "edge name must be non-empty")
+        object.__setattr__(self, "clients", tuple(self.clients))
+        if self.peers is not None:
+            object.__setattr__(self, "peers", tuple(self.peers))
+
+    def to_dict(self) -> dict:
+        return {"name": self.name,
+                "clients": [c.to_dict() for c in self.clients],
+                "x": self.x, "y": self.y,
+                "backhaul_stream": self.backhaul_stream,
+                "peers": list(self.peers) if self.peers is not None else None}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EdgeSpec":
+        clients = data.get("clients", ())
+        clients = tuple(
+            ClientSpec.from_dict(c) if isinstance(c, dict)
+            else ClientSpec(name=str(c))
+            for c in clients)
+        peers = data.get("peers")
+        return cls(name=data["name"], clients=clients,
+                   x=float(data.get("x", 0.0)), y=float(data.get("y", 0.0)),
+                   backhaul_stream=data.get("backhaul_stream", ""),
+                   peers=tuple(peers) if peers is not None else None)
+
+
+@dataclasses.dataclass(frozen=True)
+class InterEdgeLinkSpec:
+    """One duplex link of the inter-edge backhaul graph.
+
+    The graph need not be a full mesh: routing is Dijkstra over
+    :class:`~repro.net.topology.Topology`, so a ring or line of edges
+    still federates (peer probes just pay the multi-hop latency).
+    """
+
+    a: str
+    b: str
+    mbps: float = 1000.0
+    delay_ms: float = 2.0
+    stream: str = ""
+
+    def __post_init__(self) -> None:
+        _require(self.a != self.b, "inter-edge link endpoints must differ")
+        _require(self.mbps > 0, "inter-edge mbps must be > 0")
+        _require(self.delay_ms >= 0, "inter-edge delay_ms must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {"a": self.a, "b": self.b, "mbps": self.mbps,
+                "delay_ms": self.delay_ms, "stream": self.stream}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InterEdgeLinkSpec":
+        return cls(a=data["a"], b=data["b"],
+                   mbps=float(data.get("mbps", 1000.0)),
+                   delay_ms=float(data.get("delay_ms", 2.0)),
+                   stream=data.get("stream", ""))
+
+
+@dataclasses.dataclass(frozen=True)
+class MobilitySpec:
+    """User mobility and handoff knobs for a scenario.
+
+    Attributes:
+        n_places: Points of interest in the world.
+        objects_per_place: Distinct object classes visible per place.
+        extent_m: World side length; edge positions live in this square.
+        popularity_alpha: Zipf exponent for class-to-place assignment.
+        mean_dwell_s: Average dwell before a user moves again.
+        duration_s: Default itinerary length for ``start_mobility``.
+        handoff_latency_s: Dead time while a client re-associates to a
+            new access point (teardown + re-setup of the WiFi link).
+    """
+
+    n_places: int = 16
+    objects_per_place: int = 4
+    extent_m: float = 1000.0
+    popularity_alpha: float = 0.8
+    mean_dwell_s: float = 30.0
+    duration_s: float = 120.0
+    handoff_latency_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        _require(self.n_places >= 1, "n_places must be >= 1")
+        _require(self.objects_per_place >= 1,
+                 "objects_per_place must be >= 1")
+        _require(self.extent_m > 0, "extent_m must be > 0")
+        _require(self.mean_dwell_s > 0, "mean_dwell_s must be > 0")
+        _require(self.duration_s > 0, "duration_s must be > 0")
+        _require(self.handoff_latency_s >= 0,
+                 "handoff_latency_s must be >= 0")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MobilitySpec":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+
+@dataclasses.dataclass(frozen=True)
+class WarmupSpec:
+    """Cache pre-population applied at build time via ``insert_batch``.
+
+    Attributes:
+        classes: Object classes whose recognition prototypes are
+            pre-inserted.
+        models: Catalog model ids pre-inserted in loaded form.
+        edges: Edge names to warm; None warms every edge.
+    """
+
+    classes: tuple[int, ...] = ()
+    models: tuple[int, ...] = ()
+    edges: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "classes", tuple(self.classes))
+        object.__setattr__(self, "models", tuple(self.models))
+        if self.edges is not None:
+            object.__setattr__(self, "edges", tuple(self.edges))
+
+    def to_dict(self) -> dict:
+        return {"classes": list(self.classes), "models": list(self.models),
+                "edges": list(self.edges) if self.edges is not None else None}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WarmupSpec":
+        edges = data.get("edges")
+        return cls(classes=tuple(data.get("classes", ())),
+                   models=tuple(data.get("models", ())),
+                   edges=tuple(edges) if edges is not None else None)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, serializable deployment description.
+
+    Attributes:
+        edges: Edge sites with their initial clients.
+        inter_edge: The inter-edge backhaul graph (any shape; routed).
+        federate: Build :class:`FederatedEdgeNode` s (peer cache probes)
+            instead of isolated edges.
+        peer_timeout_s: Per-peer probe deadline for federated edges.
+        impairments: Apply the config's jitter/loss to access and
+            cloud-backhaul links (the legacy federated constructor did
+            not; its facade spec sets this False).
+        vision_streams: Give recognizers named RNG streams (legacy
+            single-edge behaviour; the federated facade sets False).
+        baselines: Also build Origin and Local baseline clients.
+        mobility: User mobility/handoff model, or None for static users.
+        warmup: Cache pre-population, or None.
+    """
+
+    edges: tuple[EdgeSpec, ...]
+    inter_edge: tuple[InterEdgeLinkSpec, ...] = ()
+    federate: bool = False
+    peer_timeout_s: float = 1.0
+    impairments: bool = True
+    vision_streams: bool = True
+    baselines: bool = False
+    mobility: MobilitySpec | None = None
+    warmup: WarmupSpec | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "edges", tuple(self.edges))
+        object.__setattr__(self, "inter_edge", tuple(self.inter_edge))
+        _require(len(self.edges) >= 1, "a scenario needs at least one edge")
+        _require(self.peer_timeout_s > 0, "peer_timeout_s must be > 0")
+        names = [e.name for e in self.edges]
+        _require(len(set(names)) == len(names), "edge names must be unique")
+        client_names = [c.name for e in self.edges for c in e.clients]
+        _require(len(set(client_names)) == len(client_names),
+                 "client names must be unique")
+        _require(not set(client_names) & set(names),
+                 "client and edge names must not collide")
+        _require("cloud" not in names and "cloud" not in client_names,
+                 "'cloud' is reserved for the cloud node")
+        known = set(names)
+        for link in self.inter_edge:
+            _require(link.a in known and link.b in known,
+                     f"inter-edge link {link.a}<->{link.b} names unknown edge")
+        for edge in self.edges:
+            for peer in edge.peers or ():
+                _require(peer in known, f"unknown peer {peer!r}")
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def edge_names(self) -> list[str]:
+        return [e.name for e in self.edges]
+
+    @property
+    def client_names(self) -> list[str]:
+        return [c.name for e in self.edges for c in e.clients]
+
+    def edge(self, name: str) -> EdgeSpec:
+        for edge in self.edges:
+            if edge.name == name:
+                return edge
+        raise KeyError(f"no edge named {name!r}")
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "edges": [e.to_dict() for e in self.edges],
+            "inter_edge": [l.to_dict() for l in self.inter_edge],
+            "federate": self.federate,
+            "peer_timeout_s": self.peer_timeout_s,
+            "impairments": self.impairments,
+            "vision_streams": self.vision_streams,
+            "baselines": self.baselines,
+            "mobility": self.mobility.to_dict() if self.mobility else None,
+            "warmup": self.warmup.to_dict() if self.warmup else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        mobility = data.get("mobility")
+        warmup = data.get("warmup")
+        return cls(
+            edges=tuple(EdgeSpec.from_dict(e) for e in data["edges"]),
+            inter_edge=tuple(InterEdgeLinkSpec.from_dict(l)
+                             for l in data.get("inter_edge", ())),
+            federate=bool(data.get("federate", False)),
+            peer_timeout_s=float(data.get("peer_timeout_s", 1.0)),
+            impairments=bool(data.get("impairments", True)),
+            vision_streams=bool(data.get("vision_streams", True)),
+            baselines=bool(data.get("baselines", False)),
+            mobility=(MobilitySpec.from_dict(mobility)
+                      if mobility is not None else None),
+            warmup=(WarmupSpec.from_dict(warmup)
+                    if warmup is not None else None),
+        )
+
+    # -- canned scenarios ----------------------------------------------------
+
+    @classmethod
+    def single_edge(cls, n_clients: int = 1) -> "ScenarioSpec":
+        """The paper's testbed: one edge, one cloud, n WiFi clients.
+
+        Stream names and switches replicate the historical
+        ``CoICDeployment`` wiring exactly (seed-identical metrics).
+        """
+        _require(n_clients >= 1, "n_clients must be >= 1")
+        clients = tuple(ClientSpec(name=f"mobile{i}",
+                                   wifi_stream=f"net.wifi.mobile{i}")
+                        for i in range(n_clients))
+        edge = EdgeSpec(name="edge", clients=clients,
+                        backhaul_stream="net.backhaul")
+        return cls(edges=(edge,), baselines=True)
+
+    @classmethod
+    def federated(cls, n_edges: int = 2, clients_per_edge: int = 1,
+                  metro_mbps: float = 1000.0, metro_delay_ms: float = 2.0,
+                  federate: bool = True) -> "ScenarioSpec":
+        """K fully-meshed edges, each with its own clients, one cloud.
+
+        Stream names and switches replicate the historical
+        ``FederatedDeployment`` wiring exactly (seed-identical metrics).
+        """
+        _require(n_edges >= 1, "n_edges must be >= 1")
+        _require(clients_per_edge >= 1, "clients_per_edge must be >= 1")
+        names = [f"edge{k}" for k in range(n_edges)]
+        edges = []
+        for k, name in enumerate(names):
+            clients = tuple(ClientSpec(name=f"mobile{k}_{i}",
+                                       wifi_stream=f"net.wifi.{k}.{i}")
+                            for i in range(clients_per_edge))
+            edges.append(EdgeSpec(
+                name=name, clients=clients,
+                backhaul_stream=f"net.backhaul.{k}",
+                peers=tuple(n for n in names if n != name)))
+        inter = tuple(InterEdgeLinkSpec(a=a, b=b, mbps=metro_mbps,
+                                        delay_ms=metro_delay_ms,
+                                        stream=f"net.metro.{a}.{b}")
+                      for a, b in itertools.combinations(names, 2))
+        return cls(edges=tuple(edges), inter_edge=inter, federate=federate,
+                   impairments=False, vision_streams=False)
+
+    @classmethod
+    def metro(cls, n_edges: int = 4, clients_per_edge: int = 2,
+              metro_mbps: float = 1000.0, metro_delay_ms: float = 2.0,
+              federate: bool = True,
+              mobility: MobilitySpec | None = None,
+              warmup: WarmupSpec | None = None) -> "ScenarioSpec":
+        """A mobile multi-edge city: edges on a grid, users on the move.
+
+        Edges are placed at the cell centres of the smallest square grid
+        that fits ``n_edges`` inside the mobility extent, so "nearest
+        edge" partitions the world into cells and every waypoint hop has
+        a real chance of demanding a handoff.
+        """
+        _require(n_edges >= 1, "n_edges must be >= 1")
+        _require(clients_per_edge >= 0, "clients_per_edge must be >= 0")
+        if mobility is None:
+            mobility = MobilitySpec()
+        side = 1
+        while side * side < n_edges:
+            side += 1
+        cell = mobility.extent_m / side
+        edges = []
+        for k in range(n_edges):
+            row, col = divmod(k, side)
+            clients = tuple(
+                ClientSpec(name=f"mobile{k}_{i}")
+                for i in range(clients_per_edge))
+            edges.append(EdgeSpec(
+                name=f"edge{k}", clients=clients,
+                x=(col + 0.5) * cell, y=(row + 0.5) * cell))
+        names = [e.name for e in edges]
+        inter = tuple(InterEdgeLinkSpec(a=a, b=b, mbps=metro_mbps,
+                                        delay_ms=metro_delay_ms)
+                      for a, b in itertools.combinations(names, 2))
+        return cls(edges=tuple(edges), inter_edge=inter, federate=federate,
+                   mobility=mobility, warmup=warmup)
+
+
+def load_spec(source: typing.Union[str, dict]) -> ScenarioSpec:
+    """Build a spec from a dict, a JSON string, or a file path.
+
+    File paths ending in ``.yml``/``.yaml`` are parsed with PyYAML when
+    available; everything else is parsed as JSON.
+    """
+    import json
+    import os
+
+    if isinstance(source, dict):
+        return ScenarioSpec.from_dict(source)
+    if os.path.exists(source):
+        with open(source, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        if source.endswith((".yml", ".yaml")):
+            try:
+                import yaml
+            except ImportError as exc:  # pragma: no cover
+                raise ValueError(
+                    "YAML spec files need PyYAML; re-encode as JSON") from exc
+            return ScenarioSpec.from_dict(yaml.safe_load(text))
+        return ScenarioSpec.from_dict(json.loads(text))
+    return ScenarioSpec.from_dict(json.loads(source))

@@ -1,0 +1,312 @@
+"""Tests for repro.core.cluster (scenario builder, handoff, mobility).
+
+Includes the seed-equivalence suite: fixed workloads whose
+``MetricsRecorder`` output was digested on the pre-refactor
+``CoICDeployment`` / ``FederatedDeployment`` constructors.  The facades
+must keep producing byte-identical records (floats compared via their
+exact hex form).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core import CoICConfig, CoICDeployment
+from repro.core.cluster import ClusterDeployment
+from repro.core.federation import FederatedDeployment, FederatedEdgeNode
+from repro.core.scenario import (
+    ClientSpec,
+    EdgeSpec,
+    InterEdgeLinkSpec,
+    MobilitySpec,
+    ScenarioSpec,
+    WarmupSpec,
+)
+
+
+def recorder_digest(recorder) -> str:
+    """A byte-exact fingerprint of every record's observable fields."""
+    blob = repr([(r.task_kind, r.outcome, r.user, r.start_s.hex(),
+                  r.end_s.hex(), r.correct) for r in recorder.records])
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# Digests captured on the pre-refactor constructors (commit cb4e7b1)
+# for the exact workloads below.
+GOLDEN_SINGLE = \
+    "eca8545032b4bafc20bd01be45354bfe7287f1289316cff25b6c97cce4a2a0a4"
+GOLDEN_FEDERATED = \
+    "302d95e0068590dd121eb8c06a411f521eb61f4c5134872ed4f809766fc13a73"
+GOLDEN_ISOLATED = \
+    "3d47f2dbde86530e6738ba3807d6d3b17cf34af01623eaef15e9be4a4cefc908"
+
+
+class TestSeedEquivalence:
+    def test_single_edge_facade_matches_pre_refactor(self):
+        cfg = CoICConfig(seed=3)
+        cfg.network.wifi_mbps = 100
+        cfg.network.backhaul_mbps = 10
+        dep = CoICDeployment(cfg, n_clients=2)
+        dep.run_tasks(dep.clients[0],
+                      [dep.recognition_task(5, viewpoint=-0.2)])
+        dep.run_tasks(dep.clients[1],
+                      [dep.recognition_task(5, viewpoint=0.2)])
+        dep.run_tasks(dep.clients[0], [dep.model_load_task(0)])
+        dep.env.run()
+        dep.run_tasks(dep.clients[1], [dep.model_load_task(0)])
+        dep.run_tasks(dep.clients[0], [dep.panorama_task(1, 2)])
+        dep.run_tasks(dep.origin_clients[0], [dep.recognition_task(9)])
+        dep.run_tasks(dep.local_clients[1], [dep.recognition_task(4)])
+        dep.run_concurrent([
+            (0.0, dep.clients[0], dep.recognition_task(5, viewpoint=0.0)),
+            (0.001, dep.clients[1], dep.recognition_task(5, viewpoint=0.1)),
+        ])
+        assert recorder_digest(dep.recorder) == GOLDEN_SINGLE
+
+    def test_federated_facade_matches_pre_refactor(self):
+        cfg = CoICConfig(seed=7)
+        cfg.network.wifi_mbps = 100
+        cfg.network.backhaul_mbps = 10
+        fed = FederatedDeployment(cfg, n_edges=3, clients_per_edge=2,
+                                  metro_delay_ms=2.0)
+        fed.run_tasks(fed.clients[0][0], [fed.model_load_task(0)])
+        fed.env.run()
+        fed.run_tasks(fed.clients[1][0], [fed.model_load_task(0)])
+        fed.run_tasks(fed.clients[0][1],
+                      [fed.recognition_task(7, viewpoint=-0.2)])
+        fed.env.run()
+        fed.run_tasks(fed.clients[2][1],
+                      [fed.recognition_task(7, viewpoint=0.2)])
+        fed.run_tasks(fed.clients[2][0], [fed.panorama_task(0, 4)])
+        fed.env.run()
+        fed.run_tasks(fed.clients[1][1], [fed.panorama_task(0, 4)])
+        assert recorder_digest(fed.recorder) == GOLDEN_FEDERATED
+
+    def test_isolated_facade_matches_pre_refactor(self):
+        fed = FederatedDeployment(CoICConfig(seed=7), n_edges=2,
+                                  federate=False)
+        fed.run_tasks(fed.clients[0][0], [fed.model_load_task(1)])
+        fed.env.run()
+        fed.run_tasks(fed.clients[1][0], [fed.model_load_task(1)])
+        assert recorder_digest(fed.recorder) == GOLDEN_ISOLATED
+
+
+class TestFacadeShape:
+    def test_coic_deployment_is_a_cluster(self):
+        dep = CoICDeployment(n_clients=2)
+        assert isinstance(dep, ClusterDeployment)
+        assert dep.cache is dep.caches[0]
+        assert dep.edge is dep.edges[0]
+        assert dep.clients == dep.clients_by_edge[0]
+        assert dep.backhaul_up is dep.backhaul["edge"][0]
+
+    def test_federated_deployment_is_a_cluster(self):
+        fed = FederatedDeployment(n_edges=2, clients_per_edge=2)
+        assert isinstance(fed, ClusterDeployment)
+        assert fed.clients is fed.clients_by_edge
+        assert len(fed.all_clients) == 4
+        # The shared driver mixin now gives federated deployments
+        # run_concurrent too.
+        fed.run_concurrent([
+            (0.0, fed.clients[0][0], fed.recognition_task(1)),
+            (0.0, fed.clients[1][0], fed.recognition_task(2)),
+        ])
+        assert len(fed.recorder.records) == 2
+
+
+def line_spec(federate=True, peers=None):
+    """edge0 -- edge1 -- edge2: a non-mesh inter-edge graph."""
+    edges = tuple(
+        EdgeSpec(name=f"edge{k}", clients=(ClientSpec(name=f"m{k}"),),
+                 x=100.0 * k, y=0.0,
+                 peers=peers[k] if peers is not None else None)
+        for k in range(3))
+    inter = (InterEdgeLinkSpec(a="edge0", b="edge1", delay_ms=2.0),
+             InterEdgeLinkSpec(a="edge1", b="edge2", delay_ms=2.0))
+    return ScenarioSpec(edges=edges, inter_edge=inter, federate=federate)
+
+
+class TestArbitraryGraphs:
+    def test_line_graph_routes_multi_hop(self):
+        dep = ClusterDeployment(line_spec())
+        assert dep.topology.shortest_path("edge0", "edge2") == \
+            ["edge0", "edge1", "edge2"]
+
+    def test_peer_probe_over_multi_hop_route(self):
+        # edge2's only peer is edge0, two metro hops away: the probe is
+        # routed through edge1 by Dijkstra, no direct link needed.
+        spec = line_spec(peers=(("edge1",), ("edge0",), ("edge0",)))
+        dep = ClusterDeployment(spec)
+        task = dep.model_load_task(0)
+        dep.run_tasks(dep.client_by_name["m0"], [task])
+        dep.env.run()
+        record = dep.run_tasks(dep.client_by_name["m2"], [task])[0]
+        assert record.outcome == "hit"
+        assert dep.edges[2].peer_hits == 1
+
+    def test_isolated_cluster_builds_plain_edges(self):
+        dep = ClusterDeployment(line_spec(federate=False))
+        assert not any(isinstance(e, FederatedEdgeNode) for e in dep.edges)
+
+
+class TestHandoff:
+    def test_handoff_moves_attachment_and_links(self):
+        dep = ClusterDeployment(line_spec())
+        client = dep.client_by_name["m0"]
+        dep.env.run(until=dep.env.process(
+            dep.handoff(client, "edge2", latency_s=0.1)))
+        dep.env.run()
+        assert client.edge_name == "edge2"
+        assert client.attachments == [(0.0, "edge0"), (0.1, "edge2")]
+        assert len(dep.handoff_log) == 1
+        event = dep.handoff_log[0]
+        assert (event.src_edge, event.dst_edge) == ("edge0", "edge2")
+        assert event.completed_s == pytest.approx(0.1)
+        # Old access link torn down, new one up.
+        up, down = dep.access_links[("m0", "edge0")]
+        assert not up.up and not down.up
+        new_up, new_down = dep.access_links[("m0", "edge2")]
+        assert new_up.up and new_down.up
+
+    def test_requests_stall_through_the_attach_gate(self):
+        dep = ClusterDeployment(line_spec())
+        client = dep.client_by_name["m0"]
+        dep.env.process(dep.handoff(client, "edge1", latency_s=0.5))
+        record = dep.run_tasks(client, [dep.recognition_task(1)])[0]
+        # Issued mid-handoff: the dead time is part of the latency and
+        # the request is served by the new edge.
+        assert record.latency_s >= 0.5
+        assert record.outcome in ("hit", "miss")
+        assert client.edge_name == "edge1"
+
+    def test_inflight_request_completes_against_old_edge(self):
+        dep = ClusterDeployment(line_spec())
+        client = dep.client_by_name["m0"]
+        # Start the request first, then the handoff on the same tick:
+        # the in-flight exchange must complete over the old link.
+        request = dep.env.process(client.perform(dep.recognition_task(2)))
+
+        def later():
+            yield dep.env.timeout(1e-4)
+            yield from dep.handoff(client, "edge1", latency_s=0.01)
+
+        dep.env.process(later())
+        dep.env.run(until=request)
+        dep.env.run()
+        record = dep.recorder.records[0]
+        assert record.outcome in ("hit", "miss")  # not an error
+        assert client.edge_name == "edge1"
+
+    def test_handoff_to_same_edge_is_noop(self):
+        dep = ClusterDeployment(line_spec())
+        client = dep.client_by_name["m0"]
+        dep.env.run(until=dep.env.process(dep.handoff(client, "edge0")))
+        assert dep.handoff_log == []
+        assert client.attachments == [(0.0, "edge0")]
+
+    def test_unknown_edge_rejected(self):
+        dep = ClusterDeployment(line_spec())
+        with pytest.raises(KeyError):
+            next(dep.handoff(dep.client_by_name["m0"], "edge99"))
+
+
+def metro_spec(seed_places=16, federate=True, warmup=None):
+    mobility = MobilitySpec(n_places=seed_places, mean_dwell_s=10.0,
+                            duration_s=60.0, handoff_latency_s=0.05)
+    return ScenarioSpec.metro(n_edges=4, clients_per_edge=1,
+                              federate=federate, mobility=mobility,
+                              warmup=warmup)
+
+
+def metro_config(seed=0):
+    cfg = CoICConfig(seed=seed)
+    cfg.network.wifi_mbps = 100
+    cfg.network.backhaul_mbps = 10
+    return cfg
+
+
+class TestMobility:
+    def test_itineraries_drive_handoffs(self):
+        dep = ClusterDeployment(metro_spec(), config=metro_config())
+        dep.start_mobility()
+        dep.run_for(60.0)
+        per_client = {name: 0 for name in dep.client_names}
+        for event in dep.handoff_log:
+            per_client[event.client] += 1
+        assert min(per_client.values()) >= 1
+        timeline = dep.attachment_timeline()
+        # Initial attachments for everyone plus one entry per handoff.
+        assert len(timeline) == len(dep.client_names) + len(dep.handoff_log)
+
+    def test_same_seed_same_attachment_timeline(self):
+        def run_once():
+            dep = ClusterDeployment(metro_spec(), config=metro_config())
+            dep.start_mobility()
+            dep.run_for(60.0)
+            return dep.attachment_timeline(), recorder_digest(dep.recorder)
+
+        first_timeline, first_digest = run_once()
+        second_timeline, second_digest = run_once()
+        assert first_timeline == second_timeline
+        assert first_digest == second_digest
+        assert len(first_timeline) > len(
+            ClusterDeployment(metro_spec(),
+                              config=metro_config()).client_names)
+
+    def test_different_seed_different_timeline(self):
+        def timeline(seed):
+            dep = ClusterDeployment(metro_spec(),
+                                    config=metro_config(seed))
+            dep.start_mobility()
+            dep.run_for(60.0)
+            return dep.attachment_timeline()
+
+        assert timeline(0) != timeline(1)
+
+    def test_mobility_requires_spec(self):
+        dep = ClusterDeployment(line_spec())
+        with pytest.raises(ValueError):
+            dep.start_mobility()
+
+    def test_mobility_cannot_start_twice(self):
+        dep = ClusterDeployment(metro_spec(), config=metro_config())
+        dep.start_mobility()
+        with pytest.raises(RuntimeError):
+            dep.start_mobility()
+
+
+class TestWarmupAndSync:
+    def test_warmup_turns_first_request_into_a_hit(self):
+        warmup = WarmupSpec(classes=(3,), models=(0,))
+        spec = ScenarioSpec.federated(n_edges=2)
+        spec = ScenarioSpec.from_dict({**spec.to_dict(),
+                                       "warmup": warmup.to_dict()})
+        dep = ClusterDeployment(spec, config=metro_config())
+        assert all(len(cache) == 2 for cache in dep.caches)
+        record = dep.run_tasks(dep.clients_by_edge[0][0],
+                               [dep.recognition_task(3, viewpoint=0.1)])[0]
+        assert record.outcome == "hit"
+        load = dep.run_tasks(dep.clients_by_edge[1][0],
+                             [dep.model_load_task(0)])[0]
+        assert load.outcome == "hit"
+
+    def test_warmup_respects_edge_filter(self):
+        warmup = WarmupSpec(classes=(1, 2), edges=("edge0",))
+        spec = ScenarioSpec.from_dict({
+            **ScenarioSpec.federated(n_edges=2).to_dict(),
+            "warmup": warmup.to_dict()})
+        dep = ClusterDeployment(spec, config=metro_config())
+        assert len(dep.caches[0]) == 2
+        assert len(dep.caches[1]) == 0
+
+    def test_sync_federation_diffuses_and_dedups(self):
+        spec = ScenarioSpec.from_dict({
+            **ScenarioSpec.federated(n_edges=3).to_dict(),
+            "warmup": WarmupSpec(classes=(1, 2), models=(0,),
+                                 edges=("edge0",)).to_dict()})
+        dep = ClusterDeployment(spec, config=metro_config())
+        copied = dep.sync_federation()
+        assert copied == 6  # 3 entries to each of 2 empty edges
+        assert all(len(cache) == 3 for cache in dep.caches)
+        # A second sync finds nothing new anywhere.
+        assert dep.sync_federation() == 0

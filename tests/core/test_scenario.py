@@ -1,0 +1,142 @@
+"""Tests for repro.core.scenario (declarative deployment specs)."""
+
+import json
+
+import pytest
+
+from repro.core.scenario import (
+    ClientSpec,
+    EdgeSpec,
+    InterEdgeLinkSpec,
+    MobilitySpec,
+    ScenarioSpec,
+    WarmupSpec,
+    load_spec,
+)
+
+
+class TestValidation:
+    def test_needs_an_edge(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(edges=())
+
+    def test_duplicate_edge_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            ScenarioSpec(edges=(EdgeSpec(name="a"), EdgeSpec(name="a")))
+
+    def test_duplicate_client_names_across_edges(self):
+        with pytest.raises(ValueError, match="unique"):
+            ScenarioSpec(edges=(
+                EdgeSpec(name="a", clients=(ClientSpec(name="m"),)),
+                EdgeSpec(name="b", clients=(ClientSpec(name="m"),))))
+
+    def test_client_edge_name_collision(self):
+        with pytest.raises(ValueError, match="collide"):
+            ScenarioSpec(edges=(
+                EdgeSpec(name="a", clients=(ClientSpec(name="b"),)),
+                EdgeSpec(name="b")))
+
+    def test_cloud_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+            ScenarioSpec(edges=(EdgeSpec(name="cloud"),))
+
+    def test_inter_edge_unknown_endpoint(self):
+        with pytest.raises(ValueError, match="unknown edge"):
+            ScenarioSpec(edges=(EdgeSpec(name="a"), EdgeSpec(name="b")),
+                         inter_edge=(InterEdgeLinkSpec(a="a", b="zz"),))
+
+    def test_unknown_peer(self):
+        with pytest.raises(ValueError, match="unknown peer"):
+            ScenarioSpec(edges=(EdgeSpec(name="a", peers=("zz",)),))
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            InterEdgeLinkSpec(a="a", b="a")
+
+    def test_mobility_knobs_validated(self):
+        with pytest.raises(ValueError):
+            MobilitySpec(mean_dwell_s=0)
+        with pytest.raises(ValueError):
+            MobilitySpec(handoff_latency_s=-1)
+
+
+class TestBuilders:
+    def test_single_edge_matches_legacy_wiring(self):
+        spec = ScenarioSpec.single_edge(3)
+        assert spec.edge_names == ["edge"]
+        assert spec.client_names == ["mobile0", "mobile1", "mobile2"]
+        assert spec.edges[0].backhaul_stream == "net.backhaul"
+        assert spec.edges[0].clients[1].wifi_stream == "net.wifi.mobile1"
+        assert spec.baselines and spec.impairments and spec.vision_streams
+        assert not spec.federate and not spec.inter_edge
+
+    def test_federated_matches_legacy_wiring(self):
+        spec = ScenarioSpec.federated(n_edges=3, clients_per_edge=2)
+        assert spec.edge_names == ["edge0", "edge1", "edge2"]
+        assert spec.edges[1].clients[0].name == "mobile1_0"
+        assert spec.edges[1].clients[0].wifi_stream == "net.wifi.1.0"
+        assert spec.edges[1].backhaul_stream == "net.backhaul.1"
+        assert spec.edges[1].peers == ("edge0", "edge2")
+        # Full metro mesh: C(3, 2) duplex links.
+        assert len(spec.inter_edge) == 3
+        assert spec.inter_edge[0].stream == "net.metro.edge0.edge1"
+        assert spec.federate
+        assert not spec.impairments and not spec.vision_streams
+
+    def test_metro_positions_on_grid(self):
+        mobility = MobilitySpec(extent_m=1000.0)
+        spec = ScenarioSpec.metro(n_edges=4, clients_per_edge=1,
+                                  mobility=mobility)
+        positions = {(e.x, e.y) for e in spec.edges}
+        assert positions == {(250.0, 250.0), (750.0, 250.0),
+                             (250.0, 750.0), (750.0, 750.0)}
+        assert spec.mobility is mobility
+
+    def test_builder_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec.single_edge(0)
+        with pytest.raises(ValueError):
+            ScenarioSpec.federated(n_edges=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec.federated(clients_per_edge=0)
+
+
+class TestSerialization:
+    def _roundtrip(self, spec):
+        data = spec.to_dict()
+        json.dumps(data)  # must be plain JSON-able types
+        return ScenarioSpec.from_dict(json.loads(json.dumps(data)))
+
+    def test_roundtrip_single_edge(self):
+        spec = ScenarioSpec.single_edge(2)
+        assert self._roundtrip(spec) == spec
+
+    def test_roundtrip_federated(self):
+        spec = ScenarioSpec.federated(n_edges=3, clients_per_edge=2,
+                                      metro_delay_ms=7.0)
+        assert self._roundtrip(spec) == spec
+
+    def test_roundtrip_metro_with_mobility_and_warmup(self):
+        spec = ScenarioSpec.metro(
+            n_edges=4, clients_per_edge=2,
+            mobility=MobilitySpec(mean_dwell_s=9.0, handoff_latency_s=0.2),
+            warmup=WarmupSpec(classes=(1, 2), models=(0,),
+                              edges=("edge0",)))
+        restored = self._roundtrip(spec)
+        assert restored == spec
+        assert restored.mobility.mean_dwell_s == 9.0
+        assert restored.warmup.edges == ("edge0",)
+
+    def test_from_dict_accepts_client_name_shorthand(self):
+        spec = ScenarioSpec.from_dict({
+            "edges": [{"name": "e0", "clients": ["m0", "m1"]}]})
+        assert spec.edges[0].clients[1] == ClientSpec(name="m1")
+
+    def test_load_spec_variants(self, tmp_path):
+        spec = ScenarioSpec.federated(n_edges=2)
+        data = spec.to_dict()
+        assert load_spec(data) == spec
+        assert load_spec(json.dumps(data)) == spec
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(data))
+        assert load_spec(str(path)) == spec

@@ -61,3 +61,39 @@ class TestCli:
         assert main(["demo", "--wifi", "90", "--backhaul", "9"]) == 0
         out = capsys.readouterr().out
         assert "origin" in out and "hit" in out
+
+
+class TestScenarioCli:
+    def test_mobility_experiment_registered(self):
+        assert "mobility" in experiment_names()
+
+    def test_scenario_from_file(self, tmp_path, capsys):
+        import json
+
+        from repro.core.scenario import MobilitySpec, ScenarioSpec
+
+        spec = ScenarioSpec.metro(
+            n_edges=2, clients_per_edge=1,
+            mobility=MobilitySpec(mean_dwell_s=5.0, duration_s=20.0))
+        path = tmp_path / "city.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert main(["scenario", str(path), "--duration", "20",
+                     "--wifi", "100", "--backhaul", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "2 edges" in out
+        assert "hit ratio" in out
+        assert "handoffs" in out
+        assert "recognition" in out
+
+    def test_scenario_inline_json(self, capsys):
+        assert main(["scenario",
+                     '{"edges": [{"name": "e0", "clients": ["m0"]}]}',
+                     "--duration", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "1 edges" in out and "hit ratio" in out
+
+    def test_scenario_bad_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"edges": []}')
+        assert main(["scenario", str(path)]) == 2
+        assert "bad scenario spec" in capsys.readouterr().err
