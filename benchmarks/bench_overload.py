@@ -1,0 +1,106 @@
+"""A11 — overload policies at the hot cell: p99 vs offered load.
+
+The overload layer's headline workload: a 4-edge metro grid whose crowd
+gravitates to one hot cell, swept across offered load and the policy
+ladder none / shed / offload / offload+prewarm.  The bench records p99
+recognition latency and shed/offload rates per (policy, load) cell in
+``BENCH_overload.json`` — the machine-readable claim that admission
+control plus peer offload (not raw per-box speed) is what holds the
+tail at scale.
+"""
+
+from conftest import emit, emit_json
+
+from repro.eval.experiments.overload_exp import POLICY_NAMES, run_overload
+from repro.eval.tables import format_table
+
+SMOKE_KWARGS = {"intervals_s": (0.5,), "duration_s": 40.0,
+                "hot_clients": 6, "mean_dwell_s": 20.0}
+FULL_KWARGS = {"intervals_s": (1.0, 0.5, 0.25), "duration_s": 120.0,
+               "hot_clients": 8, "cold_clients": 1, "mean_dwell_s": 20.0}
+
+
+def test_overload_policies(benchmark, smoke):
+    kwargs = SMOKE_KWARGS if smoke else FULL_KWARGS
+    rows = benchmark.pedantic(run_overload, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+    table = [[r.policy, f"{r.offered_rps:.0f}", str(r.requests),
+              str(r.served), f"{r.shed_rate:.2f}", f"{r.offload_rate:.2f}",
+              str(r.handoffs), str(r.prewarm_pushed), f"{r.hit_ratio:.3f}",
+              f"{r.mean_ms:.0f}", f"{r.p99_ms:.0f}",
+              f"{r.hot_edge}:{r.hot_share:.2f}"] for r in rows]
+    emit(format_table(
+        ["policy", "rps", "requests", "served", "shed", "offload",
+         "handoffs", "prewarmed", "hit ratio", "mean ms", "p99 ms",
+         "hot edge"],
+        table, title="A11 — hot-cell overload: policy ladder vs load"))
+
+    # Shape assertions (hold in smoke mode too).
+    by_cell = {(r.policy, r.interval_s): r for r in rows}
+    intervals = sorted({r.interval_s for r in rows})
+    assert len(by_cell) == len(rows), "duplicate (policy, interval) cell"
+    for name in POLICY_NAMES:
+        assert any(r.policy == name for r in rows)
+    for row in rows:
+        assert row.served > 0
+        assert 0.0 <= row.shed_rate <= 1.0
+        assert 0.0 <= row.offload_rate <= 1.0
+        assert 0.0 <= row.hit_ratio <= 1.0
+        # Every client crosses a cell boundary at least once mid-run.
+        assert row.handoffs > 0
+        if row.policy == "none":
+            assert row.shed == 0 and row.offloaded == 0
+        if row.policy == "shed":
+            assert row.offloaded == 0
+        if "prewarm" not in row.policy:
+            assert row.prewarm_pushed == 0
+
+    # The policies engage under pressure at the highest offered load.
+    highest = intervals[0]
+    assert by_cell[("shed", highest)].shed > 0
+    assert by_cell[("offload", highest)].offloaded > 0
+    assert by_cell[("offload+prewarm", highest)].prewarm_pushed > 0
+    # The headline claim: cooperative offload plus predictive pre-warm
+    # beats the accept-everything edge on tail latency when the cell
+    # runs hot.
+    assert (by_cell[("offload+prewarm", highest)].p99_ms
+            < by_cell[("none", highest)].p99_ms)
+    # Offload preserves work: nothing is refused, so the served count
+    # is never below the no-policy run's.
+    assert (by_cell[("offload+prewarm", highest)].served
+            >= by_cell[("none", highest)].served)
+
+    if smoke:
+        return
+
+    best = by_cell[("offload+prewarm", highest)]
+    base = by_cell[("none", highest)]
+    benchmark.extra_info["p99_none_ms"] = base.p99_ms
+    benchmark.extra_info["p99_offload_prewarm_ms"] = best.p99_ms
+    benchmark.extra_info["shed_rate_shed_policy"] = \
+        by_cell[("shed", highest)].shed_rate
+
+    emit_json("overload", {
+        "workload": {k: v for k, v in kwargs.items()
+                     if k != "intervals_s"},
+        "rows": [{
+            "policy": r.policy,
+            "interval_s": r.interval_s,
+            "offered_rps": r.offered_rps,
+            "requests": r.requests,
+            "served": r.served,
+            "shed": r.shed,
+            "shed_rate": r.shed_rate,
+            "offloaded": r.offloaded,
+            "offload_rate": r.offload_rate,
+            "handoffs": r.handoffs,
+            "prewarm_pushed": r.prewarm_pushed,
+            "hit_ratio": r.hit_ratio,
+            "mean_ms": r.mean_ms,
+            "p95_ms": r.p95_ms,
+            "p99_ms": r.p99_ms,
+            "hot_edge": r.hot_edge,
+            "hot_share": r.hot_share,
+        } for r in rows],
+    })

@@ -11,6 +11,9 @@ The cooperative immersive-computing framework, assembled from:
   cache with byte-capacity enforcement and pluggable eviction.
 * :mod:`~repro.core.client` / :mod:`~repro.core.edge` /
   :mod:`~repro.core.cloud` — the three node roles of Figure 1.
+* :mod:`~repro.core.pipeline` — the edge request pipeline (admit ->
+  classify -> lookup -> resolve -> respond) and its overload layer:
+  admission control, peer offload, predictive handoff pre-warm.
 * :mod:`~repro.core.baselines` — the paper's Origin baseline (full
   offload, no cache) and a local-only reference.
 * :mod:`~repro.core.scenario` / :mod:`~repro.core.cluster` — the
@@ -25,9 +28,17 @@ The cooperative immersive-computing framework, assembled from:
 """
 
 from repro.core.cache import CacheEntry, CacheStats, ICCache
-from repro.core.cluster import ClusterDeployment, HandoffEvent
+from repro.core.cluster import ClusterDeployment, HandoffEvent, PrewarmEvent
+from repro.core.pipeline import (
+    AdmissionControlStage,
+    PeerLoadBalancer,
+    Pipeline,
+    build_pipeline,
+    default_pipeline,
+)
 from repro.core.scenario import (
     ClientSpec,
+    EdgePolicySpec,
     EdgeSpec,
     InterEdgeLinkSpec,
     MobilitySpec,
@@ -71,13 +82,20 @@ __all__ = [
     "ClusterDeployment",
     "CoICConfig",
     "CoICDeployment",
+    "AdmissionControlStage",
     "Descriptor",
+    "EdgePolicySpec",
     "EdgeSpec",
     "HandoffEvent",
     "InterEdgeLinkSpec",
     "MobilitySpec",
+    "PeerLoadBalancer",
+    "Pipeline",
+    "PrewarmEvent",
     "ScenarioSpec",
     "WarmupSpec",
+    "build_pipeline",
+    "default_pipeline",
     "ExactIndex",
     "FifoPolicy",
     "GdsfPolicy",

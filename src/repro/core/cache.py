@@ -130,6 +130,25 @@ class ICCache:
         """Snapshot of live entries (unspecified order)."""
         return list(self._entries.values())
 
+    def hottest(self, k: int, kind: str | None = None,
+                now: float | None = None) -> list[CacheEntry]:
+        """The top-``k`` entries by hit count (recency breaks ties).
+
+        What predictive handoff pre-warm pushes to the next edge: the
+        entries that proved themselves under this cell's workload.
+        Expired entries are skipped when ``now`` is given; ``kind``
+        restricts the ranking to one descriptor kind.  Deterministic:
+        remaining ties go to the older ``entry_id``.
+        """
+        if k <= 0:
+            return []
+        candidates = [
+            entry for entry in self._entries.values()
+            if (kind is None or entry.descriptor.kind == kind)
+            and (now is None or not entry.expired(now))]
+        candidates.sort(key=lambda e: (-e.hits, -e.last_access, e.entry_id))
+        return candidates[:k]
+
     def index_for(self, kind: str,
                   descriptor: Descriptor | None = None) -> DescriptorIndex:
         """The per-kind index, created on first use."""
@@ -294,6 +313,12 @@ class ICCache:
                      cost_s: float = 0.0) -> list[CacheEntry | None]:
         """Store a burst of ``(descriptor, result, size_bytes)`` triples.
 
+        Each item may carry an optional fourth element — its own
+        ``cost_s`` (what producing the result originally cost), which
+        overrides the batch-wide ``cost_s`` so cost-aware eviction
+        policies (GDSF) see the real value; replication paths like
+        handoff pre-warm rely on this.
+
         Capacity accounting, eviction order, stats and the resulting
         entry set match the equivalent sequence of :meth:`insert` calls,
         but per-kind *index* insertions are batched — a warm-up flood of
@@ -330,7 +355,9 @@ class ICCache:
                 raise
 
         out: list[CacheEntry | None] = []
-        for descriptor, result, size_bytes in items:
+        for item in items:
+            descriptor, result, size_bytes = item[0], item[1], item[2]
+            item_cost = item[3] if len(item) > 3 else cost_s
             if size_bytes < 0:
                 flush()
                 raise ValueError("size_bytes must be >= 0")
@@ -346,7 +373,7 @@ class ICCache:
                     self.stats.evictions += 1
             entry = CacheEntry(
                 entry_id=next(self._ids), descriptor=descriptor,
-                result=result, size_bytes=int(size_bytes), cost_s=cost_s,
+                result=result, size_bytes=int(size_bytes), cost_s=item_cost,
                 created_at=now, last_access=now,
                 expires_at=(now + self.ttl_s) if self.ttl_s is not None
                 else None)

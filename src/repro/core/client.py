@@ -25,6 +25,7 @@ from repro.core.descriptors import HashDescriptor, VectorDescriptor
 from repro.core.metrics import (
     MetricsRecorder,
     OUTCOME_ERROR,
+    OUTCOME_SHED,
     RequestRecord,
 )
 from repro.core.tasks import (
@@ -132,15 +133,17 @@ class CoICClient:
             # QoE cost the handoff-latency knob models.
             yield self._attach_gate
         self.inflight += 1
+        edge = self.edge_name
         try:
             if isinstance(task, RecognitionTask):
-                outcome, correct, detail = yield from self._do_recognition(
-                    task)
+                outcome, correct, detail, edge = yield from (
+                    self._do_recognition(task))
             elif isinstance(task, ModelLoadTask):
-                outcome, correct, detail = yield from self._do_model_load(
-                    task)
+                outcome, correct, detail, edge = yield from (
+                    self._do_model_load(task))
             elif isinstance(task, PanoramaTask):
-                outcome, correct, detail = yield from self._do_panorama(task)
+                outcome, correct, detail, edge = yield from (
+                    self._do_panorama(task))
             else:
                 raise TypeError(f"client cannot perform {task!r}")
         except RpcError as exc:
@@ -153,7 +156,7 @@ class CoICClient:
         record = RequestRecord(task_kind=task.kind, outcome=outcome,
                                user=self.name, start_s=started,
                                end_s=self.env.now, correct=correct,
-                               detail=detail)
+                               detail=detail, edge=edge)
         self.recorder.record(record)
         return record
 
@@ -198,26 +201,33 @@ class CoICClient:
             response = yield self.rpc.call(
                 retry, timeout=self.config.request_timeout_s)
 
+        served_by = response.headers.get("served_by", edge_name)
         if response.kind == "error":
-            return OUTCOME_ERROR, None, {"error": response.payload}
+            return OUTCOME_ERROR, None, {"error": response.payload}, served_by
+        if response.kind == "shed":
+            # The edge's admission controller refused the request; the
+            # app decides whether to retry, degrade, or drop the frame.
+            return OUTCOME_SHED, None, {"shed": True}, served_by
         result = response.payload
         outcome = response.headers.get("outcome", "unknown")
         correct = result.label == task.frame.object_class
-        return outcome, correct, {"label": result.label}
+        return outcome, correct, {"label": result.label}, served_by
 
     # -- model loading -----------------------------------------------------------------
 
     def _do_model_load(self, task: ModelLoadTask):
         yield self.env.timeout(
             self.config.rendering.client_overhead_ms / 1e3)
+        edge_name = self.edge_name
         descriptor = HashDescriptor(kind=task.kind, digest=task.digest)
         request = Message(size_bytes=task.input_bytes, kind="ic_request",
-                          payload=task, src=self.name, dst=self.edge_name,
+                          payload=task, src=self.name, dst=edge_name,
                           headers={"descriptor": descriptor})
         response = yield self.rpc.call(
             request, timeout=self.config.request_timeout_s)
+        served_by = response.headers.get("served_by", edge_name)
         if response.kind == "error":
-            return OUTCOME_ERROR, None, {"error": response.payload}
+            return OUTCOME_ERROR, None, {"error": response.payload}, served_by
         result: ModelLoadResult = response.payload
 
         if result.parsed:
@@ -230,22 +240,24 @@ class CoICClient:
             yield self.env.timeout(cost.total_s)
         outcome = response.headers.get("outcome", "unknown")
         correct = result.digest == task.digest
-        return outcome, correct, {"parsed": result.parsed}
+        return outcome, correct, {"parsed": result.parsed}, served_by
 
     # -- panoramas ---------------------------------------------------------------------
 
     def _do_panorama(self, task: PanoramaTask):
+        edge_name = self.edge_name
         digest = task.panorama.digest()
         descriptor = HashDescriptor(kind=task.kind, digest=digest)
         request = Message(size_bytes=task.input_bytes, kind="ic_request",
-                          payload=task, src=self.name, dst=self.edge_name,
+                          payload=task, src=self.name, dst=edge_name,
                           headers={"descriptor": descriptor})
         response = yield self.rpc.call(
             request, timeout=self.config.request_timeout_s)
+        served_by = response.headers.get("served_by", edge_name)
         if response.kind == "error":
-            return OUTCOME_ERROR, None, {"error": response.payload}
+            return OUTCOME_ERROR, None, {"error": response.payload}, served_by
         result = response.payload
         yield self.env.timeout(crop_time_s(task.panorama, self.viewport))
         outcome = response.headers.get("outcome", "unknown")
         correct = result.digest == digest
-        return outcome, correct, {"bytes": result.payload_bytes}
+        return outcome, correct, {"bytes": result.payload_bytes}, served_by

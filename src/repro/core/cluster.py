@@ -37,6 +37,7 @@ from repro.core.config import CoICConfig
 from repro.core.descriptors import HashDescriptor, VectorDescriptor
 from repro.core.edge import EdgeNode
 from repro.core.metrics import MetricsRecorder
+from repro.core.pipeline import PeerLoadBalancer, build_pipeline
 from repro.core.policies import make_policy
 from repro.core.scenario import ScenarioSpec, WarmupSpec
 from repro.core.tasks import (
@@ -47,6 +48,7 @@ from repro.core.tasks import (
     PanoramaTask,
     RecognitionTask,
 )
+from repro.net.message import Message
 from repro.net.shaper import TrafficShaper
 from repro.net.topology import Topology
 from repro.net.transport import Rpc
@@ -84,6 +86,17 @@ class HandoffEvent:
     client: str
     src_edge: str
     dst_edge: str
+
+
+@dataclasses.dataclass(frozen=True)
+class PrewarmEvent:
+    """One predictive pre-warm push ahead of a client's handoff."""
+
+    time_s: float
+    client: str
+    src_edge: str
+    dst_edge: str
+    pushed: int
 
 
 class DeploymentDriverMixin:
@@ -208,6 +221,11 @@ class ClusterDeployment(DeploymentDriverMixin):
         self.edge_names = spec.edge_names
         self.access_links: dict[tuple[str, str], tuple["Link", "Link"]] = {}
         self.backhaul: dict[str, tuple["Link", "Link"]] = {}
+        #: client name -> access technology ("wifi" | "lte"); handoffs
+        #: re-create the same kind of link at the new edge.
+        self.client_access: dict[str, str] = {
+            cspec.name: cspec.access
+            for espec in spec.edges for cspec in espec.clients}
         for espec in spec.edges:
             for cspec in espec.clients:
                 self._add_access(cspec.name, espec.name,
@@ -258,6 +276,22 @@ class ClusterDeployment(DeploymentDriverMixin):
             recognizer=self.cloud_recognizer, config=cfg,
             workers=cfg.cloud_workers)
 
+        # -- overload layer --------------------------------------------------
+        # One shared pipeline per deployment: the stages are stateless
+        # (per-request state lives in the RequestContext, counters on the
+        # edge), so every edge can run the same chain.  The balancer is
+        # registered as edges come up; its neighbour map is the spec's
+        # inter-edge backhaul graph.
+        self.balancer: PeerLoadBalancer | None = None
+        if spec.policy is not None and spec.policy.offload != "none":
+            self.balancer = PeerLoadBalancer(
+                margin=spec.policy.offload_margin)
+        self.pipeline = build_pipeline(spec.policy, self.balancer)
+        neighbours: dict[str, list[str]] = {n: [] for n in self.edge_names}
+        for lspec in spec.inter_edge:
+            neighbours[lspec.a].append(lspec.b)
+            neighbours[lspec.b].append(lspec.a)
+
         self.edges: list[EdgeNode] = []
         self.caches: list[ICCache] = []
         self.edge_recognizers: list[Recognizer] = []
@@ -285,12 +319,17 @@ class ClusterDeployment(DeploymentDriverMixin):
                     self.env, self.rpc, self.topology.hosts[espec.name],
                     cache=cache, config=cfg, recognizer=recognizer,
                     loader=self.edge_loader, workers=cfg.edge_workers,
-                    peers=peers, peer_timeout_s=spec.peer_timeout_s)
+                    peers=peers, peer_timeout_s=spec.peer_timeout_s,
+                    pipeline=self.pipeline)
             else:
                 node = EdgeNode(
                     self.env, self.rpc, self.topology.hosts[espec.name],
                     cache=cache, config=cfg, recognizer=recognizer,
-                    loader=self.edge_loader, workers=cfg.edge_workers)
+                    loader=self.edge_loader, workers=cfg.edge_workers,
+                    pipeline=self.pipeline)
+            if self.balancer is not None:
+                self.balancer.register(espec.name, node,
+                                       neighbours[espec.name])
             self.edges.append(node)
         self.edge_by_name = dict(zip(self.edge_names, self.edges))
         self.cache_by_name = dict(zip(self.edge_names, self.caches))
@@ -323,6 +362,8 @@ class ClusterDeployment(DeploymentDriverMixin):
 
         # -- mobility / handoff ---------------------------------------------
         self.handoff_log: list[HandoffEvent] = []
+        self.prewarm_log: list[PrewarmEvent] = []
+        self.prewarm_pushed = 0
         self.world: "World | None" = None
         self.users: dict[str, "RandomWaypointUser"] = {}
         self.itineraries: dict[str, list[tuple[float, int]]] = {}
@@ -343,7 +384,13 @@ class ClusterDeployment(DeploymentDriverMixin):
 
     def _add_access(self, client_name: str, edge_name: str,
                     stream: str | None = None) -> tuple["Link", "Link"]:
-        """Create (or re-enable) the WiFi duplex client<->edge."""
+        """Create (or re-enable) the access duplex client<->edge.
+
+        The link pair matches the client's configured access technology:
+        a symmetric 802.11ac WiFi duplex, or an asymmetric LTE EPC pair
+        (uplink client->edge, downlink edge->client) with the core
+        network's extra forwarding latency.
+        """
         key = (client_name, edge_name)
         links = self.access_links.get(key)
         if links is not None:
@@ -351,14 +398,24 @@ class ClusterDeployment(DeploymentDriverMixin):
                 link.set_up(True)
             return links
         net = self.config.network
-        links = self.topology.add_duplex(
-            client_name, edge_name, net.wifi_mbps * 1e6,
-            propagation_s=net.wifi_delay_ms / 1e3,
-            jitter_s=(net.wifi_jitter_ms / 1e3
-                      if self.spec.impairments else 0.0),
-            loss_rate=net.loss_rate if self.spec.impairments else 0.0,
-            rng=self.rng.stream(stream
-                                or f"net.wifi.{client_name}.{edge_name}"))
+        if self.client_access.get(client_name, "wifi") == "lte":
+            from repro.net.access import attach_lte
+
+            links = attach_lte(
+                self.topology, client_name, edge_name,
+                self.config.network.lte_profile(
+                    impairments=self.spec.impairments),
+                rng=self.rng.stream(
+                    stream or f"net.lte.{client_name}.{edge_name}"))
+        else:
+            links = self.topology.add_duplex(
+                client_name, edge_name, net.wifi_mbps * 1e6,
+                propagation_s=net.wifi_delay_ms / 1e3,
+                jitter_s=(net.wifi_jitter_ms / 1e3
+                          if self.spec.impairments else 0.0),
+                loss_rate=net.loss_rate if self.spec.impairments else 0.0,
+                rng=self.rng.stream(stream
+                                    or f"net.wifi.{client_name}.{edge_name}"))
         self.access_links[key] = links
         return links
 
@@ -465,7 +522,8 @@ class ClusterDeployment(DeploymentDriverMixin):
                 client.name, self.world,
                 self.rng.stream(f"mobility.user.{client.name}"),
                 mean_dwell_s=m.mean_dwell_s,
-                home_place=self._home_place(client))
+                home_place=self._home_place(client),
+                bias=m.bias)
             itinerary = user.itinerary(duration)
             self.users[client.name] = user
             self.itineraries[client.name] = itinerary
@@ -481,7 +539,65 @@ class ClusterDeployment(DeploymentDriverMixin):
             self.client_places[client.name] = place_id
             target = self.nearest_edge_name(place_id)
             if target != client.edge_name:
+                self._maybe_prewarm(client, client.edge_name, target)
                 yield from self.handoff(client, target)
+
+    # -- predictive handoff pre-warm -----------------------------------------
+
+    def _maybe_prewarm(self, client: CoICClient, src_edge: str,
+                       dst_edge: str) -> None:
+        """Push the source edge's hottest entries to the next edge.
+
+        Driven by the mobility itinerary, which the driver knows ahead
+        of the radio: when a hop is about to move ``client`` to
+        ``dst_edge``, the old edge batch-pushes its ``prewarm_top_k``
+        hottest cache entries there as one ``prewarm_push`` message over
+        the backhaul — the transfer pays real routed link time (the
+        metro graph when it connects the two sites, the cloud WAN
+        otherwise, exactly like federation peer probes) — so the
+        client's first requests after re-attachment land on a warm
+        cache.
+        Entries the destination already holds are skipped; each entry
+        travels with its original ``cost_s`` so cost-aware eviction at
+        the destination sees the true fetch cost.
+        """
+        policy = self.spec.policy
+        if policy is None or policy.prewarm_top_k <= 0:
+            return
+        src_cache = self.cache_by_name[src_edge]
+        dst_cache = self.cache_by_name[dst_edge]
+        hottest = src_cache.hottest(policy.prewarm_top_k, now=self.env.now)
+        if not hottest:
+            return
+        have = {self._sync_key(entry.descriptor)
+                for entry in dst_cache.entries()}
+        items = [(entry.descriptor, entry.result, entry.size_bytes,
+                  entry.cost_s)
+                 for entry in hottest
+                 if self._sync_key(entry.descriptor) not in have]
+        if not items:
+            return
+        self.env.process(self._push_prewarm(client.name, src_edge,
+                                            dst_edge, items))
+
+    def _push_prewarm(self, client_name: str, src_edge: str,
+                      dst_edge: str, items: list[tuple]):
+        """Simulation process: ship one pre-warm batch edge-to-edge."""
+        from repro.net.transport import RpcError
+
+        size = 256 + sum(item[2] for item in items)
+        push = Message(size_bytes=size, kind="prewarm_push", payload=items,
+                       src=src_edge, dst=dst_edge)
+        try:
+            yield self.rpc.send(push)
+        except RpcError:
+            # No backhaul route (or link down): the push is dropped, the
+            # handoff itself is unaffected.
+            return
+        self.prewarm_pushed += len(items)
+        self.prewarm_log.append(PrewarmEvent(
+            time_s=self.env.now, client=client_name, src_edge=src_edge,
+            dst_edge=dst_edge, pushed=len(items)))
 
     def visible_classes(self, client: CoICClient) -> tuple:
         """Object classes at the client's current place (mobility only)."""

@@ -16,7 +16,11 @@ class NetworkConfig:
     """The two-hop network of Figure 1: mobile -- edge -- cloud.
 
     Defaults reproduce the paper's testbed: 802.11ac WiFi on the access
-    side ("up to 400 Mbps"), a `tc`-shaped backhaul to the cloud.
+    side ("up to 400 Mbps"), a `tc`-shaped backhaul to the cloud.  The
+    ``lte_*`` fields parameterize the alternative attachment the
+    architecture slide names ("LTE EPC or WiFi AP"): asymmetric
+    up/downlink plus the EPC core's extra forwarding latency, selected
+    per client via ``ClientSpec(access="lte")``.
     """
 
     wifi_mbps: float = 400.0
@@ -26,15 +30,36 @@ class NetworkConfig:
     backhaul_delay_ms: float = 10.0
     backhaul_jitter_ms: float = 0.0
     loss_rate: float = 0.0
+    lte_downlink_mbps: float = 80.0
+    lte_uplink_mbps: float = 20.0
+    lte_radio_delay_ms: float = 10.0
+    lte_core_delay_ms: float = 15.0
+    lte_jitter_ms: float = 3.0
 
     def __post_init__(self) -> None:
         if self.wifi_mbps <= 0 or self.backhaul_mbps <= 0:
             raise ValueError("bandwidths must be > 0")
+        if self.lte_downlink_mbps <= 0 or self.lte_uplink_mbps <= 0:
+            raise ValueError("bandwidths must be > 0")
         if min(self.wifi_delay_ms, self.backhaul_delay_ms,
-               self.wifi_jitter_ms, self.backhaul_jitter_ms) < 0:
+               self.wifi_jitter_ms, self.backhaul_jitter_ms,
+               self.lte_radio_delay_ms, self.lte_core_delay_ms,
+               self.lte_jitter_ms) < 0:
             raise ValueError("delays/jitters must be >= 0")
         if not 0 <= self.loss_rate < 1:
             raise ValueError("loss_rate must be in [0, 1)")
+
+    def lte_profile(self, impairments: bool = True):
+        """The LTE EPC attachment profile these parameters describe."""
+        from repro.net.access import lte_epc_profile
+
+        return lte_epc_profile(
+            downlink_mbps=self.lte_downlink_mbps,
+            uplink_mbps=self.lte_uplink_mbps,
+            radio_delay_ms=self.lte_radio_delay_ms,
+            core_delay_ms=self.lte_core_delay_ms,
+            jitter_ms=self.lte_jitter_ms if impairments else 0.0,
+            loss_rate=self.loss_rate if impairments else 0.0)
 
 
 @dataclasses.dataclass

@@ -1,6 +1,10 @@
 """The edge node: descriptor lookup, cache serving, cloud forwarding.
 
-This is CoIC's contribution in executable form (Figure 1, middle box):
+This is CoIC's contribution in executable form (Figure 1, middle box).
+Request handling is organized as an explicit stage chain — admit ->
+classify -> lookup -> resolve -> respond — defined in
+:mod:`repro.core.pipeline`; the default chain reproduces the paper's
+edge:
 
 1. receive an IC request (with or without a pre-computed descriptor),
 2. extract the feature descriptor if the client didn't,
@@ -18,6 +22,14 @@ Also implemented, because a real edge needs them:
   hits in the background;
 * a bounded worker pool, so descriptor extraction contends like it would
   on a real box.
+
+Overload behaviour (admission shed/redirect, peer offload) is *not*
+baked in here: swap the pipeline's admit stage
+(:class:`~repro.core.pipeline.AdmissionControlStage`) and this node
+sheds, redirects, or borrows a neighbour without touching the code
+below.  This module keeps the primitive operations the stages compose:
+extraction, batched lookup, the cloud miss paths, and response sending
+(every response is tagged with the serving edge id in ``served_by``).
 """
 
 from __future__ import annotations
@@ -26,7 +38,7 @@ import typing
 
 from repro.core.cache import ICCache
 from repro.core.descriptors import Descriptor, HashDescriptor
-from repro.core.metrics import OUTCOME_HIT, OUTCOME_MISS
+from repro.core.metrics import OUTCOME_MISS
 from repro.core.tasks import (
     ModelLoadResult,
     ModelLoadTask,
@@ -41,6 +53,7 @@ from repro.sim.resources import Resource
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import CoICConfig
+    from repro.core.pipeline import Pipeline
     from repro.net.topology import Host
     from repro.net.transport import Rpc
     from repro.render.loader import ModelLoader
@@ -74,12 +87,16 @@ class EdgeNode:
         loader: Edge-device model loader (background parse on miss).
         cloud_name: Host name requests are forwarded to.
         workers: Parallel compute slots for extraction work.
+        pipeline: Stage chain to serve requests with; None selects
+            :func:`~repro.core.pipeline.default_pipeline` (the paper's
+            edge, no overload management).
     """
 
     def __init__(self, env: Environment, rpc: "Rpc", host: "Host",
                  cache: ICCache, config: "CoICConfig",
                  recognizer: "Recognizer", loader: "ModelLoader",
-                 cloud_name: str = "cloud", workers: int = 4):
+                 cloud_name: str = "cloud", workers: int = 4,
+                 pipeline: "Pipeline | None" = None):
         self.env = env
         self.rpc = rpc
         self.host = host
@@ -89,6 +106,11 @@ class EdgeNode:
         self.loader = loader
         self.cloud_name = cloud_name
         self.compute = Resource(env, capacity=workers)
+        if pipeline is None:
+            from repro.core.pipeline import default_pipeline
+
+            pipeline = default_pipeline()
+        self.pipeline = pipeline
         #: digest -> completion event, for miss coalescing on hash tasks.
         self._inflight: dict[str, Event] = {}
         #: (kind, threshold) -> same-tick lookups awaiting one batch pass.
@@ -97,7 +119,20 @@ class EdgeNode:
         self.batched_lookups = 0
         self.lookup_batches = 0
         self.requests_served = 0
+        #: Overload-layer counters (stay zero under the default pipeline).
+        self.shed_count = 0
+        self.redirect_count = 0
+        self.offloaded_out = 0
+        self.offloaded_in = 0
+        self.prewarm_received = 0
         env.process(self._serve())
+
+    # -- load ----------------------------------------------------------------
+
+    @property
+    def load(self) -> int:
+        """Busy plus queued compute slots (what admission control reads)."""
+        return self.compute.count + self.compute.queue_length
 
     # -- threshold ----------------------------------------------------------------
 
@@ -109,6 +144,23 @@ class EdgeNode:
             return rec.threshold
         return self.recognizer.space.suggest_threshold(
             rec.max_viewpoint_delta)
+
+    # -- responses ----------------------------------------------------------------
+
+    def _respond(self, msg: Message, size_bytes: int,
+                 payload: typing.Any = None, kind: str = "reply",
+                 headers: dict | None = None) -> Event:
+        """``rpc.respond`` with the serving edge id stamped into headers.
+
+        The ``served_by`` tag is what lets the metrics layer attribute
+        offloaded and post-handoff requests to the edge that actually
+        did the work.
+        """
+        tagged = {"served_by": self.host.name}
+        if headers:
+            tagged.update(headers)
+        return self.rpc.respond(msg, size_bytes=size_bytes, payload=payload,
+                                kind=kind, headers=tagged)
 
     # -- batched cache lookups -----------------------------------------------------
 
@@ -158,88 +210,45 @@ class EdgeNode:
             self.env.process(self._handle(msg))
 
     def _handle(self, msg: Message):
-        task = msg.payload
+        if msg.kind == "prewarm_push":
+            # One-way replication from a peer edge ahead of a handoff;
+            # not a client request, so it does not count as served.
+            yield from self._handle_prewarm(msg)
+            return
         try:
-            if isinstance(task, RecognitionTask):
-                yield from self._handle_recognition(msg, task)
-            elif isinstance(task, (ModelLoadTask, PanoramaTask)):
-                yield from self._handle_hash_task(msg, task)
-            else:
-                raise TypeError(f"edge cannot serve {task!r}")
+            yield from self.pipeline.process(self, msg)
         except RpcError as exc:
             # Cloud unreachable or deadline blown: tell the client rather
             # than dying silently; the client surfaces OUTCOME_ERROR.
-            yield self.rpc.respond(msg, size_bytes=128, payload=str(exc),
-                                   kind="error",
-                                   headers={"outcome": "error"})
+            yield self._respond(msg, size_bytes=128, payload=str(exc),
+                                kind="error",
+                                headers={"outcome": "error"})
         self.requests_served += 1
 
-    # -- recognition ----------------------------------------------------------------
+    def _handle_prewarm(self, msg: Message):
+        """Absorb a peer's pre-warm batch: one bookkeeping charge, one
+        ``insert_batch`` (items carry their original ``cost_s``)."""
+        yield self.env.timeout(self.config.cache.insert_ms / 1e3)
+        inserted = self.cache.insert_batch(msg.payload, now=self.env.now)
+        self.prewarm_received += sum(1 for entry in inserted
+                                     if entry is not None)
 
-    def _handle_recognition(self, msg: Message, task: RecognitionTask):
-        descriptor: Descriptor | None = msg.headers.get("descriptor")
-        if msg.headers.get("force_forward"):
-            # Client re-sent input after a need_input round: skip lookup.
-            yield from self._recognition_miss(msg, task, descriptor)
-            return
+    # -- extraction -----------------------------------------------------------------
 
-        speculative: Event | None = None
-        spec_started = 0.0
-        if (self.config.recognition.speculative_forward
-                and msg.headers.get("has_input", False)):
-            # Hedge: start the cloud round trip now; a hit abandons it, a
-            # miss overlaps extraction+lookup with the forward.
-            forward = Message(size_bytes=task.input_bytes + 64,
-                              kind="cloud_request", payload=task,
-                              src=self.host.name, dst=self.cloud_name)
-            spec_started = self.env.now
-            speculative = self.rpc.call(
-                forward, timeout=self.config.request_timeout_s)
+    def _extract_descriptor(self, task: RecognitionTask):
+        """Edge-side extraction from the uploaded frame (worker pool)."""
+        slot = self.compute.request()
+        yield slot
+        try:
+            yield self.env.timeout(self.recognizer.extraction_time())
+            observation = self.recognizer.extract(task.frame)
+        finally:
+            self.compute.release(slot)
+        from repro.core.descriptors import VectorDescriptor
 
-        if descriptor is None:
-            # Edge-side extraction from the uploaded frame.
-            slot = self.compute.request()
-            yield slot
-            try:
-                yield self.env.timeout(self.recognizer.extraction_time())
-                observation = self.recognizer.extract(task.frame)
-            finally:
-                self.compute.release(slot)
-            from repro.core.descriptors import VectorDescriptor
+        return VectorDescriptor(kind=task.kind, vector=observation.vector)
 
-            descriptor = VectorDescriptor(kind=task.kind,
-                                          vector=observation.vector)
-
-        entry = yield from self._batched_lookup(descriptor,
-                                                self.match_threshold)
-        if entry is not None:
-            if speculative is not None:
-                _abandon(speculative)
-            yield self.rpc.respond(msg, size_bytes=entry.result.size_bytes,
-                                   payload=entry.result, kind="ic_result",
-                                   headers={"outcome": OUTCOME_HIT})
-            return
-
-        if speculative is not None:
-            response = yield speculative
-            result = response.payload
-            yield self.env.timeout(self.config.cache.insert_ms / 1e3)
-            self.cache.insert(descriptor, result, result.size_bytes,
-                              now=self.env.now,
-                              cost_s=self.env.now - spec_started)
-            yield self.rpc.respond(msg, size_bytes=result.size_bytes,
-                                   payload=result, kind="ic_result",
-                                   headers={"outcome": OUTCOME_MISS})
-            return
-
-        if not msg.headers.get("has_input", False):
-            # Client kept the frame; ask for it (extra round trip).
-            yield self.rpc.respond(msg, size_bytes=128, payload=None,
-                                   kind="need_input",
-                                   headers={"outcome": OUTCOME_MISS})
-            return
-
-        yield from self._recognition_miss(msg, task, descriptor)
+    # -- recognition miss paths ------------------------------------------------------
 
     def _recognition_miss(self, msg: Message, task: RecognitionTask,
                           descriptor: Descriptor | None):
@@ -256,38 +265,30 @@ class EdgeNode:
             self.cache.insert(descriptor, result, result.size_bytes,
                               now=self.env.now,
                               cost_s=self.env.now - started)
-        yield self.rpc.respond(msg, size_bytes=result.size_bytes,
-                               payload=result, kind="ic_result",
-                               headers={"outcome": OUTCOME_MISS})
+        yield self._respond(msg, size_bytes=result.size_bytes,
+                            payload=result, kind="ic_result",
+                            headers={"outcome": OUTCOME_MISS})
+
+    def _redirect_to_cloud(self, msg: Message, task: RecognitionTask):
+        """Admission redirect: relay to the cloud, spend no edge compute.
+
+        Unlike :meth:`_recognition_miss` this never extracts or inserts —
+        the point is to protect a saturated worker pool, so the edge acts
+        as the dumb relay of the paper's Origin baseline for this one
+        request.
+        """
+        forward = Message(size_bytes=task.input_bytes + 64,
+                          kind="cloud_request", payload=task,
+                          src=self.host.name, dst=self.cloud_name)
+        response = yield self.rpc.call(
+            forward, timeout=self.config.request_timeout_s)
+        result = response.payload
+        yield self._respond(msg, size_bytes=result.size_bytes,
+                            payload=result, kind="ic_result",
+                            headers={"outcome": OUTCOME_MISS,
+                                     "redirected": True})
 
     # -- hash-keyed tasks (3D models, panoramas) ---------------------------------------
-
-    def _handle_hash_task(self, msg: Message,
-                          task: ModelLoadTask | PanoramaTask):
-        descriptor: HashDescriptor = msg.headers["descriptor"]
-        yield self.env.timeout(self.cache.lookup_cost_s(task.kind))
-        entry = self.cache.lookup(descriptor, now=self.env.now)
-        if entry is not None:
-            yield self.rpc.respond(msg, size_bytes=entry.result.size_bytes,
-                                   payload=entry.result, kind="ic_result",
-                                   headers={"outcome": OUTCOME_HIT})
-            return
-
-        pending = self._inflight.get(descriptor.digest)
-        if pending is not None:
-            # Coalesce: ride the in-flight cloud fetch.
-            yield pending
-            entry = self.cache.lookup(descriptor, now=self.env.now)
-            if entry is not None:
-                yield self.rpc.respond(
-                    msg, size_bytes=entry.result.size_bytes,
-                    payload=entry.result, kind="ic_result",
-                    headers={"outcome": OUTCOME_HIT, "coalesced": True})
-                return
-            # Fetch failed or entry was evicted immediately: fall through
-            # to a fresh fetch.
-
-        yield from self._hash_task_miss(msg, task, descriptor)
 
     def _hash_task_miss(self, msg: Message,
                         task: ModelLoadTask | PanoramaTask,
@@ -315,17 +316,17 @@ class EdgeNode:
             # loaded form is actually in the cache.
             self.env.process(self._parse_and_insert(
                 task, descriptor, fetch_cost, done))
-            yield self.rpc.respond(msg, size_bytes=result.size_bytes,
-                                   payload=result, kind="ic_result",
-                                   headers={"outcome": OUTCOME_MISS})
+            yield self._respond(msg, size_bytes=result.size_bytes,
+                                payload=result, kind="ic_result",
+                                headers={"outcome": OUTCOME_MISS})
         else:
             yield self.env.timeout(self.config.cache.insert_ms / 1e3)
             self.cache.insert(descriptor, result, result.size_bytes,
                               now=self.env.now, cost_s=fetch_cost)
             self._finish_inflight(descriptor, done)
-            yield self.rpc.respond(msg, size_bytes=result.size_bytes,
-                                   payload=result, kind="ic_result",
-                                   headers={"outcome": OUTCOME_MISS})
+            yield self._respond(msg, size_bytes=result.size_bytes,
+                                payload=result, kind="ic_result",
+                                headers={"outcome": OUTCOME_MISS})
 
     def _parse_and_insert(self, task: ModelLoadTask,
                           descriptor: HashDescriptor, fetch_cost: float,

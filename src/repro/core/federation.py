@@ -39,6 +39,7 @@ from repro.sim.kernel import Environment
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.core.config import CoICConfig
+    from repro.core.pipeline import Pipeline
     from repro.net.topology import Host
     from repro.net.transport import Rpc
     from repro.render.loader import ModelLoader
@@ -63,9 +64,11 @@ class FederatedEdgeNode(EdgeNode):
                  recognizer: "Recognizer", loader: "ModelLoader",
                  cloud_name: str = "cloud", workers: int = 4,
                  peers: typing.Sequence[str] = (),
-                 peer_timeout_s: float = 1.0):
+                 peer_timeout_s: float = 1.0,
+                 pipeline: "Pipeline | None" = None):
         super().__init__(env, rpc, host, cache, config, recognizer,
-                         loader, cloud_name=cloud_name, workers=workers)
+                         loader, cloud_name=cloud_name, workers=workers,
+                         pipeline=pipeline)
         if peer_timeout_s <= 0:
             raise ValueError("peer_timeout_s must be > 0")
         self.peers = [p for p in peers if p != host.name]
@@ -132,7 +135,7 @@ class FederatedEdgeNode(EdgeNode):
                 self.cache.insert(descriptor, result, result.size_bytes,
                                   now=self.env.now,
                                   cost_s=self.env.now - started)
-                yield self.rpc.respond(
+                yield self._respond(
                     msg, size_bytes=result.size_bytes, payload=result,
                     kind="ic_result",
                     headers={"outcome": OUTCOME_HIT, "federated": True})
@@ -149,7 +152,7 @@ class FederatedEdgeNode(EdgeNode):
                                       result.size_bytes),
                               now=self.env.now,
                               cost_s=self.env.now - started)
-            yield self.rpc.respond(
+            yield self._respond(
                 msg, size_bytes=result.size_bytes, payload=result,
                 kind="ic_result",
                 headers={"outcome": OUTCOME_HIT, "federated": True})

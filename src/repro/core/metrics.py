@@ -19,11 +19,19 @@ OUTCOME_MISS = "miss"
 OUTCOME_ORIGIN = "origin"   # baseline: offload without cache
 OUTCOME_LOCAL = "local"     # baseline: on-device execution
 OUTCOME_ERROR = "error"
+OUTCOME_SHED = "shed"       # refused by an overloaded edge's admission
 
 
 @dataclasses.dataclass(frozen=True)
 class RequestRecord:
-    """One completed IC request."""
+    """One completed IC request.
+
+    ``edge`` is the id of the edge that actually served the request —
+    the ``served_by`` tag stamped on every edge response — so offloaded
+    and post-handoff requests are attributable to the box that did the
+    work, not just the one the client was attached to.  Baselines
+    (origin/local) leave it empty.
+    """
 
     task_kind: str
     outcome: str
@@ -32,6 +40,7 @@ class RequestRecord:
     end_s: float
     correct: bool | None = None
     detail: dict = dataclasses.field(default_factory=dict)
+    edge: str = ""
 
     @property
     def latency_s(self) -> float:
@@ -84,7 +93,8 @@ class MetricsRecorder:
     # -- selection ---------------------------------------------------------------
 
     def select(self, task_kind: str | None = None, outcome: str | None = None,
-               user: str | None = None) -> list[RequestRecord]:
+               user: str | None = None,
+               edge: str | None = None) -> list[RequestRecord]:
         """Records matching all given filters."""
         out = self.records
         if task_kind is not None:
@@ -93,6 +103,8 @@ class MetricsRecorder:
             out = [r for r in out if r.outcome == outcome]
         if user is not None:
             out = [r for r in out if r.user == user]
+        if edge is not None:
+            out = [r for r in out if r.edge == edge]
         return list(out)
 
     def latencies(self, **filters) -> list[float]:
@@ -140,4 +152,17 @@ class MetricsRecorder:
         groups: dict[typing.Hashable, list[float]] = {}
         for record in self.records:
             groups.setdefault(key(record), []).append(record.latency_s)
+        return {k: LatencySummary.of(v) for k, v in groups.items()}
+
+    def per_edge_summaries(self, task_kind: str | None = None
+                           ) -> dict[str, LatencySummary]:
+        """Latency summaries keyed by serving edge id.
+
+        What the overload bench reads: which box actually absorbed the
+        work once shedding/offload/handoff start moving requests around.
+        Records without an edge tag (baselines) group under ``""``.
+        """
+        groups: dict[str, list[float]] = {}
+        for record in self.select(task_kind=task_kind):
+            groups.setdefault(record.edge, []).append(record.latency_s)
         return {k: LatencySummary.of(v) for k, v in groups.items()}

@@ -1,0 +1,452 @@
+"""The edge request pipeline: explicit stages plus an overload layer.
+
+Every request an edge serves flows through the same five stages, which
+map onto Figure 1 of the paper (the middle "MEC platform" box):
+
+1. **admit** — the box's front door.  The paper's edge accepts
+   everything; the overload layer replaces this stage with an admission
+   controller that can *shed* (refuse outright), *cloud-redirect* (relay
+   to the cloud without spending edge compute — Figure 1's fallback
+   path from the MEC platform to the cloud service), or *peer-offload*
+   (forward to a less-loaded neighbouring edge over the inter-edge
+   backhaul — the cooperation arrow between MEC sites).
+2. **classify** — "receive IC request": determine the task family
+   (vector-matched recognition vs hash-keyed model/panorama fetch) and
+   pull the client-supplied descriptor out of the headers.
+3. **lookup** — "Extract IC Feature" + "IC cache lookup": edge-side
+   descriptor extraction on the bounded worker pool when the client
+   sent only the frame, then the (batched) cache probe.
+4. **resolve** — the hit/miss fork of Figure 1: a hit is returned as
+   is; a miss rides the cloud forward / peer federation / coalescing
+   machinery and is inserted into the cache on the way back.
+5. **respond** — "send IC result": one response message back to the
+   client, tagged with the serving edge id.
+
+The default chain (:func:`default_pipeline`) reproduces the historical
+``EdgeNode`` behaviour *byte-identically* — same simulated yields in the
+same order — which the golden-digest tests in
+``tests/core/test_cluster.py`` / ``tests/core/test_pipeline.py`` pin
+down.  Overload management is pure stage substitution: swap the admit
+stage, keep everything else.
+
+Stages are small objects with a generator ``run(edge, ctx)``; the
+:class:`Pipeline` drives them in order until one of them responds.  The
+:class:`RequestContext` is the only mutable state handed between stages,
+so custom chains (micro-benchmark harnesses, fault injectors, future
+QoE schedulers) can be assembled from the same parts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.metrics import OUTCOME_HIT, OUTCOME_MISS, OUTCOME_SHED
+from repro.core.tasks import ModelLoadTask, PanoramaTask, RecognitionTask
+from repro.net.message import Message
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.edge import EdgeNode
+    from repro.core.scenario import EdgePolicySpec
+    from repro.sim.events import Event
+
+
+def _noop():
+    """An empty generator body (stages must be generators)."""
+    return
+    yield  # pragma: no cover
+
+
+@dataclasses.dataclass
+class RequestContext:
+    """Mutable per-request state threaded through the pipeline stages.
+
+    Attributes:
+        msg: The incoming request message.
+        task: ``msg.payload`` (a recognition / model-load / panorama task).
+        family: ``"recognition"`` or ``"hash"``, set by the classify stage.
+        descriptor: The lookup key (client-supplied or edge-extracted).
+        skip_lookup: Client re-sent input after ``need_input``: go
+            straight to the miss path.
+        entry: The cache entry on a hit, else None.
+        speculative: In-flight hedged cloud call (speculative forward).
+        spec_started: Simulated time the speculative call started.
+        result: The IC result to return (set by resolve on a hit).
+        outcome: Outcome header value for the respond stage.
+        extra_headers: Extra response headers (e.g. ``coalesced``).
+        responded: A stage already sent the response; later stages are
+            skipped by the pipeline driver.
+    """
+
+    msg: Message
+    task: typing.Any
+    family: str = ""
+    descriptor: typing.Any = None
+    skip_lookup: bool = False
+    entry: typing.Any = None
+    speculative: "Event | None" = None
+    spec_started: float = 0.0
+    result: typing.Any = None
+    outcome: str = ""
+    extra_headers: dict = dataclasses.field(default_factory=dict)
+    responded: bool = False
+
+
+class Stage:
+    """One pipeline step.  ``run`` is a simulation generator."""
+
+    name = "stage"
+
+    def run(self, edge: "EdgeNode", ctx: RequestContext):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class AdmitStage(Stage):
+    """Default front door: admit every request (the paper's edge)."""
+
+    name = "admit"
+
+    def run(self, edge: "EdgeNode", ctx: RequestContext):
+        yield from _noop()
+
+
+class ClassifyStage(Stage):
+    """Determine task family and pull the descriptor from the headers."""
+
+    name = "classify"
+
+    def run(self, edge: "EdgeNode", ctx: RequestContext):
+        task = ctx.task
+        if isinstance(task, RecognitionTask):
+            ctx.family = "recognition"
+            ctx.descriptor = ctx.msg.headers.get("descriptor")
+            ctx.skip_lookup = bool(ctx.msg.headers.get("force_forward"))
+        elif isinstance(task, (ModelLoadTask, PanoramaTask)):
+            ctx.family = "hash"
+            ctx.descriptor = ctx.msg.headers["descriptor"]
+        else:
+            raise TypeError(f"edge cannot serve {task!r}")
+        yield from _noop()
+
+
+class LookupStage(Stage):
+    """Descriptor extraction (if needed) and the cache probe."""
+
+    name = "lookup"
+
+    def run(self, edge: "EdgeNode", ctx: RequestContext):
+        if ctx.skip_lookup:
+            yield from _noop()
+            return
+        if ctx.family == "recognition":
+            yield from self._recognition_lookup(edge, ctx)
+        else:
+            yield from self._hash_lookup(edge, ctx)
+
+    def _recognition_lookup(self, edge: "EdgeNode", ctx: RequestContext):
+        if (edge.config.recognition.speculative_forward
+                and ctx.msg.headers.get("has_input", False)):
+            # Hedge: start the cloud round trip now; a hit abandons it, a
+            # miss overlaps extraction+lookup with the forward.
+            forward = Message(size_bytes=ctx.task.input_bytes + 64,
+                              kind="cloud_request", payload=ctx.task,
+                              src=edge.host.name, dst=edge.cloud_name)
+            ctx.spec_started = edge.env.now
+            ctx.speculative = edge.rpc.call(
+                forward, timeout=edge.config.request_timeout_s)
+        if ctx.descriptor is None:
+            ctx.descriptor = yield from edge._extract_descriptor(ctx.task)
+        ctx.entry = yield from edge._batched_lookup(ctx.descriptor,
+                                                    edge.match_threshold)
+
+    def _hash_lookup(self, edge: "EdgeNode", ctx: RequestContext):
+        yield edge.env.timeout(edge.cache.lookup_cost_s(ctx.task.kind))
+        ctx.entry = edge.cache.lookup(ctx.descriptor, now=edge.env.now)
+        if ctx.entry is not None:
+            return
+        pending = edge._inflight.get(ctx.descriptor.digest)
+        if pending is not None:
+            # Coalesce: ride the in-flight cloud fetch.
+            yield pending
+            ctx.entry = edge.cache.lookup(ctx.descriptor, now=edge.env.now)
+            if ctx.entry is not None:
+                ctx.extra_headers["coalesced"] = True
+            # Fetch failed or entry was evicted immediately: fall through
+            # to a fresh fetch in the resolve stage.
+
+
+class ResolveStage(Stage):
+    """The hit/miss fork: return hits, drive the miss machinery."""
+
+    name = "resolve"
+
+    def run(self, edge: "EdgeNode", ctx: RequestContext):
+        if ctx.entry is not None:
+            if ctx.speculative is not None:
+                from repro.core.edge import _abandon
+
+                _abandon(ctx.speculative)
+            ctx.result = ctx.entry.result
+            ctx.outcome = OUTCOME_HIT
+            yield from _noop()
+            return
+        if ctx.family == "recognition":
+            yield from self._recognition_miss(edge, ctx)
+        else:
+            yield from edge._hash_task_miss(ctx.msg, ctx.task,
+                                            ctx.descriptor)
+            ctx.responded = True
+
+    def _recognition_miss(self, edge: "EdgeNode", ctx: RequestContext):
+        if ctx.skip_lookup:
+            # Client re-sent input after a need_input round: skip lookup.
+            yield from edge._recognition_miss(ctx.msg, ctx.task,
+                                              ctx.descriptor)
+            ctx.responded = True
+            return
+        if ctx.speculative is not None:
+            response = yield ctx.speculative
+            result = response.payload
+            yield edge.env.timeout(edge.config.cache.insert_ms / 1e3)
+            edge.cache.insert(ctx.descriptor, result, result.size_bytes,
+                              now=edge.env.now,
+                              cost_s=edge.env.now - ctx.spec_started)
+            ctx.result = result
+            ctx.outcome = OUTCOME_MISS
+            return
+        if not ctx.msg.headers.get("has_input", False):
+            # Client kept the frame; ask for it (extra round trip).
+            yield edge._respond(ctx.msg, size_bytes=128, payload=None,
+                                kind="need_input",
+                                headers={"outcome": OUTCOME_MISS})
+            ctx.responded = True
+            return
+        yield from edge._recognition_miss(ctx.msg, ctx.task, ctx.descriptor)
+        ctx.responded = True
+
+
+class RespondStage(Stage):
+    """Send the IC result for paths that have not responded yet."""
+
+    name = "respond"
+
+    def run(self, edge: "EdgeNode", ctx: RequestContext):
+        headers = {"outcome": ctx.outcome}
+        headers.update(ctx.extra_headers)
+        yield edge._respond(ctx.msg, size_bytes=ctx.result.size_bytes,
+                            payload=ctx.result, kind="ic_result",
+                            headers=headers)
+        ctx.responded = True
+
+
+class Pipeline:
+    """An ordered stage chain; drives a request until a stage responds."""
+
+    def __init__(self, stages: typing.Sequence[Stage]):
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages = list(stages)
+
+    @property
+    def stage_names(self) -> list[str]:
+        return [stage.name for stage in self.stages]
+
+    def replace(self, name: str, stage: Stage) -> "Pipeline":
+        """A new pipeline with the stage called ``name`` swapped out."""
+        stages = [stage if s.name == name else s for s in self.stages]
+        if stage not in stages:
+            raise KeyError(f"no stage named {name!r}")
+        return Pipeline(stages)
+
+    def process(self, edge: "EdgeNode", msg: Message):
+        """Simulation process: run ``msg`` through the stage chain."""
+        ctx = RequestContext(msg=msg, task=msg.payload)
+        for stage in self.stages:
+            yield from stage.run(edge, ctx)
+            if ctx.responded:
+                break
+        return ctx
+
+    def __repr__(self) -> str:
+        return f"Pipeline({' -> '.join(self.stage_names)})"
+
+
+def default_pipeline() -> Pipeline:
+    """The stage chain reproducing the historical edge byte-identically."""
+    return Pipeline([AdmitStage(), ClassifyStage(), LookupStage(),
+                     ResolveStage(), RespondStage()])
+
+
+# -- overload layer -----------------------------------------------------------
+
+
+class PeerLoadBalancer:
+    """Least-loaded neighbour selection over the inter-edge graph.
+
+    Holds a registry of edge nodes and their backhaul neighbours (the
+    scenario's ``inter_edge`` adjacency) and answers "who should take
+    this request instead of me?".  Load reads model the out-of-band load
+    reports real balancers gossip; in-flight offloads are counted
+    against the target immediately, so a same-tick burst does not herd
+    onto one momentarily idle peer.
+
+    Args:
+        margin: A peer is only chosen if its load is at least this much
+            below the asking edge's (hysteresis against ping-ponging
+            work between two equally busy sites).
+    """
+
+    def __init__(self, margin: int = 1):
+        if margin < 0:
+            raise ValueError("margin must be >= 0")
+        self.margin = margin
+        self._edges: dict[str, "EdgeNode"] = {}
+        self._neighbours: dict[str, tuple[str, ...]] = {}
+        self._pending: dict[str, int] = {}
+        self.dispatched = 0
+
+    def register(self, name: str, edge: "EdgeNode",
+                 neighbours: typing.Sequence[str]) -> None:
+        self._edges[name] = edge
+        self._neighbours[name] = tuple(n for n in neighbours if n != name)
+
+    def load_of(self, name: str) -> int:
+        """Busy + queued compute slots plus offloads already in flight."""
+        return self._edges[name].load + self._pending.get(name, 0)
+
+    def pick(self, src: str) -> str | None:
+        """The least-loaded neighbour of ``src`` worth offloading to.
+
+        Ties break in registration (spec) order; returns None when no
+        neighbour is at least ``margin`` below ``src``'s own load.
+        """
+        own = self.load_of(src) if src in self._edges else 0
+        best: str | None = None
+        best_load: int | None = None
+        for name in self._neighbours.get(src, ()):
+            load = self.load_of(name)
+            if best_load is None or load < best_load:
+                best, best_load = name, load
+        if best is None or best_load + self.margin > own:
+            return None
+        return best
+
+    def note_dispatch(self, name: str) -> None:
+        self._pending[name] = self._pending.get(name, 0) + 1
+        self.dispatched += 1
+
+    def note_done(self, name: str) -> None:
+        self._pending[name] = max(0, self._pending.get(name, 0) - 1)
+
+
+class AdmissionControlStage(AdmitStage):
+    """Overload-aware front door: shed, cloud-redirect, or peer-offload.
+
+    Replaces the default admit stage when the scenario carries an
+    :class:`~repro.core.scenario.EdgePolicySpec`.  Only recognition
+    tasks are gated — they are the compute-heavy family contending for
+    the worker pool; hash-keyed fetches are transfer-bound and pass
+    through.  Requests another edge already offloaded here are always
+    accepted (no ping-pong).
+
+    Decision order under overload: peer-offload if a sufficiently less
+    loaded neighbour exists, else the configured admission action.
+    """
+
+    name = "admit"
+
+    def __init__(self, spec: "EdgePolicySpec",
+                 balancer: PeerLoadBalancer | None = None):
+        self.spec = spec
+        self.balancer = balancer
+
+    def __repr__(self) -> str:
+        return (f"AdmissionControlStage(admission={self.spec.admission!r}, "
+                f"offload={self.spec.offload!r})")
+
+    def overloaded(self, edge: "EdgeNode") -> bool:
+        """Is the worker pool saturated past the policy's thresholds?"""
+        backlog = edge.compute.queue_length
+        spec = self.spec
+        if spec.queue_limit is not None and backlog >= spec.queue_limit:
+            return True
+        if spec.deadline_s is not None:
+            # Deterministic service-time estimate: how long would this
+            # request wait behind the backlog before extraction starts?
+            per_slot = edge.recognizer.extraction_time()
+            estimated_wait = (backlog / edge.compute.capacity) * per_slot
+            if estimated_wait > spec.deadline_s:
+                return True
+        return False
+
+    def run(self, edge: "EdgeNode", ctx: RequestContext):
+        if not isinstance(ctx.task, RecognitionTask):
+            yield from _noop()
+            return
+        if ctx.msg.headers.get("offloaded"):
+            edge.offloaded_in += 1
+            return
+        if not self.overloaded(edge):
+            return
+        if self.spec.offload == "least_loaded" and self.balancer is not None:
+            target = self.balancer.pick(edge.host.name)
+            if target is not None:
+                yield from self._offload(edge, ctx, target)
+                return
+        if self.spec.admission == "shed":
+            edge.shed_count += 1
+            yield edge._respond(ctx.msg, size_bytes=96, payload=None,
+                                kind="shed",
+                                headers={"outcome": OUTCOME_SHED})
+            ctx.responded = True
+        elif self.spec.admission == "redirect":
+            if not ctx.msg.headers.get("has_input", False):
+                # The frame never crossed the access link: the edge
+                # cannot relay bytes it does not hold.  Ask for the
+                # input first — the same two-phase exchange every other
+                # miss path pays — and redirect the re-send instead.
+                yield edge._respond(ctx.msg, size_bytes=128, payload=None,
+                                    kind="need_input",
+                                    headers={"outcome": OUTCOME_MISS})
+            else:
+                edge.redirect_count += 1
+                yield from edge._redirect_to_cloud(ctx.msg, ctx.task)
+            ctx.responded = True
+        # admission == "none": admit despite the backlog (offload-only
+        # policies fall back to queueing when every peer is busy too).
+
+    def _offload(self, edge: "EdgeNode", ctx: RequestContext, target: str):
+        """Relay the request to ``target`` and its response to the client."""
+        edge.offloaded_out += 1
+        headers: dict = {"offloaded": True, "origin_edge": edge.host.name}
+        for key in ("descriptor", "has_input", "force_forward"):
+            if key in ctx.msg.headers:
+                headers[key] = ctx.msg.headers[key]
+        forward = Message(size_bytes=ctx.msg.size_bytes,
+                          kind="offload_request", payload=ctx.task,
+                          src=edge.host.name, dst=target, headers=headers)
+        self.balancer.note_dispatch(target)
+        try:
+            response = yield edge.rpc.call(
+                forward, timeout=edge.config.request_timeout_s)
+        finally:
+            self.balancer.note_done(target)
+        relay = {key: value for key, value in response.headers.items()
+                 if key not in ("in_reply_to", "rpc_id")}
+        yield edge.rpc.respond(ctx.msg, size_bytes=response.size_bytes,
+                               payload=response.payload,
+                               kind=response.kind, headers=relay)
+        ctx.responded = True
+
+
+def build_pipeline(policy: "EdgePolicySpec | None" = None,
+                   balancer: PeerLoadBalancer | None = None) -> Pipeline:
+    """The pipeline for a scenario's edge policy (default when None)."""
+    pipeline = default_pipeline()
+    if policy is not None and policy.gates_admission:
+        pipeline = pipeline.replace(
+            "admit", AdmissionControlStage(policy, balancer=balancer))
+    return pipeline

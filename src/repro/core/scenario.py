@@ -52,22 +52,32 @@ class ClientSpec:
 
     Attributes:
         name: Topology host name; must be unique across the scenario.
+        access: Access network technology — ``"wifi"`` (the paper's
+            802.11ac attachment) or ``"lte"`` (asymmetric LTE EPC
+            profile from :mod:`repro.net.access`, with the core-network
+            latency a raw bandwidth number hides).  Handoffs preserve
+            the client's access type.
         wifi_stream: RNG stream name for this access link's jitter/loss
             draws.  Empty selects ``net.wifi.<name>``.
     """
 
     name: str
+    access: str = "wifi"
     wifi_stream: str = ""
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "client name must be non-empty")
+        _require(self.access in ("wifi", "lte"),
+                 f"access must be 'wifi' or 'lte', got {self.access!r}")
 
     def to_dict(self) -> dict:
-        return {"name": self.name, "wifi_stream": self.wifi_stream}
+        return {"name": self.name, "access": self.access,
+                "wifi_stream": self.wifi_stream}
 
     @classmethod
     def from_dict(cls, data: dict) -> "ClientSpec":
         return cls(name=data["name"],
+                   access=data.get("access", "wifi"),
                    wifi_stream=data.get("wifi_stream", ""))
 
 
@@ -164,6 +174,11 @@ class MobilitySpec:
         duration_s: Default itinerary length for ``start_mobility``.
         handoff_latency_s: Dead time while a client re-associates to a
             new access point (teardown + re-setup of the WiFi link).
+        bias: Optional per-place gravity weights (length ``n_places``).
+            Waypoint selection draws the next place proportionally to
+            these instead of uniformly, so a stadium or transit hub can
+            dominate — handoff rates become heavy-tailed and one cell
+            runs hot.  None keeps the uniform random-waypoint model.
     """
 
     n_places: int = 16
@@ -173,6 +188,7 @@ class MobilitySpec:
     mean_dwell_s: float = 30.0
     duration_s: float = 120.0
     handoff_latency_s: float = 0.05
+    bias: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         _require(self.n_places >= 1, "n_places must be >= 1")
@@ -183,12 +199,91 @@ class MobilitySpec:
         _require(self.duration_s > 0, "duration_s must be > 0")
         _require(self.handoff_latency_s >= 0,
                  "handoff_latency_s must be >= 0")
+        if self.bias is not None:
+            object.__setattr__(self, "bias",
+                               tuple(float(w) for w in self.bias))
+            _require(len(self.bias) == self.n_places,
+                     "bias needs one weight per place")
+            _require(all(w >= 0 for w in self.bias),
+                     "bias weights must be >= 0")
+            _require(sum(self.bias) > 0, "bias weights must not all be zero")
+
+    def to_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["bias"] = list(self.bias) if self.bias is not None else None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MobilitySpec":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        data = {k: v for k, v in data.items() if k in fields}
+        if data.get("bias") is not None:
+            data["bias"] = tuple(data["bias"])
+        return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgePolicySpec:
+    """Overload-management knobs for every edge in a scenario.
+
+    Configures the pipeline's admission controller
+    (:class:`~repro.core.pipeline.AdmissionControlStage`), the
+    peer-offload balancer, and predictive handoff pre-warm.  The default
+    instance is entirely inert (the paper's accept-everything edge).
+
+    Attributes:
+        admission: What a saturated edge does with a new recognition
+            request when no offload target exists — ``"none"`` (queue it
+            anyway), ``"shed"`` (refuse; the client records a ``shed``
+            outcome), or ``"redirect"`` (relay to the cloud without
+            spending edge compute).
+        queue_limit: The edge counts as overloaded once this many
+            extraction requests are waiting for a worker slot.  None
+            disables the queue-length trigger.
+        deadline_s: The edge counts as overloaded once the estimated
+            queue wait (backlog / workers x extraction time) exceeds
+            this deadline.  None disables the deadline trigger.
+        offload: ``"least_loaded"`` forwards overload recognition work
+            to the least-loaded neighbouring edge over the inter-edge
+            backhaul graph; ``"none"`` disables peer offload.
+        offload_margin: A peer is only used when its load is at least
+            this far below the asking edge's (ping-pong hysteresis).
+        prewarm_top_k: Before a mobility handoff completes, push this
+            many of the hottest cache entries from the old edge to the
+            next edge (``ICCache.hottest`` -> ``insert_batch``).  0
+            disables pre-warm.
+    """
+
+    admission: str = "none"
+    queue_limit: int | None = 8
+    deadline_s: float | None = None
+    offload: str = "none"
+    offload_margin: int = 2
+    prewarm_top_k: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.admission in ("none", "shed", "redirect"),
+                 f"admission must be none/shed/redirect, "
+                 f"got {self.admission!r}")
+        _require(self.offload in ("none", "least_loaded"),
+                 f"offload must be none/least_loaded, got {self.offload!r}")
+        if self.queue_limit is not None:
+            _require(self.queue_limit >= 0, "queue_limit must be >= 0")
+        if self.deadline_s is not None:
+            _require(self.deadline_s > 0, "deadline_s must be > 0")
+        _require(self.offload_margin >= 0, "offload_margin must be >= 0")
+        _require(self.prewarm_top_k >= 0, "prewarm_top_k must be >= 0")
+
+    @property
+    def gates_admission(self) -> bool:
+        """Does this policy need the admission-control stage at all?"""
+        return self.admission != "none" or self.offload != "none"
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "MobilitySpec":
+    def from_dict(cls, data: dict) -> "EdgePolicySpec":
         fields = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in data.items() if k in fields})
 
@@ -244,6 +339,9 @@ class ScenarioSpec:
         baselines: Also build Origin and Local baseline clients.
         mobility: User mobility/handoff model, or None for static users.
         warmup: Cache pre-population, or None.
+        policy: Overload-management policy applied to every edge
+            (admission control, peer offload, handoff pre-warm), or
+            None for the paper's accept-everything edges.
     """
 
     edges: tuple[EdgeSpec, ...]
@@ -255,6 +353,7 @@ class ScenarioSpec:
     baselines: bool = False
     mobility: MobilitySpec | None = None
     warmup: WarmupSpec | None = None
+    policy: EdgePolicySpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "edges", tuple(self.edges))
@@ -307,12 +406,14 @@ class ScenarioSpec:
             "baselines": self.baselines,
             "mobility": self.mobility.to_dict() if self.mobility else None,
             "warmup": self.warmup.to_dict() if self.warmup else None,
+            "policy": self.policy.to_dict() if self.policy else None,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
         mobility = data.get("mobility")
         warmup = data.get("warmup")
+        policy = data.get("policy")
         return cls(
             edges=tuple(EdgeSpec.from_dict(e) for e in data["edges"]),
             inter_edge=tuple(InterEdgeLinkSpec.from_dict(l)
@@ -326,6 +427,8 @@ class ScenarioSpec:
                       if mobility is not None else None),
             warmup=(WarmupSpec.from_dict(warmup)
                     if warmup is not None else None),
+            policy=(EdgePolicySpec.from_dict(policy)
+                    if policy is not None else None),
         )
 
     # -- canned scenarios ----------------------------------------------------
@@ -378,7 +481,8 @@ class ScenarioSpec:
               metro_mbps: float = 1000.0, metro_delay_ms: float = 2.0,
               federate: bool = True,
               mobility: MobilitySpec | None = None,
-              warmup: WarmupSpec | None = None) -> "ScenarioSpec":
+              warmup: WarmupSpec | None = None,
+              policy: "EdgePolicySpec | None" = None) -> "ScenarioSpec":
         """A mobile multi-edge city: edges on a grid, users on the move.
 
         Edges are placed at the cell centres of the smallest square grid
@@ -408,7 +512,7 @@ class ScenarioSpec:
                                         delay_ms=metro_delay_ms)
                       for a, b in itertools.combinations(names, 2))
         return cls(edges=tuple(edges), inter_edge=inter, federate=federate,
-                   mobility=mobility, warmup=warmup)
+                   mobility=mobility, warmup=warmup, policy=policy)
 
 
 def load_spec(source: typing.Union[str, dict]) -> ScenarioSpec:

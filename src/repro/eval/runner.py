@@ -45,6 +45,7 @@ def _bootstrap() -> None:
     from repro.eval.experiments.index_scaling import run_index_scaling
     from repro.eval.experiments.layers import run_layer_cache
     from repro.eval.experiments.mobility_exp import run_mobility
+    from repro.eval.experiments.overload_exp import run_overload
     from repro.eval.experiments.panorama_exp import run_panorama
     from repro.eval.experiments.privacy_exp import run_privacy
     from repro.eval.experiments.sharing import run_sharing
@@ -64,6 +65,7 @@ def _bootstrap() -> None:
         "speculative": run_speculative,
         "federation": run_federation,
         "mobility": run_mobility,
+        "overload": run_overload,
     })
 
 

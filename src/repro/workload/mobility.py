@@ -99,10 +99,18 @@ class RandomWaypointUser:
         rng: Source of randomness.
         mean_dwell_s: Average time spent at a place before moving.
         home_place: Starting place (random if None).
+        bias: Optional gravity weights, one per place.  The next
+            waypoint is drawn proportionally to these (current place
+            excluded) instead of uniformly — a hotspot with 10x the
+            weight of everywhere else pulls the crowd the way a stadium
+            or transit hub does, making handoff arrivals heavy-tailed.
+            None keeps the classic uniform random-waypoint model
+            (bit-identical to the pre-bias implementation).
     """
 
     def __init__(self, name: str, world: World, rng: np.random.Generator,
-                 mean_dwell_s: float = 60.0, home_place: int | None = None):
+                 mean_dwell_s: float = 60.0, home_place: int | None = None,
+                 bias: typing.Sequence[float] | None = None):
         if mean_dwell_s <= 0:
             raise ValueError("mean_dwell_s must be > 0")
         self.name = name
@@ -111,6 +119,18 @@ class RandomWaypointUser:
         self.mean_dwell_s = mean_dwell_s
         self.place_id = (int(rng.integers(len(world)))
                          if home_place is None else home_place)
+        self._bias: np.ndarray | None = None
+        if bias is not None:
+            weights = np.asarray(bias, dtype=float)
+            if weights.shape != (len(world),):
+                raise ValueError(
+                    f"bias needs one weight per place "
+                    f"({len(world)}), got shape {weights.shape}")
+            if (weights < 0).any():
+                raise ValueError("bias weights must be >= 0")
+            if weights.sum() <= 0:
+                raise ValueError("bias weights must not all be zero")
+            self._bias = weights
 
     def itinerary(self, duration_s: float) -> list[tuple[float, int]]:
         """[(arrival_time_s, place_id), ...] covering ``duration_s``.
@@ -124,13 +144,29 @@ class RandomWaypointUser:
         current = self.place_id
         while t < duration_s:
             if len(self.world) > 1:
-                nxt = int(self._rng.integers(len(self.world)))
-                while nxt == current:
-                    nxt = int(self._rng.integers(len(self.world)))
-                current = nxt
+                current = self._next_place(current)
             stops.append((t, current))
             t += float(self._rng.exponential(self.mean_dwell_s))
         return stops
+
+    def _next_place(self, current: int) -> int:
+        """Draw the next waypoint: uniform, or gravity-biased."""
+        if self._bias is None:
+            nxt = int(self._rng.integers(len(self.world)))
+            while nxt == current:
+                nxt = int(self._rng.integers(len(self.world)))
+            return nxt
+        probs = self._bias.copy()
+        probs[current] = 0.0
+        total = probs.sum()
+        if total <= 0:
+            # All the mass sits on the current place: stay-at-hotspot
+            # degenerates to a uniform hop away.
+            nxt = int(self._rng.integers(len(self.world)))
+            while nxt == current:
+                nxt = int(self._rng.integers(len(self.world)))
+            return nxt
+        return int(self._rng.choice(len(self.world), p=probs / total))
 
     @staticmethod
     def place_at(itinerary: list[tuple[float, int]], when: float) -> int:

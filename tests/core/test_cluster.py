@@ -310,3 +310,49 @@ class TestWarmupAndSync:
         assert all(len(cache) == 3 for cache in dep.caches)
         # A second sync finds nothing new anywhere.
         assert dep.sync_federation() == 0
+
+
+def mixed_access_spec():
+    edges = (EdgeSpec(name="edge0",
+                      clients=(ClientSpec(name="lte0", access="lte"),
+                               ClientSpec(name="wifi0"))),
+             EdgeSpec(name="edge1"))
+    inter = (InterEdgeLinkSpec(a="edge0", b="edge1", delay_ms=2.0),)
+    return ScenarioSpec(edges=edges, inter_edge=inter)
+
+
+class TestLteAccess:
+    def test_lte_clients_get_asymmetric_epc_links(self):
+        dep = ClusterDeployment(mixed_access_spec(), config=metro_config())
+        net = dep.config.network
+        uplink, downlink = dep.access_links[("lte0", "edge0")]
+        assert uplink.bandwidth_bps == net.lte_uplink_mbps * 1e6
+        assert downlink.bandwidth_bps == net.lte_downlink_mbps * 1e6
+        # Radio + EPC core traversal, not the WiFi ~1 ms.
+        expected = (net.lte_radio_delay_ms + net.lte_core_delay_ms) / 1e3
+        assert uplink.propagation_s == pytest.approx(expected)
+        wifi_up, wifi_down = dep.access_links[("wifi0", "edge0")]
+        assert wifi_up.bandwidth_bps == net.wifi_mbps * 1e6
+
+    def test_lte_round_trip_is_slower_than_wifi(self):
+        dep = ClusterDeployment(mixed_access_spec(), config=metro_config())
+        lte = dep.run_tasks(dep.client_by_name["lte0"],
+                            [dep.recognition_task(1, viewpoint=0.0)])[0]
+        dep.env.run()
+        wifi = dep.run_tasks(dep.client_by_name["wifi0"],
+                             [dep.recognition_task(2, viewpoint=0.0)])[0]
+        assert lte.outcome == "miss" and wifi.outcome == "miss"
+        # Same edge, same cloud path; the EPC core latency and the thin
+        # uplink make the LTE user strictly slower.
+        assert lte.latency_s > wifi.latency_s
+
+    def test_handoff_preserves_access_technology(self):
+        dep = ClusterDeployment(mixed_access_spec(), config=metro_config())
+        client = dep.client_by_name["lte0"]
+        dep.env.run(until=dep.env.process(
+            dep.handoff(client, "edge1", latency_s=0.1)))
+        dep.env.run()
+        uplink, downlink = dep.access_links[("lte0", "edge1")]
+        net = dep.config.network
+        assert uplink.bandwidth_bps == net.lte_uplink_mbps * 1e6
+        assert downlink.bandwidth_bps == net.lte_downlink_mbps * 1e6

@@ -1,0 +1,458 @@
+"""Tests for repro.core.pipeline (stages, overload layer, pre-warm).
+
+Includes the pipeline golden-digest suite: the explicitly assembled
+default stage chain must reproduce the pre-refactor ``EdgeNode``
+byte-for-byte on the CoIC and federated seed workloads (same digests as
+``tests/core/test_cluster.py``, captured on commit cb4e7b1).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core import CoICConfig, CoICDeployment
+from repro.core.cache import ICCache
+from repro.core.cluster import ClusterDeployment
+from repro.core.descriptors import HashDescriptor
+from repro.core.federation import FederatedDeployment
+from repro.core.metrics import OUTCOME_SHED
+from repro.core.pipeline import (
+    AdmissionControlStage,
+    AdmitStage,
+    ClassifyStage,
+    LookupStage,
+    PeerLoadBalancer,
+    Pipeline,
+    RespondStage,
+    ResolveStage,
+    build_pipeline,
+    default_pipeline,
+)
+from repro.core.scenario import (
+    ClientSpec,
+    EdgePolicySpec,
+    EdgeSpec,
+    InterEdgeLinkSpec,
+    MobilitySpec,
+    ScenarioSpec,
+)
+
+
+def recorder_digest(recorder) -> str:
+    """A byte-exact fingerprint of every record's observable fields."""
+    blob = repr([(r.task_kind, r.outcome, r.user, r.start_s.hex(),
+                  r.end_s.hex(), r.correct) for r in recorder.records])
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# Digests captured on the pre-refactor (pre-pipeline) EdgeNode at
+# commit cb4e7b1, for the exact workloads below (identical to the
+# seed-equivalence suite in test_cluster.py).
+GOLDEN_SINGLE = \
+    "eca8545032b4bafc20bd01be45354bfe7287f1289316cff25b6c97cce4a2a0a4"
+GOLDEN_FEDERATED = \
+    "302d95e0068590dd121eb8c06a411f521eb61f4c5134872ed4f809766fc13a73"
+
+
+def explicit_default_pipeline() -> Pipeline:
+    return Pipeline([AdmitStage(), ClassifyStage(), LookupStage(),
+                     ResolveStage(), RespondStage()])
+
+
+class TestGoldenDigests:
+    """The default chain reproduces the pre-refactor edge byte-identically."""
+
+    def test_explicit_chain_matches_pre_refactor_single_edge(self):
+        cfg = CoICConfig(seed=3)
+        cfg.network.wifi_mbps = 100
+        cfg.network.backhaul_mbps = 10
+        dep = CoICDeployment(cfg, n_clients=2)
+        # Hand-assembled stage list, not the default_pipeline() shortcut:
+        # proves the chain is what reproduces the behaviour.
+        dep.edge.pipeline = explicit_default_pipeline()
+        dep.run_tasks(dep.clients[0],
+                      [dep.recognition_task(5, viewpoint=-0.2)])
+        dep.run_tasks(dep.clients[1],
+                      [dep.recognition_task(5, viewpoint=0.2)])
+        dep.run_tasks(dep.clients[0], [dep.model_load_task(0)])
+        dep.env.run()
+        dep.run_tasks(dep.clients[1], [dep.model_load_task(0)])
+        dep.run_tasks(dep.clients[0], [dep.panorama_task(1, 2)])
+        dep.run_tasks(dep.origin_clients[0], [dep.recognition_task(9)])
+        dep.run_tasks(dep.local_clients[1], [dep.recognition_task(4)])
+        dep.run_concurrent([
+            (0.0, dep.clients[0], dep.recognition_task(5, viewpoint=0.0)),
+            (0.001, dep.clients[1], dep.recognition_task(5, viewpoint=0.1)),
+        ])
+        assert recorder_digest(dep.recorder) == GOLDEN_SINGLE
+
+    def test_explicit_chain_matches_pre_refactor_federated(self):
+        cfg = CoICConfig(seed=7)
+        cfg.network.wifi_mbps = 100
+        cfg.network.backhaul_mbps = 10
+        fed = FederatedDeployment(cfg, n_edges=3, clients_per_edge=2,
+                                  metro_delay_ms=2.0)
+        for edge in fed.edges:
+            edge.pipeline = explicit_default_pipeline()
+        fed.run_tasks(fed.clients[0][0], [fed.model_load_task(0)])
+        fed.env.run()
+        fed.run_tasks(fed.clients[1][0], [fed.model_load_task(0)])
+        fed.run_tasks(fed.clients[0][1],
+                      [fed.recognition_task(7, viewpoint=-0.2)])
+        fed.env.run()
+        fed.run_tasks(fed.clients[2][1],
+                      [fed.recognition_task(7, viewpoint=0.2)])
+        fed.run_tasks(fed.clients[2][0], [fed.panorama_task(0, 4)])
+        fed.env.run()
+        fed.run_tasks(fed.clients[1][1], [fed.panorama_task(0, 4)])
+        assert recorder_digest(fed.recorder) == GOLDEN_FEDERATED
+
+
+class TestPipelineShape:
+    def test_default_stage_order(self):
+        assert default_pipeline().stage_names == \
+            ["admit", "classify", "lookup", "resolve", "respond"]
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_replace_swaps_one_stage(self):
+        policy = EdgePolicySpec(admission="shed")
+        pipeline = default_pipeline().replace(
+            "admit", AdmissionControlStage(policy))
+        assert pipeline.stage_names == \
+            ["admit", "classify", "lookup", "resolve", "respond"]
+        assert isinstance(pipeline.stages[0], AdmissionControlStage)
+
+    def test_replace_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            default_pipeline().replace("nope", AdmitStage())
+
+    def test_build_pipeline_inert_policy_keeps_default_admit(self):
+        pipeline = build_pipeline(EdgePolicySpec())
+        assert type(pipeline.stages[0]) is AdmitStage
+        assert type(build_pipeline(None).stages[0]) is AdmitStage
+
+    def test_build_pipeline_active_policy_installs_admission(self):
+        pipeline = build_pipeline(EdgePolicySpec(admission="shed"))
+        assert isinstance(pipeline.stages[0], AdmissionControlStage)
+
+
+def overload_spec(policy: EdgePolicySpec, n_clients: int = 2):
+    """Two linked edges; edge0 holds the clients, edge1 idles."""
+    return ScenarioSpec(
+        edges=(EdgeSpec(name="edge0",
+                        clients=tuple(ClientSpec(name=f"m{i}")
+                                      for i in range(n_clients))),
+               EdgeSpec(name="edge1", clients=(ClientSpec(name="far0"),))),
+        inter_edge=(InterEdgeLinkSpec(a="edge0", b="edge1"),),
+        policy=policy)
+
+
+def overload_config():
+    cfg = CoICConfig(seed=1)
+    cfg.network.wifi_mbps = 100
+    cfg.network.backhaul_mbps = 10
+    return cfg
+
+
+class TestAdmissionControl:
+    def test_shed_refuses_past_the_queue_limit(self):
+        # queue_limit=0: the edge is "overloaded" from the first request,
+        # so every recognition request is refused.
+        spec = overload_spec(EdgePolicySpec(admission="shed",
+                                            queue_limit=0))
+        dep = ClusterDeployment(spec, config=overload_config())
+        records = dep.run_tasks(dep.client_by_name["m0"],
+                                [dep.recognition_task(1),
+                                 dep.recognition_task(2)])
+        assert [r.outcome for r in records] == [OUTCOME_SHED, OUTCOME_SHED]
+        assert dep.edges[0].shed_count == 2
+        assert records[0].edge == "edge0"
+        # Shed responses return fast: the latency is dominated by the
+        # frame upload — no extraction queueing, no cloud round trip.
+        assert records[0].latency_s < 0.5
+
+    def test_shed_does_not_gate_hash_tasks(self):
+        spec = overload_spec(EdgePolicySpec(admission="shed",
+                                            queue_limit=0))
+        dep = ClusterDeployment(spec, config=overload_config())
+        record = dep.run_tasks(dep.client_by_name["m0"],
+                               [dep.model_load_task(0)])[0]
+        assert record.outcome == "miss"
+        assert dep.edges[0].shed_count == 0
+
+    def test_shed_outcome_not_counted_in_hit_ratio(self):
+        spec = overload_spec(EdgePolicySpec(admission="shed",
+                                            queue_limit=0))
+        dep = ClusterDeployment(spec, config=overload_config())
+        dep.run_tasks(dep.client_by_name["m0"], [dep.recognition_task(1)])
+        assert dep.recorder.hit_ratio() == 0.0
+        assert len(dep.recorder.select(outcome=OUTCOME_SHED)) == 1
+
+    def test_redirect_relays_to_cloud_without_caching(self):
+        spec = overload_spec(EdgePolicySpec(admission="redirect",
+                                            queue_limit=0))
+        dep = ClusterDeployment(spec, config=overload_config())
+        record = dep.run_tasks(dep.client_by_name["m0"],
+                               [dep.recognition_task(3)])[0]
+        assert record.outcome == "miss"
+        assert record.correct is True
+        assert dep.edges[0].redirect_count == 1
+        # No extraction, no insert: the cache never saw the request.
+        assert len(dep.caches[0]) == 0
+
+    def test_redirect_without_input_asks_for_the_frame_first(self):
+        # Descriptor-only clients never uploaded the frame, so a
+        # redirecting edge cannot relay it: the need_input two-phase
+        # exchange runs first and the re-send (frame attached) is what
+        # gets redirected.
+        cfg = overload_config()
+        cfg.recognition.descriptor_source = "client"
+        cfg.recognition.attach_input = False
+        spec = overload_spec(EdgePolicySpec(admission="redirect",
+                                            queue_limit=0))
+        dep = ClusterDeployment(spec, config=cfg)
+        record = dep.run_tasks(dep.client_by_name["m0"],
+                               [dep.recognition_task(4)])[0]
+        assert record.outcome == "miss"
+        assert record.correct is True
+        # Exactly one redirect: the descriptor-only first round got
+        # need_input, only the frame-attached re-send was relayed.
+        assert dep.edges[0].redirect_count == 1
+        assert len(dep.caches[0]) == 0
+
+    def test_admission_accepts_below_the_limit(self):
+        spec = overload_spec(EdgePolicySpec(admission="shed",
+                                            queue_limit=8))
+        dep = ClusterDeployment(spec, config=overload_config())
+        record = dep.run_tasks(dep.client_by_name["m0"],
+                               [dep.recognition_task(1)])[0]
+        assert record.outcome == "miss"
+        assert dep.edges[0].shed_count == 0
+
+    def test_deadline_based_shed(self):
+        # One worker, deadline 0.5 s, extraction ~0.84 s: the first
+        # request runs, the second queues (backlog 0 at its admission),
+        # the third sees backlog 1 -> estimated wait ~0.84 s > deadline.
+        cfg = overload_config()
+        cfg.edge_workers = 1
+        spec = overload_spec(EdgePolicySpec(admission="shed",
+                                            queue_limit=None,
+                                            deadline_s=0.5),
+                             n_clients=3)
+        dep = ClusterDeployment(spec, config=cfg)
+        dep.run_concurrent([
+            (0.0, dep.client_by_name["m0"], dep.recognition_task(1)),
+            (0.001, dep.client_by_name["m1"], dep.recognition_task(2)),
+            (0.002, dep.client_by_name["m2"], dep.recognition_task(3)),
+        ])
+        assert dep.edges[0].shed_count == 1
+        outcomes = [r.outcome for r in dep.recorder.records]
+        assert outcomes.count(OUTCOME_SHED) == 1
+
+
+class TestPeerOffload:
+    def test_overloaded_edge_borrows_idle_neighbour(self):
+        spec = overload_spec(EdgePolicySpec(offload="least_loaded",
+                                            queue_limit=0,
+                                            offload_margin=0))
+        dep = ClusterDeployment(spec, config=overload_config())
+        record = dep.run_tasks(dep.client_by_name["m0"],
+                               [dep.recognition_task(5)])[0]
+        # Served, not refused — and by the neighbour, which the
+        # serving-edge tag proves.
+        assert record.outcome == "miss"
+        assert record.correct is True
+        assert record.edge == "edge1"
+        assert dep.edges[0].offloaded_out == 1
+        assert dep.edges[1].offloaded_in == 1
+        # The work landed in the neighbour's cache.
+        assert len(dep.caches[1]) == 1
+        assert len(dep.caches[0]) == 0
+
+    def test_offloaded_result_hits_on_the_neighbour(self):
+        spec = overload_spec(EdgePolicySpec(offload="least_loaded",
+                                            queue_limit=0,
+                                            offload_margin=0))
+        dep = ClusterDeployment(spec, config=overload_config())
+        first = dep.run_tasks(dep.client_by_name["m0"],
+                              [dep.recognition_task(5, viewpoint=-0.1)])[0]
+        dep.env.run()
+        second = dep.run_tasks(dep.client_by_name["m1"],
+                               [dep.recognition_task(5, viewpoint=0.1)])[0]
+        assert first.outcome == "miss"
+        assert second.outcome == "hit"
+        assert second.edge == "edge1"
+
+    def test_no_offload_without_inter_edge_link(self):
+        spec = ScenarioSpec(
+            edges=(EdgeSpec(name="edge0",
+                            clients=(ClientSpec(name="m0"),)),
+                   EdgeSpec(name="edge1")),
+            policy=EdgePolicySpec(offload="least_loaded", queue_limit=0,
+                                  offload_margin=0))
+        dep = ClusterDeployment(spec, config=overload_config())
+        record = dep.run_tasks(dep.client_by_name["m0"],
+                               [dep.recognition_task(1)])[0]
+        # No backhaul neighbour: the request is admitted locally.
+        assert record.outcome == "miss"
+        assert record.edge == "edge0"
+        assert dep.edges[0].offloaded_out == 0
+
+
+class TestPeerLoadBalancer:
+    class _FakeEdge:
+        def __init__(self, load):
+            self.load = load
+
+    def test_picks_least_loaded_neighbour(self):
+        balancer = PeerLoadBalancer(margin=1)
+        balancer.register("a", self._FakeEdge(load=5), ["b", "c"])
+        balancer.register("b", self._FakeEdge(load=2), ["a"])
+        balancer.register("c", self._FakeEdge(load=1), ["a"])
+        assert balancer.pick("a") == "c"
+
+    def test_margin_hysteresis(self):
+        balancer = PeerLoadBalancer(margin=3)
+        balancer.register("a", self._FakeEdge(load=2), ["b"])
+        balancer.register("b", self._FakeEdge(load=0), ["a"])
+        assert balancer.pick("a") is None  # 0 + 3 > 2
+        balancer = PeerLoadBalancer(margin=2)
+        balancer.register("a", self._FakeEdge(load=2), ["b"])
+        balancer.register("b", self._FakeEdge(load=0), ["a"])
+        assert balancer.pick("a") == "b"  # 0 + 2 <= 2
+
+    def test_inflight_offloads_count_against_target(self):
+        balancer = PeerLoadBalancer(margin=1)
+        balancer.register("a", self._FakeEdge(load=2), ["b"])
+        balancer.register("b", self._FakeEdge(load=0), ["a"])
+        assert balancer.pick("a") == "b"
+        balancer.note_dispatch("b")
+        balancer.note_dispatch("b")
+        assert balancer.pick("a") is None  # pending pushed b to load 2
+        balancer.note_done("b")
+        balancer.note_done("b")
+        assert balancer.pick("a") == "b"
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            PeerLoadBalancer(margin=-1)
+
+
+class TestPrewarmSelection:
+    def test_hottest_ranks_by_hits_then_recency(self):
+        cache = ICCache(capacity_bytes=10_000)
+        for i in range(4):
+            cache.insert(HashDescriptor("model_load", f"d{i}"),
+                         f"r{i}", 100, now=float(i))
+        # d1 twice, d3 once; d0/d2 never.
+        cache.lookup(HashDescriptor("model_load", "d1"), now=10.0)
+        cache.lookup(HashDescriptor("model_load", "d1"), now=11.0)
+        cache.lookup(HashDescriptor("model_load", "d3"), now=12.0)
+        top = cache.hottest(2)
+        assert [e.descriptor.digest for e in top] == ["d1", "d3"]
+        # k larger than the cache: everything, hottest first.
+        assert len(cache.hottest(99)) == 4
+        assert cache.hottest(0) == []
+
+    def test_hottest_filters_kind_and_expiry(self):
+        cache = ICCache(capacity_bytes=10_000, ttl_s=5.0)
+        cache.insert(HashDescriptor("model_load", "aa"), "r", 100, now=0.0)
+        cache.insert(HashDescriptor("panorama", "bb"), "r", 100, now=8.0)
+        cache.insert(HashDescriptor("model_load", "cc"), "r", 100, now=8.0)
+        live = cache.hottest(10, now=9.0)  # "aa" expired at t=5
+        assert {e.descriptor.digest for e in live} == {"bb", "cc"}
+        only_models = cache.hottest(10, kind="model_load", now=9.0)
+        assert [e.descriptor.digest for e in only_models] == ["cc"]
+
+
+def prewarm_metro(prewarm_top_k: int):
+    mobility = MobilitySpec(n_places=16, mean_dwell_s=8.0,
+                            duration_s=60.0, handoff_latency_s=0.05)
+    return ScenarioSpec.metro(
+        n_edges=4, clients_per_edge=1, federate=False, mobility=mobility,
+        policy=EdgePolicySpec(prewarm_top_k=prewarm_top_k))
+
+
+class TestPredictiveHandoffPrewarm:
+    def test_handoffs_push_hot_entries_ahead_of_the_client(self):
+        from repro.eval.experiments.mobility_exp import drive_scenario
+
+        cfg = CoICConfig(seed=0)
+        cfg.network.wifi_mbps = 100
+        cfg.network.backhaul_mbps = 10
+        dep = ClusterDeployment(prewarm_metro(prewarm_top_k=4), config=cfg)
+        drive_scenario(dep, 60.0, request_interval_s=2.0)
+        assert dep.handoff_log, "scenario must hand off to test pre-warm"
+        assert dep.prewarm_pushed > 0
+        assert dep.prewarm_log
+        for event in dep.prewarm_log:
+            assert 0 < event.pushed <= 4
+            assert event.src_edge != event.dst_edge
+
+    def test_prewarm_disabled_pushes_nothing(self):
+        from repro.eval.experiments.mobility_exp import drive_scenario
+
+        cfg = CoICConfig(seed=0)
+        cfg.network.wifi_mbps = 100
+        cfg.network.backhaul_mbps = 10
+        dep = ClusterDeployment(prewarm_metro(prewarm_top_k=0), config=cfg)
+        drive_scenario(dep, 60.0, request_interval_s=2.0)
+        assert dep.handoff_log
+        assert dep.prewarm_pushed == 0
+        assert dep.prewarm_log == []
+
+
+class TestServingEdgeTag:
+    def test_records_tag_the_serving_edge(self):
+        dep = CoICDeployment(CoICConfig(seed=2), n_clients=1)
+        dep.run_tasks(dep.clients[0], [dep.recognition_task(1),
+                                       dep.model_load_task(0),
+                                       dep.panorama_task(0, 1)])
+        dep.env.run()
+        assert all(r.edge == "edge" for r in dep.recorder.records)
+        assert len(dep.recorder.select(edge="edge")) == 3
+        assert dep.recorder.select(edge="elsewhere") == []
+        per_edge = dep.recorder.per_edge_summaries()
+        assert set(per_edge) == {"edge"}
+        assert per_edge["edge"].n == 3
+
+    def test_baseline_records_have_no_edge(self):
+        dep = CoICDeployment(CoICConfig(seed=2), n_clients=1)
+        dep.run_tasks(dep.origin_clients[0], [dep.recognition_task(1)])
+        assert dep.recorder.records[-1].edge == ""
+
+
+class TestEdgePolicySpec:
+    def test_round_trip(self):
+        policy = EdgePolicySpec(admission="shed", queue_limit=3,
+                                deadline_s=1.5, offload="least_loaded",
+                                offload_margin=1, prewarm_top_k=7)
+        assert EdgePolicySpec.from_dict(policy.to_dict()) == policy
+
+    def test_round_trip_through_scenario(self):
+        spec = overload_spec(EdgePolicySpec(admission="redirect"))
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt.policy == spec.policy
+        assert ScenarioSpec.from_dict(
+            ScenarioSpec.single_edge().to_dict()).policy is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EdgePolicySpec(admission="maybe")
+        with pytest.raises(ValueError):
+            EdgePolicySpec(offload="round_robin")
+        with pytest.raises(ValueError):
+            EdgePolicySpec(queue_limit=-1)
+        with pytest.raises(ValueError):
+            EdgePolicySpec(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            EdgePolicySpec(prewarm_top_k=-2)
+
+    def test_gates_admission(self):
+        assert not EdgePolicySpec().gates_admission
+        assert not EdgePolicySpec(prewarm_top_k=5).gates_admission
+        assert EdgePolicySpec(admission="shed").gates_admission
+        assert EdgePolicySpec(offload="least_loaded").gates_admission

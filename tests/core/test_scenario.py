@@ -140,3 +140,36 @@ class TestSerialization:
         path = tmp_path / "scenario.json"
         path.write_text(json.dumps(data))
         assert load_spec(str(path)) == spec
+
+    def test_roundtrip_lte_access(self):
+        spec = ScenarioSpec(edges=(
+            EdgeSpec(name="e0", clients=(ClientSpec(name="m0",
+                                                    access="lte"),
+                                         ClientSpec(name="m1"))),))
+        restored = self._roundtrip(spec)
+        assert restored.edges[0].clients[0].access == "lte"
+        assert restored.edges[0].clients[1].access == "wifi"
+
+    def test_roundtrip_mobility_bias(self):
+        mobility = MobilitySpec(n_places=4, bias=(8.0, 1.0, 1.0, 1.0))
+        spec = ScenarioSpec.metro(n_edges=2, mobility=mobility)
+        restored = self._roundtrip(spec)
+        assert restored.mobility.bias == (8.0, 1.0, 1.0, 1.0)
+
+
+class TestAccessAndBiasValidation:
+    def test_unknown_access_rejected(self):
+        with pytest.raises(ValueError, match="access"):
+            ClientSpec(name="m0", access="5g")
+
+    def test_bias_length_must_match_places(self):
+        with pytest.raises(ValueError, match="bias"):
+            MobilitySpec(n_places=4, bias=(1.0, 2.0))
+
+    def test_bias_weights_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="bias"):
+            MobilitySpec(n_places=2, bias=(1.0, -0.5))
+
+    def test_bias_weights_must_not_all_be_zero(self):
+        with pytest.raises(ValueError, match="bias"):
+            MobilitySpec(n_places=2, bias=(0.0, 0.0))
