@@ -8,6 +8,11 @@ join the same arena, their edge fetches the loaded models from its
 neighbour in milliseconds instead of re-downloading through the cloud
 backhaul.
 
+Expected output: per-model load latencies for both cafes — cafe B's
+federated fetches land between cafe A's cloud misses and its local
+hits — and the edge-level peer-hit counters proving the models came
+over the metro link, not the WAN.
+
 Run:  python examples/federated_edges.py
 """
 

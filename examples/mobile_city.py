@@ -12,16 +12,22 @@ With isolated edges, every handoff lands the user on a cache that has
 never seen them.  With federation, the new edge pulls their content from
 the previous one over the metro link — content follows the user.
 
+Expected output: an isolated-vs-federated table where federation lifts
+the recognition hit ratio and trims mean latency despite identical
+itineraries, followed by per-user handoff counts and the number of
+lookups a neighbour edge answered.
+
 Run:  python examples/mobile_city.py
 """
 
+import os
 from collections import Counter
 
 from repro.core import CoICConfig
 from repro.eval import format_table
 from repro.eval.experiments.mobility_exp import build_metro, drive_scenario
 
-DURATION_S = 180.0
+DURATION_S = float(os.environ.get("REPRO_EXAMPLE_DURATION", "180"))
 HANDOFF_MS = 50.0
 
 
@@ -58,9 +64,11 @@ def main() -> None:
     per_client.update(h.client for h in dep.handoff_log)
     print(f"\nhandoffs per user: min {min(per_client.values())}, "
           f"max {max(per_client.values())}")
-    first = dep.handoff_log[0]
-    print(f"first handoff: {first.client} {first.src_edge}->{first.dst_edge} "
-          f"at t={first.started_s:.1f}s")
+    if dep.handoff_log:
+        first = dep.handoff_log[0]
+        print(f"first handoff: {first.client} "
+              f"{first.src_edge}->{first.dst_edge} "
+              f"at t={first.started_s:.1f}s")
     peer_hits = sum(e.peer_hits for e in dep.edges)
     print(f"federated lookups answered by a neighbour edge: {peer_hits}")
     print("isolated edges re-fetch a roaming user's content from the cloud; "

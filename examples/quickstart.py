@@ -6,6 +6,10 @@ recognition request as the Origin baseline, one through a cold CoIC cache
 (miss) and one from a co-located second user (hit), and prints the
 latency of each path.
 
+Expected output: a three-row latency table (origin / miss / hit) where
+the hit is several times faster than both cloud-bound paths, plus the
+percentage reduction CoIC delivers over Origin.
+
 Run:  python examples/quickstart.py
 """
 

@@ -15,7 +15,13 @@ import itertools
 import typing
 
 from repro.core.descriptors import Descriptor, HashDescriptor, VectorDescriptor
-from repro.core.index import DescriptorIndex, ExactIndex, make_index
+from repro.core.index import (
+    AffinitySketch,
+    DescriptorIndex,
+    ExactIndex,
+    SketchSummary,
+    make_index,
+)
 from repro.core.policies import EvictionPolicy, LruPolicy, TtlPolicy
 
 
@@ -69,6 +75,35 @@ class CacheStats:
         return self.hits / self.lookups
 
 
+@dataclasses.dataclass(frozen=True)
+class CacheSummary:
+    """A compact, gossipable snapshot of a cache's contents.
+
+    What one edge tells its backhaul neighbours about itself so their
+    affinity balancers can estimate "would an offload to me hit?":
+    per-kind live entry counts plus, for vector kinds, the
+    :class:`~repro.core.index.SketchSummary` signature multiset.  The
+    snapshot is *stale by design* — it is refreshed on the gossip
+    interval, not per insert — and ``size_bytes`` is what the gossip
+    message pays on the wire.
+    """
+
+    kinds: dict[str, int]
+    sketches: dict[str, SketchSummary]
+
+    @property
+    def size_bytes(self) -> int:
+        return (64 + 24 * len(self.kinds)
+                + sum(s.size_bytes for s in self.sketches.values()))
+
+    def expected_hit(self, kind: str, signature: int) -> float:
+        """Estimated hit probability for a query signature of ``kind``."""
+        sketch = self.sketches.get(kind)
+        if sketch is None:
+            return 0.0
+        return sketch.expected_hit(signature)
+
+
 class ICCache:
     """Descriptor-keyed, byte-bounded, policy-evicted result cache.
 
@@ -109,6 +144,9 @@ class ICCache:
         self._descriptor_dim = descriptor_dim
         self._entries: dict[int, CacheEntry] = {}
         self._indexes: dict[str, DescriptorIndex] = {}
+        #: Per-vector-kind affinity sketches, maintained incrementally on
+        #: every insert/drop; snapshot with :meth:`summary` for gossip.
+        self._sketches: dict[str, AffinitySketch] = {}
         self._ids = itertools.count(1)
         self._bytes = 0
         # If the policy is TTL-based and no cache-level ttl was given,
@@ -131,23 +169,54 @@ class ICCache:
         return list(self._entries.values())
 
     def hottest(self, k: int, kind: str | None = None,
-                now: float | None = None) -> list[CacheEntry]:
+                now: float | None = None,
+                kind_prefix: str | None = None,
+                exclude_prefix: str | None = None) -> list[CacheEntry]:
         """The top-``k`` entries by hit count (recency breaks ties).
 
         What predictive handoff pre-warm pushes to the next edge: the
         entries that proved themselves under this cell's workload.
         Expired entries are skipped when ``now`` is given; ``kind``
-        restricts the ranking to one descriptor kind.  Deterministic:
-        remaining ties go to the older ``entry_id``.
+        restricts the ranking to one descriptor kind, ``kind_prefix`` to
+        a kind namespace (e.g. ``"layer:"`` for activation entries) and
+        ``exclude_prefix`` drops a namespace (so result pre-warm can
+        skip layer entries, which travel under their own budget).
+        Deterministic: remaining ties go to the older ``entry_id``.
         """
         if k <= 0:
             return []
         candidates = [
             entry for entry in self._entries.values()
             if (kind is None or entry.descriptor.kind == kind)
+            and (kind_prefix is None
+                 or entry.descriptor.kind.startswith(kind_prefix))
+            and (exclude_prefix is None
+                 or not entry.descriptor.kind.startswith(exclude_prefix))
             and (now is None or not entry.expired(now))]
         candidates.sort(key=lambda e: (-e.hits, -e.last_access, e.entry_id))
         return candidates[:k]
+
+    def summary(self, exclude_prefix: str | None = None) -> CacheSummary:
+        """Snapshot this cache's contents for affinity gossip.
+
+        Per-kind live entry counts plus the incrementally maintained
+        signature sketches of the vector kinds.  O(kinds), not
+        O(entries) — the sketches are updated on insert/drop, never
+        rebuilt here.  ``exclude_prefix`` drops a kind namespace from
+        the snapshot (the gossip path excludes ``layer:*`` activation
+        kinds: nobody scores them, so their signatures should not
+        inflate the summary's wire bytes).
+        """
+        def keep(kind: str) -> bool:
+            return exclude_prefix is None \
+                or not kind.startswith(exclude_prefix)
+
+        kinds = {kind: len(index) for kind, index in self._indexes.items()
+                 if len(index) > 0 and keep(kind)}
+        sketches = {kind: sketch.summary()
+                    for kind, sketch in self._sketches.items()
+                    if sketch.n > 0 and keep(kind)}
+        return CacheSummary(kinds=kinds, sketches=sketches)
 
     def index_for(self, kind: str,
                   descriptor: Descriptor | None = None) -> DescriptorIndex:
@@ -305,6 +374,7 @@ class ICCache:
         self._entries[entry.entry_id] = entry
         self._bytes += entry.size_bytes
         self.policy.on_insert(entry)
+        self._sketch_add(descriptor)
         self.stats.insertions += 1
         return entry
 
@@ -350,6 +420,7 @@ class ICCache:
                         entry = self._entries.pop(entry_id)
                         self._bytes -= entry.size_bytes
                         self.policy.on_remove(entry)
+                        self._sketch_remove(entry.descriptor)
                         self.stats.insertions -= 1
                 pending.clear()
                 raise
@@ -383,6 +454,7 @@ class ICCache:
             self._entries[entry.entry_id] = entry
             self._bytes += entry.size_bytes
             self.policy.on_insert(entry)
+            self._sketch_add(descriptor)
             self.stats.insertions += 1
             out.append(entry)
         flush()
@@ -414,6 +486,22 @@ class ICCache:
         self._indexes[entry.descriptor.kind].remove(entry.entry_id)
         self._bytes -= entry.size_bytes
         self.policy.on_remove(entry)
+        self._sketch_remove(entry.descriptor)
+
+    def _sketch_add(self, descriptor: Descriptor) -> None:
+        if not isinstance(descriptor, VectorDescriptor):
+            return
+        sketch = self._sketches.get(descriptor.kind)
+        if sketch is None:
+            sketch = self._sketches[descriptor.kind] = AffinitySketch()
+        sketch.add(descriptor.vector)
+
+    def _sketch_remove(self, descriptor: Descriptor) -> None:
+        if not isinstance(descriptor, VectorDescriptor):
+            return
+        sketch = self._sketches.get(descriptor.kind)
+        if sketch is not None:
+            sketch.remove(descriptor.vector)
 
     def __repr__(self) -> str:
         return (f"ICCache({len(self)} entries, "

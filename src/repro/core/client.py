@@ -63,7 +63,7 @@ class CoICClient:
     def __init__(self, env: Environment, rpc: Rpc, name: str,
                  config: "CoICConfig", recognizer: "Recognizer",
                  loader: "ModelLoader", recorder: MetricsRecorder,
-                 edge_name: str = "edge"):
+                 edge_name: str = "edge", attach_sketch: bool = False):
         self.env = env
         self.rpc = rpc
         self.name = name
@@ -72,6 +72,13 @@ class CoICClient:
         self.loader = loader
         self.recorder = recorder
         self.edge_name = edge_name
+        #: Attach a cheap perceptual input sketch to recognition
+        #: requests (costs SKETCH_COST_S on-device, a few hundred bytes
+        #: on the wire) so an affinity balancer can score peers before
+        #: the edge has extracted anything.  Deployments enable this
+        #: when the scenario policy runs ``offload="affinity"`` with
+        #: edge-side descriptor extraction.
+        self.attach_sketch = attach_sketch
         self.viewport = Viewport()
         #: (time_s, edge_name) history; mobility re-attachment appends.
         self.attachments: list[tuple[float, str]] = [(env.now, edge_name)]
@@ -184,6 +191,19 @@ class CoICClient:
             # Edge extracts: the frame itself is the request body.
             headers["has_input"] = True
             size += task.input_bytes
+        if (self.attach_sketch and "descriptor" not in headers
+                and task.frame.capture_id >= 0):
+            # A perceptual sketch of the frame — milliseconds on-device,
+            # not a backbone pass — deterministic per capture, so the
+            # edge's affinity balancer and any cache summary agree on
+            # its signature.
+            from repro.core.index import SKETCH_COST_S, SKETCH_DIM, \
+                input_sketch
+
+            yield self.env.timeout(SKETCH_COST_S)
+            observation = self.recognizer.extract(task.frame)
+            headers["sketch"] = input_sketch(observation.vector)
+            size += SKETCH_DIM * 4 + 16
 
         request = Message(size_bytes=size, kind="ic_request", payload=task,
                           src=self.name, dst=edge_name,
@@ -195,6 +215,8 @@ class CoICClient:
             # Two-phase miss: the edge wants the frame after all.
             retry_headers = {"descriptor": headers.get("descriptor"),
                              "has_input": True, "force_forward": True}
+            if "sketch" in headers:
+                retry_headers["sketch"] = headers["sketch"]
             retry = Message(size_bytes=64 + task.input_bytes,
                             kind="ic_request", payload=task, src=self.name,
                             dst=edge_name, headers=retry_headers)

@@ -20,6 +20,40 @@ edges mid-run:
   hands each client to its nearest edge as it moves;
 * cache warm-up and federation sync go through the vectorized
   ``insert_batch`` path — one signature matmul per burst.
+
+Inter-edge messages and what they cost
+======================================
+Beyond client traffic, the deployment moves three kinds of edge-to-edge
+messages, all routed over the spec's inter-edge backhaul graph (multi-
+hop via Dijkstra when the graph is not a full mesh; via the cloud WAN
+when no metro path exists) and all paying real transfer time for their
+``size_bytes``:
+
+* ``prewarm_push`` (:meth:`ClusterDeployment.prewarm`) — one-way batch
+  of ``(descriptor, result, size_bytes, cost_s)`` tuples: the source
+  edge's ``prewarm_top_k`` hottest IC results plus, with
+  ``EdgePolicySpec.prewarm_layers``, its hottest ``layer:*``
+  activation entries.  Wire size is 256 B framing plus the *sum of all
+  entry payloads* — raw activation bytes included, which is exactly why
+  shipping layer state is a policy decision and not free.  The receiver
+  absorbs the batch through one ``insert_batch`` (entries keep their
+  original ``cost_s`` for cost-aware eviction) and logs a
+  :class:`PrewarmEvent` carrying the bytes paid.
+* ``cache_summary`` (:meth:`ClusterDeployment._gossip_summaries`) — the
+  affinity gossip: a :class:`~repro.core.cache.CacheSummary` snapshot
+  (per-kind entry counts + signature sketches, a few hundred bytes)
+  pushed to each neighbour every ``EdgePolicySpec.summary_refresh_s``.
+  The receiving edge stores it in ``EdgeNode.peer_summaries``; the
+  affinity balancer scores offload targets against this *stale* view.
+* ``offload_request`` (:class:`~repro.core.pipeline.
+  AdmissionControlStage`) — a relayed client request (original request
+  bytes) whose response is relayed back; in-flight offloads count
+  against the target's load.
+
+``peer_lookup`` probes (federation) are documented in
+:mod:`repro.core.federation`.  :meth:`ClusterDeployment.sync_federation`
+is the one *out-of-band* replication path: a build-time bootstrap that
+charges no simulated transfer time.
 """
 
 from __future__ import annotations
@@ -36,8 +70,13 @@ from repro.core.cloud import CloudNode
 from repro.core.config import CoICConfig
 from repro.core.descriptors import HashDescriptor, VectorDescriptor
 from repro.core.edge import EdgeNode
+from repro.core.layer_cache import LAYER_KIND_PREFIX, LayerCacheManager
 from repro.core.metrics import MetricsRecorder
-from repro.core.pipeline import PeerLoadBalancer, build_pipeline
+from repro.core.pipeline import (
+    AffinityLoadBalancer,
+    PeerLoadBalancer,
+    build_pipeline,
+)
 from repro.core.policies import make_policy
 from repro.core.scenario import ScenarioSpec, WarmupSpec
 from repro.core.tasks import (
@@ -90,13 +129,27 @@ class HandoffEvent:
 
 @dataclasses.dataclass(frozen=True)
 class PrewarmEvent:
-    """One predictive pre-warm push ahead of a client's handoff."""
+    """One predictive pre-warm push ahead of a client's handoff.
+
+    Attributes:
+        time_s: Simulated time the push *completed* (transfer included).
+        client: The client whose handoff triggered the push.
+        src_edge / dst_edge: The edges the entries moved between.
+        pushed: IC-result entries delivered (``prewarm_top_k`` budget).
+        layer_entries: DNN-layer activation entries delivered in the
+            same push (``prewarm_layers`` budget).
+        size_bytes: Wire size of the push — result payloads plus raw
+            activation bytes plus framing — i.e. the backhaul cost the
+            transfer actually paid.
+    """
 
     time_s: float
     client: str
     src_edge: str
     dst_edge: str
     pushed: int
+    layer_entries: int = 0
+    size_bytes: int = 0
 
 
 class DeploymentDriverMixin:
@@ -284,8 +337,10 @@ class ClusterDeployment(DeploymentDriverMixin):
         # inter-edge backhaul graph.
         self.balancer: PeerLoadBalancer | None = None
         if spec.policy is not None and spec.policy.offload != "none":
-            self.balancer = PeerLoadBalancer(
-                margin=spec.policy.offload_margin)
+            balancer_cls = (AffinityLoadBalancer
+                            if spec.policy.offload == "affinity"
+                            else PeerLoadBalancer)
+            self.balancer = balancer_cls(margin=spec.policy.offload_margin)
         self.pipeline = build_pipeline(spec.policy, self.balancer)
         neighbours: dict[str, list[str]] = {n: [] for n in self.edge_names}
         for lspec in spec.inter_edge:
@@ -297,7 +352,9 @@ class ClusterDeployment(DeploymentDriverMixin):
         self.edge_recognizers: list[Recognizer] = []
         for espec in spec.edges:
             cache = ICCache(
-                capacity_bytes=cfg.cache.capacity_bytes,
+                capacity_bytes=(int(espec.cache_mb * 1e6)
+                                if espec.cache_mb is not None
+                                else cfg.cache.capacity_bytes),
                 policy=make_policy(cfg.cache.policy),
                 vector_index=cfg.cache.vector_index,
                 metric=cfg.cache.metric,
@@ -334,13 +391,43 @@ class ClusterDeployment(DeploymentDriverMixin):
         self.edge_by_name = dict(zip(self.edge_names, self.edges))
         self.cache_by_name = dict(zip(self.edge_names, self.caches))
 
+        # -- affinity gossip -------------------------------------------------
+        # Each edge pushes a CacheSummary snapshot to every backhaul
+        # neighbour on the policy's refresh interval.  The processes run
+        # for the life of the simulation, so drive affinity scenarios
+        # with run_for()/run_tasks(), never a bare env.run().
+        self.summaries_sent = 0
+        if isinstance(self.balancer, AffinityLoadBalancer):
+            for espec in spec.edges:
+                if neighbours[espec.name]:
+                    self.env.process(self._gossip_summaries(
+                        espec.name, tuple(neighbours[espec.name])))
+
+        # -- layer caches ----------------------------------------------------
+        #: Per-edge LayerCacheManager over the edge's own ICCache (one
+        #: shared byte budget), built when the policy ships layer
+        #: entries; ``layer_managers[edge_name].insert/plan`` is how
+        #: workloads populate and consume partial-inference state.
+        self.layer_managers: dict[str, LayerCacheManager] = {}
+        if spec.policy is not None and spec.policy.prewarm_layers > 0:
+            for name, cache in zip(self.edge_names, self.caches):
+                self.layer_managers[name] = LayerCacheManager(
+                    self._network, cache)
+
         # -- clients ---------------------------------------------------------
+        # With affinity offload and edge-side extraction, clients attach
+        # the cheap input sketch the balancer scores summaries against
+        # (descriptor-computing clients already ship the full vector).
+        attach_sketch = (spec.policy is not None
+                         and spec.policy.offload == "affinity"
+                         and cfg.recognition.descriptor_source == "edge")
         self.clients_by_edge: list[list[CoICClient]] = []
         for espec in spec.edges:
             row = [CoICClient(self.env, self.rpc, cspec.name, cfg,
                               recognizer=self.mobile_recognizer,
                               loader=self.mobile_loader,
-                              recorder=self.recorder, edge_name=espec.name)
+                              recorder=self.recorder, edge_name=espec.name,
+                              attach_sketch=attach_sketch)
                    for cspec in espec.clients]
             self.clients_by_edge.append(row)
         self.all_clients = [c for row in self.clients_by_edge for c in row]
@@ -364,6 +451,7 @@ class ClusterDeployment(DeploymentDriverMixin):
         self.handoff_log: list[HandoffEvent] = []
         self.prewarm_log: list[PrewarmEvent] = []
         self.prewarm_pushed = 0
+        self.prewarm_layers_pushed = 0
         self.world: "World | None" = None
         self.users: dict[str, "RandomWaypointUser"] = {}
         self.itineraries: dict[str, list[tuple[float, int]]] = {}
@@ -542,46 +630,102 @@ class ClusterDeployment(DeploymentDriverMixin):
                 self._maybe_prewarm(client, client.edge_name, target)
                 yield from self.handoff(client, target)
 
+    # -- affinity gossip ------------------------------------------------------
+
+    def _gossip_summaries(self, name: str, peers: tuple[str, ...]):
+        """Simulation process: periodic cache-summary gossip from one edge.
+
+        Every ``policy.summary_refresh_s`` the edge snapshots its cache
+        (:meth:`ICCache.summary`) and pushes one ``cache_summary``
+        message per backhaul neighbour, in spec order, paying the
+        summary's ``size_bytes`` over the routed inter-edge path.  The
+        receiving edge overwrites its previous snapshot of this sender,
+        so a peer's view is stale by at most one interval plus the
+        transfer time — the staleness the affinity balancer is designed
+        to tolerate.
+        """
+        from repro.net.transport import RpcError
+
+        interval = self.spec.policy.summary_refresh_s
+        while True:
+            yield self.env.timeout(interval)
+            summary = self.cache_by_name[name].summary(
+                exclude_prefix=LAYER_KIND_PREFIX)
+            for peer in peers:
+                push = Message(size_bytes=summary.size_bytes,
+                               kind="cache_summary", payload=summary,
+                               src=name, dst=peer)
+                try:
+                    yield self.rpc.send(push)
+                except RpcError:
+                    # No route / link down: this round's summary is
+                    # lost; the peer keeps scoring the stale snapshot.
+                    continue
+                self.summaries_sent += 1
+
     # -- predictive handoff pre-warm -----------------------------------------
 
     def _maybe_prewarm(self, client: CoICClient, src_edge: str,
                        dst_edge: str) -> None:
-        """Push the source edge's hottest entries to the next edge.
+        """Itinerary hook: pre-warm ``dst_edge`` if the policy asks."""
+        policy = self.spec.policy
+        if policy is None or (policy.prewarm_top_k <= 0
+                              and policy.prewarm_layers <= 0):
+            return
+        self.prewarm(src_edge, dst_edge, client_name=client.name)
 
-        Driven by the mobility itinerary, which the driver knows ahead
-        of the radio: when a hop is about to move ``client`` to
-        ``dst_edge``, the old edge batch-pushes its ``prewarm_top_k``
-        hottest cache entries there as one ``prewarm_push`` message over
-        the backhaul — the transfer pays real routed link time (the
-        metro graph when it connects the two sites, the cloud WAN
-        otherwise, exactly like federation peer probes) — so the
+    def prewarm(self, src_edge: str, dst_edge: str,
+                client_name: str = "") -> bool:
+        """Push the source edge's hottest entries to ``dst_edge``.
+
+        Driven by the mobility itinerary (which the driver knows ahead
+        of the radio), or callable directly for scripted migrations:
+        the old edge batch-pushes its ``prewarm_top_k`` hottest IC
+        results — plus, when ``prewarm_layers`` is set, its hottest
+        ``layer:*`` activation entries — as one ``prewarm_push`` message
+        over the backhaul.  The transfer pays real routed link time for
+        the full payload (result bytes and raw activation bytes alike;
+        the metro graph when it connects the two sites, the cloud WAN
+        otherwise, exactly like federation peer probes), so the
         client's first requests after re-attachment land on a warm
-        cache.
+        cache — and, with layer entries aboard, partial inference can
+        resume mid-network instead of recomputing from the input.
+
         Entries the destination already holds are skipped; each entry
         travels with its original ``cost_s`` so cost-aware eviction at
-        the destination sees the true fetch cost.
+        the destination sees the true fetch cost.  Returns True when a
+        push was scheduled.
         """
         policy = self.spec.policy
-        if policy is None or policy.prewarm_top_k <= 0:
-            return
+        top_k = policy.prewarm_top_k if policy is not None else 0
+        layer_k = policy.prewarm_layers if policy is not None else 0
         src_cache = self.cache_by_name[src_edge]
         dst_cache = self.cache_by_name[dst_edge]
-        hottest = src_cache.hottest(policy.prewarm_top_k, now=self.env.now)
+        hottest = src_cache.hottest(top_k, now=self.env.now,
+                                    exclude_prefix=LAYER_KIND_PREFIX)
+        hottest += src_cache.hottest(layer_k, now=self.env.now,
+                                     kind_prefix=LAYER_KIND_PREFIX)
         if not hottest:
-            return
+            return False
         have = {self._sync_key(entry.descriptor)
                 for entry in dst_cache.entries()}
-        items = [(entry.descriptor, entry.result, entry.size_bytes,
-                  entry.cost_s)
-                 for entry in hottest
-                 if self._sync_key(entry.descriptor) not in have]
+        items = []
+        n_layers = 0
+        for entry in hottest:
+            if self._sync_key(entry.descriptor) in have:
+                continue
+            items.append((entry.descriptor, entry.result, entry.size_bytes,
+                          entry.cost_s))
+            if entry.descriptor.kind.startswith(LAYER_KIND_PREFIX):
+                n_layers += 1
         if not items:
-            return
-        self.env.process(self._push_prewarm(client.name, src_edge,
-                                            dst_edge, items))
+            return False
+        self.env.process(self._push_prewarm(client_name, src_edge,
+                                            dst_edge, items, n_layers))
+        return True
 
     def _push_prewarm(self, client_name: str, src_edge: str,
-                      dst_edge: str, items: list[tuple]):
+                      dst_edge: str, items: list[tuple], n_layers: int = 0):
         """Simulation process: ship one pre-warm batch edge-to-edge."""
         from repro.net.transport import RpcError
 
@@ -594,10 +738,12 @@ class ClusterDeployment(DeploymentDriverMixin):
             # No backhaul route (or link down): the push is dropped, the
             # handoff itself is unaffected.
             return
-        self.prewarm_pushed += len(items)
+        self.prewarm_pushed += len(items) - n_layers
+        self.prewarm_layers_pushed += n_layers
         self.prewarm_log.append(PrewarmEvent(
             time_s=self.env.now, client=client_name, src_edge=src_edge,
-            dst_edge=dst_edge, pushed=len(items)))
+            dst_edge=dst_edge, pushed=len(items) - n_layers,
+            layer_entries=n_layers, size_bytes=size))
 
     def visible_classes(self, client: CoICClient) -> tuple:
         """Object classes at the client's current place (mobility only)."""
@@ -639,16 +785,24 @@ class ClusterDeployment(DeploymentDriverMixin):
             inserted += sum(1 for e in entries if e is not None)
         return inserted
 
-    def sync_federation(self) -> int:
+    def sync_federation(self, include_layers: bool = False) -> int:
         """Bulk-replicate each edge's entries to every other edge.
 
-        An out-of-band bootstrap (think nightly rsync between sites):
-        entries a destination already holds — same digest, or same
-        vector bit-for-bit — are skipped; the rest land through one
-        ``insert_batch`` per destination edge.  Returns the number of
-        entries copied.
+        An out-of-band bootstrap (think nightly rsync between sites —
+        no simulated transfer time is charged, unlike the pre-warm
+        path): entries a destination already holds — same digest, or
+        same vector bit-for-bit — are skipped; the rest land through
+        one ``insert_batch`` per destination edge.  ``layer:*``
+        activation entries are excluded unless ``include_layers`` is
+        set — they are typically orders of magnitude larger than IC
+        results, and shipping them is a deliberate choice (the same
+        choice ``EdgePolicySpec.prewarm_layers`` makes for the online
+        path).  Returns the number of entries copied.
         """
-        snapshots = [cache.entries() for cache in self.caches]
+        snapshots = [[entry for entry in cache.entries()
+                      if include_layers or not entry.descriptor.kind
+                      .startswith(LAYER_KIND_PREFIX)]
+                     for cache in self.caches]
         copied = 0
         for k, cache in enumerate(self.caches):
             have: set = set()

@@ -125,6 +125,10 @@ class EdgeNode:
         self.offloaded_out = 0
         self.offloaded_in = 0
         self.prewarm_received = 0
+        #: Latest gossiped CacheSummary per neighbour edge (affinity
+        #: offload reads this; stale by up to the gossip interval).
+        self.peer_summaries: dict[str, typing.Any] = {}
+        self.summaries_received = 0
         env.process(self._serve())
 
     # -- load ----------------------------------------------------------------
@@ -210,6 +214,13 @@ class EdgeNode:
             self.env.process(self._handle(msg))
 
     def _handle(self, msg: Message):
+        if msg.kind == "cache_summary":
+            # Affinity gossip: a neighbour's cache summary.  Pure
+            # bookkeeping — overwrite the previous snapshot, no
+            # simulated compute (the transfer already paid its bytes).
+            self.peer_summaries[msg.src] = msg.payload
+            self.summaries_received += 1
+            return
         if msg.kind == "prewarm_push":
             # One-way replication from a peer edge ahead of a handoff;
             # not a client request, so it does not count as served.

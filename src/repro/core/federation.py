@@ -21,6 +21,29 @@ Protocol (all on the existing RPC substrate):
 
 Peer queries carry the descriptor, never the user's input — the same
 privacy boundary the client/edge hop has.
+
+Message formats and backhaul cost
+=================================
+* ``peer_lookup`` — request: the descriptor alone, so the probe costs
+  ``descriptor.size_bytes`` on the routed inter-edge path (a few
+  hundred bytes for a 128-d vector).  Vector probes join the asked
+  edge's same-tick batched lookup pass, so a federated burst costs one
+  vectorized scan, not N.
+* ``peer_result`` — response: 96 B for a miss; the *full result bytes*
+  for a hit (recognition annotations, loaded model geometry, panorama
+  frames — megabytes for the latter two, which is why
+  ``peer_timeout_s`` budgets for multi-megabyte metro transfers).  A
+  hit is inserted locally with ``cost_s`` = the measured probe round
+  trip, so cost-aware eviction values federated copies at what they
+  actually cost to obtain, not at the cloud fetch they avoided.
+
+Every byte rides the scenario's inter-edge links (or the cloud WAN
+when no metro path exists) with real serialization + propagation time;
+nothing about federation is free.  Bulk state movement between edges —
+handoff pre-warm pushes, affinity cache-summary gossip, and the
+out-of-band ``sync_federation`` bootstrap — is owned by
+:mod:`repro.core.cluster`, whose module docstring specifies those
+message formats and their cost accounting.
 """
 
 from __future__ import annotations

@@ -28,31 +28,17 @@ import numpy as np
 
 from repro.core.cache import ICCache
 from repro.core.descriptors import VectorDescriptor
+from repro.core.index import SKETCH_COST_S, SKETCH_DIM, input_sketch
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.vision.dnn import ComputeDevice, DnnModel
 
-#: Cheap input descriptor: dimension and extraction cost.  A perceptual
-#: hash / color-layout sketch, not a DNN pass.
-SKETCH_DIM = 32
-SKETCH_COST_S = 0.004
+__all__ = ["SKETCH_COST_S", "SKETCH_DIM", "input_sketch",
+           "LAYER_KIND_PREFIX", "LayerReusePlan", "LayerCacheManager"]
 
-
-def input_sketch(vector: np.ndarray, dim: int = SKETCH_DIM) -> np.ndarray:
-    """Project a full observation vector to the cheap input sketch.
-
-    Deterministic fixed projection (averaging blocks of coordinates), so
-    any two extractors agree; normalized for cosine matching.
-    """
-    full = np.asarray(vector, dtype=np.float64)
-    if full.ndim != 1 or full.size < dim:
-        raise ValueError(f"need a 1-D vector of at least {dim} elements")
-    usable = (full.size // dim) * dim
-    sketch = full[:usable].reshape(dim, -1).mean(axis=1)
-    norm = np.linalg.norm(sketch)
-    if norm == 0:
-        raise ValueError("degenerate all-zero sketch")
-    return sketch / norm
+#: Descriptor-kind namespace of layer-activation entries; the transport
+#: layer (handoff pre-warm, federation sync) filters on this prefix.
+LAYER_KIND_PREFIX = "layer:"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -114,7 +100,7 @@ class LayerCacheManager:
 
     @staticmethod
     def _kind(layer_name: str) -> str:
-        return f"layer:{layer_name}"
+        return f"{LAYER_KIND_PREFIX}{layer_name}"
 
     # -- operations --------------------------------------------------------------
 

@@ -317,11 +317,14 @@ class PeerLoadBalancer:
         """Busy + queued compute slots plus offloads already in flight."""
         return self._edges[name].load + self._pending.get(name, 0)
 
-    def pick(self, src: str) -> str | None:
+    def pick(self, src: str, key: "typing.Any | None" = None) -> str | None:
         """The least-loaded neighbour of ``src`` worth offloading to.
 
         Ties break in registration (spec) order; returns None when no
         neighbour is at least ``margin`` below ``src``'s own load.
+        ``key`` (the request's affinity key) is accepted for interface
+        compatibility with :class:`AffinityLoadBalancer` and ignored
+        here — load is the only signal this balancer reads.
         """
         own = self.load_of(src) if src in self._edges else 0
         best: str | None = None
@@ -342,6 +345,81 @@ class PeerLoadBalancer:
         self._pending[name] = max(0, self._pending.get(name, 0) - 1)
 
 
+class AffinityLoadBalancer(PeerLoadBalancer):
+    """Cache-affinity neighbour selection: who is likely to *hit*?
+
+    The least-loaded balancer moves raw load; this one moves load toward
+    reusable state.  Each edge gossips a compact
+    :class:`~repro.core.cache.CacheSummary` of its contents to its
+    backhaul neighbours (see ``ClusterDeployment``'s gossip driver); the
+    asking edge's admission stage hands this balancer the request's
+    affinity key — the client-supplied input sketch, or the descriptor
+    vector when the client computed one — and each eligible neighbour is
+    scored as
+
+        ``expected_hit(summary, key)  x  1 / (1 + load)``
+
+    i.e. hit probability weighted by load headroom.  The highest score
+    wins; exact score ties (in particular the all-zero case: no key, no
+    summaries yet, or nobody plausibly holds the content) fall back to
+    the least-loaded choice, so with gossip silent this balancer is
+    decision-identical to :class:`PeerLoadBalancer`.  The margin
+    hysteresis is unchanged: only neighbours at least ``margin`` below
+    the asking edge's load are eligible at all — affinity re-orders
+    eligible peers, it never overloads a busy one.
+
+    Args:
+        margin: As :class:`PeerLoadBalancer`.
+        kind: Descriptor kind whose summaries are scored.
+    """
+
+    def __init__(self, margin: int = 1, kind: str = "recognition"):
+        super().__init__(margin=margin)
+        self.kind = kind
+        from repro.core.index import AffinitySketch
+
+        #: Signature-only sketch (shared deterministic hyperplanes).
+        self._sketch = AffinitySketch()
+        self.affinity_picks = 0
+        self.fallback_picks = 0
+
+    def pick(self, src: str, key: "typing.Any | None" = None) -> str | None:
+        """The eligible neighbour with the best hit x headroom score.
+
+        Falls back to the least-loaded choice when ``key`` is None or
+        every eligible neighbour scores zero.
+        """
+        fallback = super().pick(src)
+        if key is None:
+            if fallback is not None:
+                self.fallback_picks += 1
+            return fallback
+        own = self.load_of(src) if src in self._edges else 0
+        asking = self._edges.get(src)
+        view = getattr(asking, "peer_summaries", {}) if asking else {}
+        signature = self._sketch.signature(key)
+        best: str | None = None
+        best_rank: tuple[float, int] | None = None
+        for name in self._neighbours.get(src, ()):
+            load = self.load_of(name)
+            if load + self.margin > own:
+                continue
+            summary = view.get(name)
+            score = (summary.expected_hit(self.kind, signature)
+                     * (1.0 / (1.0 + load)) if summary is not None else 0.0)
+            # Highest score wins; equal scores go to the less-loaded
+            # peer, then registration order (strict < keeps the earlier).
+            rank = (-score, load)
+            if best_rank is None or rank < best_rank:
+                best, best_rank = name, rank
+        if best is None or best_rank[0] >= 0.0:
+            if fallback is not None:
+                self.fallback_picks += 1
+            return fallback
+        self.affinity_picks += 1
+        return best
+
+
 class AdmissionControlStage(AdmitStage):
     """Overload-aware front door: shed, cloud-redirect, or peer-offload.
 
@@ -353,7 +431,8 @@ class AdmissionControlStage(AdmitStage):
     accepted (no ping-pong).
 
     Decision order under overload: peer-offload if a sufficiently less
-    loaded neighbour exists, else the configured admission action.
+    loaded neighbour exists (chosen least-loaded or affinity-scored per
+    ``EdgePolicySpec.offload``), else the configured admission action.
     """
 
     name = "admit"
@@ -391,8 +470,9 @@ class AdmissionControlStage(AdmitStage):
             return
         if not self.overloaded(edge):
             return
-        if self.spec.offload == "least_loaded" and self.balancer is not None:
-            target = self.balancer.pick(edge.host.name)
+        if self.spec.offload != "none" and self.balancer is not None:
+            target = self.balancer.pick(edge.host.name,
+                                        key=self._affinity_key(ctx))
             if target is not None:
                 yield from self._offload(edge, ctx, target)
                 return
@@ -418,11 +498,30 @@ class AdmissionControlStage(AdmitStage):
         # admission == "none": admit despite the backlog (offload-only
         # policies fall back to queueing when every peer is busy too).
 
+    @staticmethod
+    def _affinity_key(ctx: RequestContext):
+        """The request's affinity key: input sketch or descriptor vector.
+
+        Clients attach a cheap perceptual ``sketch`` header when the
+        scenario runs affinity offload; descriptor-computing clients
+        already ship the full vector.  Either folds to the same
+        signature space; None means "no signal" (the balancer falls
+        back to least-loaded).
+        """
+        sketch = ctx.msg.headers.get("sketch")
+        if sketch is not None:
+            return sketch
+        descriptor = ctx.msg.headers.get("descriptor")
+        if descriptor is not None and getattr(descriptor, "is_vector",
+                                              False):
+            return descriptor.vector
+        return None
+
     def _offload(self, edge: "EdgeNode", ctx: RequestContext, target: str):
         """Relay the request to ``target`` and its response to the client."""
         edge.offloaded_out += 1
         headers: dict = {"offloaded": True, "origin_edge": edge.host.name}
-        for key in ("descriptor", "has_input", "force_forward"):
+        for key in ("descriptor", "has_input", "force_forward", "sketch"):
             if key in ctx.msg.headers:
                 headers[key] = ctx.msg.headers[key]
         forward = Message(size_bytes=ctx.msg.size_bytes,

@@ -93,6 +93,11 @@ class EdgeSpec:
             selects ``net.backhaul.<name>``.
         peers: Federation probe order (host names).  None means "all
             other edges, in scenario order".
+        cache_mb: Per-site IC-cache capacity override in MB; None uses
+            the deployment config's ``cache.capacity_mb``.  Lets one
+            scenario mix big metro boxes with small street cabinets —
+            capacity pressure at the small sites is what makes cache
+            *placement* (and affinity-aware offload) matter.
     """
 
     name: str
@@ -101,19 +106,23 @@ class EdgeSpec:
     y: float = 0.0
     backhaul_stream: str = ""
     peers: tuple[str, ...] | None = None
+    cache_mb: float | None = None
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "edge name must be non-empty")
         object.__setattr__(self, "clients", tuple(self.clients))
         if self.peers is not None:
             object.__setattr__(self, "peers", tuple(self.peers))
+        if self.cache_mb is not None:
+            _require(self.cache_mb > 0, "cache_mb must be > 0")
 
     def to_dict(self) -> dict:
         return {"name": self.name,
                 "clients": [c.to_dict() for c in self.clients],
                 "x": self.x, "y": self.y,
                 "backhaul_stream": self.backhaul_stream,
-                "peers": list(self.peers) if self.peers is not None else None}
+                "peers": list(self.peers) if self.peers is not None else None,
+                "cache_mb": self.cache_mb}
 
     @classmethod
     def from_dict(cls, data: dict) -> "EdgeSpec":
@@ -123,10 +132,12 @@ class EdgeSpec:
             else ClientSpec(name=str(c))
             for c in clients)
         peers = data.get("peers")
+        cache_mb = data.get("cache_mb")
         return cls(name=data["name"], clients=clients,
                    x=float(data.get("x", 0.0)), y=float(data.get("y", 0.0)),
                    backhaul_stream=data.get("backhaul_stream", ""),
-                   peers=tuple(peers) if peers is not None else None)
+                   peers=tuple(peers) if peers is not None else None,
+                   cache_mb=float(cache_mb) if cache_mb is not None else None)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -245,13 +256,31 @@ class EdgePolicySpec:
             this deadline.  None disables the deadline trigger.
         offload: ``"least_loaded"`` forwards overload recognition work
             to the least-loaded neighbouring edge over the inter-edge
-            backhaul graph; ``"none"`` disables peer offload.
+            backhaul graph; ``"affinity"`` scores each neighbour by
+            expected-cache-hit probability x load headroom using the
+            gossiped cache summaries and targets the neighbour most
+            likely to answer from cache (falling back to least-loaded
+            on ties or while no summaries have arrived yet); ``"none"``
+            disables peer offload.
         offload_margin: A peer is only used when its load is at least
             this far below the asking edge's (ping-pong hysteresis).
+        summary_refresh_s: Gossip period for affinity cache summaries:
+            every edge pushes a fresh ``CacheSummary`` to each backhaul
+            neighbour this often (paying the summary's bytes on the
+            routed inter-edge path), so a peer's view of a cache is
+            stale by at most this plus the transfer time.  Ignored
+            unless ``offload="affinity"``.
         prewarm_top_k: Before a mobility handoff completes, push this
             many of the hottest cache entries from the old edge to the
             next edge (``ICCache.hottest`` -> ``insert_batch``).  0
             disables pre-warm.
+        prewarm_layers: Also ship up to this many of the hottest
+            DNN-layer activation entries (``layer:*`` kinds, see
+            :mod:`repro.core.layer_cache`) in the same pre-warm push,
+            paying real backhaul bytes for the activation payloads, so
+            the handoff target can resume inference mid-network instead
+            of recomputing.  Enables the per-edge layer-cache managers
+            on the deployment.  0 disables layer pre-warm.
     """
 
     admission: str = "none"
@@ -259,20 +288,25 @@ class EdgePolicySpec:
     deadline_s: float | None = None
     offload: str = "none"
     offload_margin: int = 2
+    summary_refresh_s: float = 5.0
     prewarm_top_k: int = 0
+    prewarm_layers: int = 0
 
     def __post_init__(self) -> None:
         _require(self.admission in ("none", "shed", "redirect"),
                  f"admission must be none/shed/redirect, "
                  f"got {self.admission!r}")
-        _require(self.offload in ("none", "least_loaded"),
-                 f"offload must be none/least_loaded, got {self.offload!r}")
+        _require(self.offload in ("none", "least_loaded", "affinity"),
+                 f"offload must be none/least_loaded/affinity, "
+                 f"got {self.offload!r}")
         if self.queue_limit is not None:
             _require(self.queue_limit >= 0, "queue_limit must be >= 0")
         if self.deadline_s is not None:
             _require(self.deadline_s > 0, "deadline_s must be > 0")
         _require(self.offload_margin >= 0, "offload_margin must be >= 0")
+        _require(self.summary_refresh_s > 0, "summary_refresh_s must be > 0")
         _require(self.prewarm_top_k >= 0, "prewarm_top_k must be >= 0")
+        _require(self.prewarm_layers >= 0, "prewarm_layers must be >= 0")
 
     @property
     def gates_admission(self) -> bool:

@@ -1,0 +1,213 @@
+"""A12 — cache-affinity offload: send work to whoever will *hit*.
+
+PR 3's peer offload moves raw load: an overloaded edge forwards excess
+recognition work to its least-loaded neighbour.  The paper's framing is
+sharper — edges should cooperate by sharing *reusable IC state* — and
+that distinction matters exactly when neighbours are not
+interchangeable.  This experiment builds the smallest scenario where
+they are not:
+
+* ``edge0`` — the hot cell: a crowd of closed-loop users requesting
+  object classes with Zipf-skewed popularity; its 2-worker extraction
+  pool saturates, so admission control offloads a large share of the
+  traffic.
+* ``edge2`` — a warm metro box: a big cache pre-populated with the hot
+  cell's whole catalog (the venue next door that served the same crowd
+  an hour ago).
+* ``edge1`` — a cold street cabinet: idle, but with a small cache that
+  can never stabilize the working set — work sent here re-fetches from
+  the cloud over a thin backhaul, and concurrent misses queue behind
+  each other's multi-megabyte frame uploads.
+
+A load-only balancer cannot tell the two neighbours apart and splits
+offloads between them (in-flight counting alternates the pick), so half
+the forwarded work lands cold.  The affinity balancer reads the gossiped
+cache summaries (:class:`~repro.core.cache.CacheSummary`, refreshed
+every ``summary_refresh_s``), scores each eligible neighbour by
+expected-hit-probability x load headroom, and concentrates offloads on
+the warm box — falling back to least-loaded whenever nothing scores
+positive, so it never does worse than PR 3's policy.
+
+Measured effects (seed 0, the bench's full configuration): hit ratio
++~3 pp, p99 recognition latency -~10-20%, and more requests served in
+the same simulated time (the closed loop speeds up when hits return
+quickly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.cluster import ClusterDeployment
+from repro.core.config import CoICConfig
+from repro.core.metrics import LatencySummary, OUTCOME_HIT, OUTCOME_MISS
+from repro.core.scenario import (
+    ClientSpec,
+    EdgePolicySpec,
+    EdgeSpec,
+    InterEdgeLinkSpec,
+    ScenarioSpec,
+    WarmupSpec,
+)
+from repro.workload.zipf import ZipfSampler
+
+#: Policy ladder, in presentation order.
+POLICY_NAMES = ("none", "least_loaded", "affinity")
+
+#: Scenario shape (see the bench for the measured claim).
+DEFAULT_CATALOG = 24
+DEFAULT_ALPHA = 0.9
+DEFAULT_HOT_CLIENTS = 10
+DEFAULT_INTERVAL_S = 0.25
+DEFAULT_DURATION_S = 150.0
+#: Street-cabinet cache: ~12 recognition results — too small to ever
+#: hold the hot catalog, so cold misses persist for the whole run.
+CABINET_CACHE_MB = 0.026
+#: Metro-box cache: holds the full catalog with room to spare.
+METRO_CACHE_MB = 0.08
+
+
+def policy_spec(name: str, queue_limit: int = 2,
+                summary_refresh_s: float = 1.0) -> EdgePolicySpec | None:
+    """The :class:`EdgePolicySpec` for one ladder rung (None = no policy)."""
+    if name == "none":
+        return None
+    if name in ("least_loaded", "affinity"):
+        return EdgePolicySpec(offload=name, queue_limit=queue_limit,
+                              offload_margin=0,
+                              summary_refresh_s=summary_refresh_s)
+    raise KeyError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
+
+
+@dataclasses.dataclass(frozen=True)
+class AffinityRow:
+    """One policy rung of the skewed-popularity offload comparison."""
+
+    policy: str
+    requests: int
+    served: int
+    offloaded: int
+    served_warm: int        # recognition requests served by the warm box
+    served_cold: int        # ... by the cold cabinet
+    misses_cold: int        # cold-cabinet misses (the avoidable cloud trips)
+    hit_ratio: float
+    mean_ms: float
+    p95_ms: float
+    p99_ms: float
+    summaries_sent: int
+    affinity_picks: int
+    fallback_picks: int
+
+
+def build_affinity_scenario(seed: int = 0,
+                            policy: EdgePolicySpec | None = None,
+                            hot_clients: int = DEFAULT_HOT_CLIENTS,
+                            catalog: int = DEFAULT_CATALOG,
+                            config: CoICConfig | None = None
+                            ) -> ClusterDeployment:
+    """The hot cell, the warm metro box, and the cold street cabinet.
+
+    ``edge0`` (big cache, warmed, all the clients) links to ``edge1``
+    (small cold cache) and ``edge2`` (big cache, warmed with the full
+    catalog).  Edges are isolated (no federation) so the measured
+    differences come from the offload decision alone.
+    """
+    if config is None:
+        config = CoICConfig(seed=seed)
+        config.network.wifi_mbps = 100
+        # Thin cloud backhaul: a cold miss re-uploads the multi-megabyte
+        # frame to the cloud, and concurrent misses queue behind each
+        # other — exactly the cost affinity routing avoids paying.
+        config.network.backhaul_mbps = 10
+        config.edge_workers = 2
+        config.cache.capacity_mb = CABINET_CACHE_MB
+    clients = tuple(ClientSpec(name=f"m{i}") for i in range(hot_clients))
+    spec = ScenarioSpec(
+        edges=(EdgeSpec(name="edge0", clients=clients,
+                        cache_mb=METRO_CACHE_MB),
+               EdgeSpec(name="edge1"),
+               EdgeSpec(name="edge2", cache_mb=METRO_CACHE_MB)),
+        inter_edge=(InterEdgeLinkSpec(a="edge0", b="edge1"),
+                    InterEdgeLinkSpec(a="edge0", b="edge2"),
+                    InterEdgeLinkSpec(a="edge1", b="edge2")),
+        warmup=WarmupSpec(classes=tuple(range(catalog)),
+                          edges=("edge0", "edge2")),
+        policy=policy)
+    return ClusterDeployment(spec, config=config)
+
+
+def drive_affinity(deployment: ClusterDeployment,
+                   duration_s: float = DEFAULT_DURATION_S,
+                   request_interval_s: float = DEFAULT_INTERVAL_S,
+                   catalog: int = DEFAULT_CATALOG,
+                   alpha: float = DEFAULT_ALPHA) -> None:
+    """Closed-loop Zipf-skewed recognition traffic from every client.
+
+    Each client draws object classes from a bounded Zipf(``alpha``)
+    over the catalog (its own RNG stream — deterministic per seed),
+    performs one recognition at a uniformly random viewpoint, thinks
+    for ``request_interval_s``, and repeats for ``duration_s``.
+    """
+    def loop(client, rng):
+        sampler = ZipfSampler(catalog, alpha, rng)
+        seq = 0
+        while True:
+            object_class = sampler.sample()
+            task = deployment.recognition_task(
+                object_class, viewpoint=float(rng.uniform(-0.5, 0.5)),
+                user=client.name, seq=seq)
+            seq += 1
+            yield deployment.env.process(client.perform(task))
+            yield deployment.env.timeout(request_interval_s)
+
+    for client in deployment.all_clients:
+        rng = deployment.rng.stream(f"workload.affinity.{client.name}")
+        deployment.env.process(loop(client, rng))
+    deployment.run_for(duration_s)
+
+
+def _summarize(deployment: ClusterDeployment, policy: str) -> AffinityRow:
+    recorder = deployment.recorder
+    records = recorder.select(task_kind="recognition")
+    served = [r for r in records if r.outcome in (OUTCOME_HIT, OUTCOME_MISS)]
+    summary = LatencySummary.of([r.latency_s for r in served])
+    balancer = deployment.balancer
+    return AffinityRow(
+        policy=policy,
+        requests=len(records), served=len(served),
+        offloaded=sum(edge.offloaded_out for edge in deployment.edges),
+        served_warm=sum(1 for r in served if r.edge == "edge2"),
+        served_cold=sum(1 for r in served if r.edge == "edge1"),
+        misses_cold=sum(1 for r in served
+                        if r.edge == "edge1" and r.outcome == OUTCOME_MISS),
+        hit_ratio=recorder.hit_ratio(task_kind="recognition"),
+        mean_ms=summary.mean * 1e3, p95_ms=summary.p95 * 1e3,
+        p99_ms=summary.p99 * 1e3,
+        summaries_sent=deployment.summaries_sent,
+        affinity_picks=getattr(balancer, "affinity_picks", 0),
+        fallback_picks=getattr(balancer, "fallback_picks", 0))
+
+
+def run_affinity(policies: typing.Sequence[str] = POLICY_NAMES,
+                 hot_clients: int = DEFAULT_HOT_CLIENTS,
+                 catalog: int = DEFAULT_CATALOG,
+                 alpha: float = DEFAULT_ALPHA,
+                 duration_s: float = DEFAULT_DURATION_S,
+                 request_interval_s: float = DEFAULT_INTERVAL_S,
+                 queue_limit: int = 2,
+                 summary_refresh_s: float = 1.0,
+                 seed: int = 0) -> list[AffinityRow]:
+    """Run the policy ladder over the skewed-popularity scenario."""
+    rows = []
+    for name in policies:
+        deployment = build_affinity_scenario(
+            seed=seed,
+            policy=policy_spec(name, queue_limit=queue_limit,
+                               summary_refresh_s=summary_refresh_s),
+            hot_clients=hot_clients, catalog=catalog)
+        drive_affinity(deployment, duration_s,
+                       request_interval_s=request_interval_s,
+                       catalog=catalog, alpha=alpha)
+        rows.append(_summarize(deployment, name))
+    return rows

@@ -38,6 +38,7 @@ def _bootstrap() -> None:
     """Populate the registry from the experiment modules (idempotent)."""
     if _REGISTRY:
         return
+    from repro.eval.experiments.affinity_exp import run_affinity
     from repro.eval.experiments.eviction import run_eviction
     from repro.eval.experiments.federation_exp import run_federation
     from repro.eval.experiments.fig2a import run_fig2a
@@ -66,6 +67,7 @@ def _bootstrap() -> None:
         "federation": run_federation,
         "mobility": run_mobility,
         "overload": run_overload,
+        "affinity": run_affinity,
     })
 
 

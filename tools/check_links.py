@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Markdown link checker: every relative link must resolve on disk.
+
+Scans the given files/directories (default: README.md and docs/) for
+inline markdown links and verifies that relative targets exist, so the
+README's architecture map and the scenario-spec reference cannot drift
+from the tree.  External (http/https/mailto) links and pure anchors
+are skipped; `path#fragment` targets are checked as `path`.
+
+Usage:  python tools/check_links.py [FILE_OR_DIR ...]
+Exit status 1 when any link is broken.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline markdown links: [text](target).  Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(paths: list[str]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def broken_links(doc: pathlib.Path) -> list[tuple[int, str]]:
+    """(line, target) pairs whose relative targets do not resolve."""
+    failures = []
+    for lineno, line in enumerate(
+            doc.read_text(encoding="utf-8").splitlines(), start=1):
+        for target in _LINK.findall(line):
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (doc.parent / relative).exists():
+                failures.append((lineno, target))
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    paths = argv or ["README.md", "docs"]
+    failed = False
+    checked = 0
+    for doc in markdown_files(paths):
+        if not doc.exists():
+            print(f"{doc}: file not found")
+            failed = True
+            continue
+        checked += 1
+        for lineno, target in broken_links(doc):
+            print(f"{doc}:{lineno}: broken link -> {target}")
+            failed = True
+    print(f"checked {checked} markdown file(s)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
