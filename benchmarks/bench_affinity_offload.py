@@ -11,7 +11,7 @@ thin backhaul.  Results land in ``BENCH_affinity_offload.json``; the
 crawls behind the hot edge's queue).
 """
 
-from conftest import emit, emit_json
+from benchkit import emit, emit_json
 
 from repro.eval.experiments.affinity_exp import POLICY_NAMES, run_affinity
 from repro.eval.tables import format_table

@@ -4,7 +4,7 @@ The "cooperative framework" taken one hop further: edges consult each
 other's caches over metro links before paying the cloud backhaul.
 """
 
-from conftest import emit
+from benchkit import emit
 
 from repro.eval.experiments.federation_exp import run_federation
 from repro.eval.tables import format_table

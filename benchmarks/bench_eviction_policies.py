@@ -5,7 +5,7 @@ management to future work; this bench shows what the policy family does
 under byte pressure with size-heterogeneous objects.
 """
 
-from conftest import emit
+from benchkit import emit
 
 from repro.eval.experiments.eviction import run_eviction
 from repro.eval.tables import format_table

@@ -5,7 +5,7 @@ Paper series: Origin / Cache Hit / Cache Miss over five shaped
 recognition-latency reduction.
 """
 
-from conftest import emit
+from benchkit import emit
 
 from repro.eval.experiments.fig2a import (
     PAPER_BANDWIDTH_PAIRS,

@@ -4,7 +4,7 @@ Paper series: Origin / Cache Hit / Cache Miss over model sizes from
 231 KB to ~15 MB; headline "up to 75.86%" load-latency reduction.
 """
 
-from conftest import emit
+from benchkit import emit
 
 from repro.eval.experiments.fig2b import (
     PAPER_MAX_REDUCTION_PCT,

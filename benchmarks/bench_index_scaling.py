@@ -7,7 +7,7 @@ records the before/after speedup over the seed implementation in
 ``BENCH_index_scaling.json``.
 """
 
-from conftest import emit, emit_json
+from benchkit import emit, emit_json
 
 from repro.eval.experiments.index_scaling import run_index_scaling
 from repro.eval.tables import format_table

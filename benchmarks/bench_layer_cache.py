@@ -4,7 +4,7 @@ Coarse result caching is all-or-nothing; caching "the result of a
 specific DNN layer" degrades gracefully as inputs drift apart.
 """
 
-from conftest import emit
+from benchkit import emit
 
 from repro.eval.experiments.layers import run_layer_cache
 from repro.eval.tables import format_table

@@ -1,0 +1,105 @@
+"""A13 — partial-inference serving vs recompute on the drift workload.
+
+The Potluck-loop claim in machine-readable form: on the concert-hall
+drift workload (stage scenes re-captured from wildly drifted viewpoints
+after a handoff), serving from cached DNN-layer activations
+(``EdgePolicySpec.layer_reuse``) strictly lowers mean recognition
+latency versus the recompute-everything edge, and shipping the hall's
+hottest activations to the hub ahead of the handoff
+(``prewarm_layers``) lifts the hub's post-handoff partial serves above
+cold self-warming.  Results land in ``BENCH_layer_reuse.json``.
+"""
+
+from benchkit import emit, emit_json
+
+from repro.eval.experiments.layer_reuse_exp import (
+    POLICY_NAMES,
+    run_layer_reuse,
+)
+from repro.eval.tables import format_table
+
+SMOKE_KWARGS = {"policies": POLICY_NAMES, "hall_s": 20.0, "hub_s": 20.0,
+                "fans": 3}
+FULL_KWARGS = {"policies": POLICY_NAMES, "hall_s": 40.0, "hub_s": 40.0,
+               "fans": 4}
+
+
+def test_layer_reuse(benchmark, smoke):
+    kwargs = SMOKE_KWARGS if smoke else FULL_KWARGS
+    rows = benchmark.pedantic(run_layer_reuse, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+    table = [[r.policy, str(r.requests), str(r.served), str(r.partials),
+              str(r.hub_partials), f"{r.partial_ratio:.3f}",
+              f"{r.hit_ratio:.3f}", f"{r.mean_ms:.0f}", f"{r.p95_ms:.0f}",
+              f"{r.hub_mean_ms:.0f}", f"{r.saved_compute_s:.1f}",
+              str(r.layer_entries_prewarmed),
+              f"{r.prewarm_bytes / 1e6:.2f}"] for r in rows]
+    emit(format_table(
+        ["policy", "requests", "served", "partial", "hub part",
+         "partial ratio", "hit ratio", "mean ms", "p95 ms", "hub mean ms",
+         "saved s", "prew layers", "prew MB"],
+        table, title="A13 — partial-inference serving on the drift "
+                     "workload"))
+
+    # Shape assertions (hold in smoke mode too).
+    by_policy = {r.policy: r for r in rows}
+    assert set(by_policy) == set(POLICY_NAMES)
+    none, reuse = by_policy["none"], by_policy["reuse"]
+    prewarm = by_policy["reuse+prewarm"]
+    for row in rows:
+        assert row.served > 0
+        assert 0.0 <= row.partial_ratio <= 1.0
+    # The PR 4 edge never serves partials; both reuse rungs do, off
+    # activations seeded by their own extraction passes.
+    assert none.partials == 0 and none.layer_seeded == 0
+    assert reuse.partials > 0 and reuse.partial_ratio > 0.0
+    assert reuse.layer_seeded > 0
+    assert reuse.saved_compute_s > 0.0
+    # The headline claim: resuming mid-network strictly beats
+    # recomputing from the input on mean recognition latency, and the
+    # closed loop serves at least as many requests in the same time.
+    assert prewarm.mean_ms < none.mean_ms
+    assert reuse.mean_ms < none.mean_ms
+    assert prewarm.served >= none.served
+    # Pre-warm actually moved activation bytes, and the warmed hub
+    # resumes at least as often as the cold self-warming one.
+    assert prewarm.layer_entries_prewarmed > 0
+    assert prewarm.prewarm_bytes > 0
+    assert reuse.layer_entries_prewarmed == 0
+    assert prewarm.hub_partials >= reuse.hub_partials
+    assert prewarm.hub_mean_ms <= reuse.hub_mean_ms
+
+    if smoke:
+        return
+
+    benchmark.extra_info["mean_none_ms"] = none.mean_ms
+    benchmark.extra_info["mean_reuse_ms"] = reuse.mean_ms
+    benchmark.extra_info["mean_prewarm_ms"] = prewarm.mean_ms
+    benchmark.extra_info["partial_ratio_prewarm"] = prewarm.partial_ratio
+
+    emit_json("layer_reuse", {
+        "workload": {k: v for k, v in kwargs.items() if k != "policies"},
+        "rows": [{
+            "policy": r.policy,
+            "requests": r.requests,
+            "served": r.served,
+            "partials": r.partials,
+            "hub_partials": r.hub_partials,
+            "partial_ratio": r.partial_ratio,
+            "hit_ratio": r.hit_ratio,
+            "mean_ms": r.mean_ms,
+            "p95_ms": r.p95_ms,
+            "hub_mean_ms": r.hub_mean_ms,
+            "saved_compute_s": r.saved_compute_s,
+            "layer_entries_prewarmed": r.layer_entries_prewarmed,
+            "prewarm_bytes": r.prewarm_bytes,
+            "layer_seeded": r.layer_seeded,
+        } for r in rows],
+        "claims": {
+            "reuse_prewarm_mean_vs_none":
+                prewarm.mean_ms / none.mean_ms,
+            "reuse_mean_vs_none": reuse.mean_ms / none.mean_ms,
+            "partial_ratio_prewarm": prewarm.partial_ratio,
+        },
+    })

@@ -8,7 +8,7 @@ trades cache hit ratio against response latency in
 ``BENCH_mobility_handoff.json``.
 """
 
-from conftest import emit, emit_json
+from benchkit import emit, emit_json
 
 from repro.eval.experiments.mobility_exp import run_mobility
 from repro.eval.tables import format_table

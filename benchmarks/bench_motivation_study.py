@@ -10,7 +10,7 @@ as a function of co-location.
 """
 
 import numpy as np
-from conftest import emit
+from benchkit import emit
 
 from repro.eval.tables import format_table
 from repro.render.panorama import PanoramaGrid

@@ -4,7 +4,7 @@ The paper's core premise quantified: the more users share a place, the
 more of the offered IC workload the edge has already computed.
 """
 
-from conftest import emit
+from benchkit import emit
 
 from repro.eval.experiments.sharing import run_sharing
 from repro.eval.tables import format_table

@@ -9,7 +9,7 @@ control plus peer offload (not raw per-box speed) is what holds the
 tail at scale.
 """
 
-from conftest import emit, emit_json
+from benchkit import emit, emit_json
 
 from repro.eval.experiments.overload_exp import POLICY_NAMES, run_overload
 from repro.eval.tables import format_table

@@ -6,7 +6,7 @@ true matches survive (utility), how many foreign objects now match
 (privacy).
 """
 
-from conftest import emit
+from benchkit import emit
 
 from repro.eval.experiments.privacy_exp import run_privacy
 from repro.eval.tables import format_table

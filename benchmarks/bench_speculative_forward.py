@@ -5,7 +5,7 @@ concurrently with extraction+lookup keeps misses at Origin latency, at
 the price of shipping every eventual *hit*'s frame upstream for nothing.
 """
 
-from conftest import emit
+from benchkit import emit
 
 from repro.eval.experiments.speculative import run_speculative
 from repro.eval.tables import format_table

@@ -5,7 +5,7 @@ bench regenerates the trade-off curve: hit ratio rises with the
 threshold, accuracy falls once foreign objects start matching.
 """
 
-from conftest import emit
+from benchkit import emit
 
 from repro.eval.experiments.thresholds import run_threshold_sweep
 from repro.eval.tables import format_table

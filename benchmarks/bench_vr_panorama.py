@@ -5,7 +5,7 @@ stream share panoramic frames; the edge serves repeats without touching
 the backhaul.
 """
 
-from conftest import emit
+from benchkit import emit
 
 from repro.eval.experiments.panorama_exp import run_panorama
 from repro.eval.tables import format_table

@@ -1,0 +1,34 @@
+"""Report/emit helpers shared by the bench modules.
+
+Lives under a unique module name (not ``conftest``) so bench modules
+can ``from benchkit import emit, emit_json`` regardless of which other
+conftest files pytest has loaded — a mixed invocation like ``pytest
+benchmarks/bench_foo.py tests/core/test_bar.py`` binds the bare
+``conftest`` module name to whichever file loads first, which made the
+old ``from conftest import emit`` ambiguous once ``tests/`` gained a
+top-level conftest.  ``benchmarks/conftest.py`` re-exports these for
+its fixtures and the terminal-summary hook.
+"""
+
+import json
+import pathlib
+
+_BLOCKS: list[str] = []
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def emit(text: str) -> None:
+    """Queue a results block for the end-of-run report."""
+    _BLOCKS.append(text)
+
+
+def emit_json(name: str, payload: dict) -> pathlib.Path:
+    """Write machine-readable results to ``BENCH_<name>.json``.
+
+    Sits next to the bench modules so successive full runs leave a
+    commit-able perf trail (ops/sec, entries, speedup vs baseline).
+    """
+    path = _BENCH_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    emit(f"[machine-readable results -> {path}]")
+    return path

@@ -30,30 +30,9 @@ Two run modes (the repo-level ``pytest.ini`` passes
 Bench modules read the mode from the :func:`smoke` fixture.
 """
 
-import json
-import pathlib
-
 import pytest
 
-_BLOCKS: list[str] = []
-_BENCH_DIR = pathlib.Path(__file__).resolve().parent
-
-
-def emit(text: str) -> None:
-    """Queue a results block for the end-of-run report."""
-    _BLOCKS.append(text)
-
-
-def emit_json(name: str, payload: dict) -> pathlib.Path:
-    """Write machine-readable results to ``BENCH_<name>.json``.
-
-    Sits next to the bench modules so successive full runs leave a
-    commit-able perf trail (ops/sec, entries, speedup vs baseline).
-    """
-    path = _BENCH_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    emit(f"[machine-readable results -> {path}]")
-    return path
+from benchkit import _BLOCKS, emit, emit_json  # noqa: F401  (re-export)
 
 
 @pytest.fixture

@@ -1,22 +1,27 @@
 #!/usr/bin/env python3
-"""Concert hall to transit hub: a handoff that ships DNN-layer state.
+"""Concert hall to transit hub: a handoff that ships — and *serves* —
+DNN-layer state.
 
 One edge serves the concert hall, another the transit hub next door.
-During the show the hall's edge accumulates two kinds of reusable IC
-state: recognition *results* for the stage scenes, and — paper §4's
-finer grain — cached *tap-layer activations* keyed by a cheap
-perceptual sketch of the input, so a near-match can resume inference
-mid-network instead of recomputing from the frame.  When the crowd
-pours out toward the hub, the scenario's pre-warm policy
-(``prewarm_top_k`` results + ``prewarm_layers`` activations) pushes the
-hall's hottest entries to the hub ahead of the handoff, paying real
-backhaul bytes for the multi-megabyte activation payloads.
+With ``EdgePolicySpec(layer_reuse=True)`` the request pipeline runs the
+partial-inference stage (paper §4, Potluck-style): every edge-side
+extraction seeds the layer cache with the tap activations it computed
+anyway, and a later capture whose cheap input sketch matches a cached
+intermediate resumes inference mid-network instead of recomputing —
+the ``partial`` outcome, served end to end through the real pipeline
+(no hand-driven manager calls).
 
-Expected output: a table comparing the hub's layer-cache reuse plan for
-a drifted (different-viewpoint) capture before vs after the pre-warm —
-full recompute (~16 GFLOPs) before, resume at a deep layer after — plus
-the pre-warm log line showing how many entries crossed and the bytes
-the transfer paid.
+During the show the fans' captures fill the hall's result *and* layer
+caches.  When the crowd pours out toward the hub, the pre-warm policy
+(``prewarm_top_k`` results + ``prewarm_layers`` activations) pushes the
+hall's hottest entries ahead of the handoff, paying real backhaul
+bytes, so the hub's first drifted re-captures resume from a deep layer
+immediately.
+
+Expected output: a per-phase table showing the drifted re-captures at
+the hub answered with the ``partial`` outcome at a fraction of the
+hall-phase miss latency, the layers they resumed after, and the
+pre-warm log line with the bytes the transfer paid.
 
 Run:  python examples/concert_hall.py
 """
@@ -25,7 +30,7 @@ import os
 
 from repro.core import CoICConfig
 from repro.core.cluster import ClusterDeployment
-from repro.core.layer_cache import input_sketch
+from repro.core.metrics import OUTCOME_PARTIAL
 from repro.core.scenario import (
     ClientSpec,
     EdgePolicySpec,
@@ -34,7 +39,6 @@ from repro.core.scenario import (
     ScenarioSpec,
 )
 from repro.eval import format_table
-from repro.vision.model_zoo import EDGE_CPU_2018
 
 DURATION_S = float(os.environ.get("REPRO_EXAMPLE_DURATION", "30"))
 N_FANS = 4
@@ -52,67 +56,62 @@ def main() -> None:
                                       for i in range(N_FANS))),
                EdgeSpec(name="hub")),
         inter_edge=(InterEdgeLinkSpec(a="hall", b="hub"),),
-        policy=EdgePolicySpec(prewarm_top_k=8, prewarm_layers=6))
+        policy=EdgePolicySpec(layer_reuse=True,
+                              prewarm_top_k=8, prewarm_layers=6))
     dep = ClusterDeployment(spec, config=config)
 
-    # Act 1 — the show: fans recognize the stage scenes (fills the hall
-    # edge's result cache) and the hall's layer manager caches the tap
-    # activations of each scene under its cheap input sketch.
-    hall = dep.layer_managers["hall"]
-    tasks = [dep.recognition_task(scene, viewpoint=0.0, user=f"fan{i}",
-                                  seq=k)
-             for k, (i, scene) in enumerate(
-                 (i, scene) for i in range(N_FANS)
-                 for scene in STAGE_SCENES)]
-    for i, client in enumerate(dep.all_clients):
-        dep.run_tasks(client, tasks[i * len(STAGE_SCENES):
-                                    (i + 1) * len(STAGE_SCENES)])
-    for scene in STAGE_SCENES:
-        sketch = input_sketch(dep.space.observe(scene, 0.0).vector)
-        hall.insert(sketch, now=dep.env.now)
+    # Act 1 — the show: fans recognize the stage scenes through the
+    # pipeline.  The first capture of each scene misses to the cloud;
+    # its extraction seeds the hall's layer cache, so the re-captures
+    # already come back as partial serves.
+    for seq, scene in enumerate(STAGE_SCENES):
+        for i, client in enumerate(dep.all_clients):
+            dep.run_tasks(client, [dep.recognition_task(
+                scene, viewpoint=0.2 * i, user=client.name, seq=seq)])
+    n_hall = len(dep.recorder.records)
 
-    # A fan's next capture at the hub: same scene, but caught from a
-    # wildly different angle — too far for a whole-result reuse, close
-    # enough for the shallow/middle layers.
-    probe = input_sketch(
-        dep.space.observe(STAGE_SCENES[0], 3.0, noise_key=99).vector)
-    hub = dep.layer_managers["hub"]
-    before = hub.plan(probe, now=dep.env.now)
-
-    # Act 2 — the crowd leaves: pre-warm the hub, then hand everyone off.
+    # Act 2 — the crowd leaves: pre-warm the hub, hand everyone off,
+    # then re-capture the stage scenes from wildly drifted viewpoints —
+    # too far for the descriptor cache, close enough for mid layers.
     dep.prewarm("hall", "hub", client_name="fan0")
     for client in dep.all_clients:
         dep.env.process(dep.handoff(client, "hub"))
     dep.run_for(DURATION_S)
-    after = hub.plan(probe, now=dep.env.now)
+    for seq, scene in enumerate(STAGE_SCENES):
+        for i, client in enumerate(dep.all_clients):
+            dep.run_tasks(client, [dep.recognition_task(
+                scene, viewpoint=4.0 + 0.5 * i, user=client.name,
+                seq=100 + seq)])
 
-    full = hub.network.total_gflops
-    rows = [
-        ["before pre-warm", after_name(before), f"{before.compute_gflops:.1f}",
-         f"{100 * (1 - before.compute_gflops / full):.0f}%",
-         f"{hub.compute_time(before, EDGE_CPU_2018) * 1e3:.0f}"],
-        ["after pre-warm", after_name(after), f"{after.compute_gflops:.1f}",
-         f"{100 * (1 - after.compute_gflops / full):.0f}%",
-         f"{hub.compute_time(after, EDGE_CPU_2018) * 1e3:.0f}"],
-    ]
+    rows = []
+    for phase, records in (("hall (show)", dep.recorder.records[:n_hall]),
+                           ("hub (drifted)",
+                            dep.recorder.records[n_hall:])):
+        outcomes = [r.outcome for r in records]
+        partials = [r for r in records if r.outcome == OUTCOME_PARTIAL]
+        resumes = sorted({r.resume_layer for r in partials})
+        mean_ms = sum(r.latency_s for r in records) / len(records) * 1e3
+        rows.append([phase, str(len(records)),
+                     str(outcomes.count("miss")),
+                     str(outcomes.count("hit")), str(len(partials)),
+                     ",".join(resumes) if resumes else "-",
+                     f"{mean_ms:.0f}"])
     print(format_table(
-        ["hub layer cache", "resume after", "gflops left", "saved",
-         "compute ms"],
-        rows, title="drifted re-capture of a stage scene at the hub"))
+        ["phase", "requests", "miss", "hit", "partial", "resumed after",
+         "mean ms"],
+        rows, title="mid-session resume through the request pipeline"))
 
     push = dep.prewarm_log[0]
     print(f"\npre-warm push {push.src_edge}->{push.dst_edge}: "
           f"{push.pushed} results + {push.layer_entries} layer activations, "
           f"{push.size_bytes / 1e6:.1f} MB over the metro link, "
           f"landed at t={push.time_s:.2f}s")
-    print(f"handoffs completed: {len(dep.handoff_log)}; "
-          f"hub cache now holds {len(dep.cache_by_name['hub'])} entries")
+    hub = dep.edge_by_name["hub"]
+    print(f"handoffs completed: {len(dep.handoff_log)}; hub served "
+          f"{hub.partial_served} partials, saving "
+          f"{hub.partial_saved_s:.1f}s of backbone compute")
     print("shipping layer activations costs real backhaul bytes, but the "
           "hub resumes mid-network instead of paying the full backbone.")
-
-
-def after_name(plan) -> str:
-    return plan.resume_after if plan.resume_after is not None else "(nothing)"
 
 
 if __name__ == "__main__":

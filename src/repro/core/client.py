@@ -63,7 +63,10 @@ class CoICClient:
     def __init__(self, env: Environment, rpc: Rpc, name: str,
                  config: "CoICConfig", recognizer: "Recognizer",
                  loader: "ModelLoader", recorder: MetricsRecorder,
-                 edge_name: str = "edge", attach_sketch: bool = False):
+                 edge_name: str = "edge", attach_sketch: bool = False,
+                 shed_retries: int = 0, backoff_rng=None):
+        if shed_retries < 0:
+            raise ValueError("shed_retries must be >= 0")
         self.env = env
         self.rpc = rpc
         self.name = name
@@ -72,6 +75,15 @@ class CoICClient:
         self.loader = loader
         self.recorder = recorder
         self.edge_name = edge_name
+        #: How many times a shed recognition request is re-sent after
+        #: honoring the edge's ``retry_after_s`` hint (0 = give up
+        #: immediately, the pre-backoff behaviour).
+        self.shed_retries = shed_retries
+        #: RNG for the backoff jitter (a retrying crowd must not
+        #: re-stampede in lockstep); None disables the jitter.
+        self.backoff_rng = backoff_rng
+        #: Total shed-backoff re-sends this client performed.
+        self.shed_retried = 0
         #: Attach a cheap perceptual input sketch to recognition
         #: requests (costs SKETCH_COST_S on-device, a few hundred bytes
         #: on the wire) so an affinity balancer can score peers before
@@ -205,11 +217,12 @@ class CoICClient:
             headers["sketch"] = input_sketch(observation.vector)
             size += SKETCH_DIM * 4 + 16
 
-        request = Message(size_bytes=size, kind="ic_request", payload=task,
-                          src=self.name, dst=edge_name,
-                          headers=headers)
-        response = yield self.rpc.call(
-            request, timeout=self.config.request_timeout_s)
+        def first_round() -> Message:
+            return Message(size_bytes=size, kind="ic_request", payload=task,
+                           src=self.name, dst=edge_name,
+                           headers=dict(headers))
+
+        response, retried = yield from self._call_with_backoff(first_round)
 
         if response.kind == "need_input":
             # Two-phase miss: the edge wants the frame after all.
@@ -217,23 +230,73 @@ class CoICClient:
                              "has_input": True, "force_forward": True}
             if "sketch" in headers:
                 retry_headers["sketch"] = headers["sketch"]
-            retry = Message(size_bytes=64 + task.input_bytes,
-                            kind="ic_request", payload=task, src=self.name,
-                            dst=edge_name, headers=retry_headers)
-            response = yield self.rpc.call(
-                retry, timeout=self.config.request_timeout_s)
+
+            def second_round() -> Message:
+                return Message(size_bytes=64 + task.input_bytes,
+                               kind="ic_request", payload=task,
+                               src=self.name, dst=edge_name,
+                               headers=dict(retry_headers))
+
+            # One retry budget spans the whole request: re-sends spent
+            # on the first round are not granted again here.
+            response, more = yield from self._call_with_backoff(
+                second_round, budget=self.shed_retries - retried)
+            retried += more
 
         served_by = response.headers.get("served_by", edge_name)
         if response.kind == "error":
             return OUTCOME_ERROR, None, {"error": response.payload}, served_by
         if response.kind == "shed":
-            # The edge's admission controller refused the request; the
-            # app decides whether to retry, degrade, or drop the frame.
-            return OUTCOME_SHED, None, {"shed": True}, served_by
+            # The edge's admission controller refused the request (and
+            # any backoff retries it was allowed re-shed); the app
+            # decides whether to retry further, degrade, or drop the
+            # frame.  The drain hint is recorded for the metrics layer.
+            detail = {"shed": True,
+                      "retry_after_s": float(
+                          response.headers.get("retry_after_s", 0.0))}
+            if retried:
+                detail["retries"] = retried
+            return OUTCOME_SHED, None, detail, served_by
         result = response.payload
         outcome = response.headers.get("outcome", "unknown")
         correct = result.label == task.frame.object_class
-        return outcome, correct, {"label": result.label}, served_by
+        detail = {"label": result.label}
+        if "resume_layer" in response.headers:
+            # Partial inference: which layer the edge resumed after and
+            # what that saved versus a full pass.
+            detail["resume_layer"] = response.headers["resume_layer"]
+            detail["saved_s"] = float(response.headers.get("saved_s", 0.0))
+        if retried:
+            detail["retries"] = retried
+        return outcome, correct, detail, served_by
+
+    def _call_with_backoff(self, build_request, budget=None):
+        """One recognition round trip, honoring shed ``retry_after_s``.
+
+        Sends ``build_request()`` and, while the edge sheds and retry
+        budget remains (``budget`` defaults to ``shed_retries``), waits
+        out the response's queue-drain hint (jittered by up to +50%
+        when a ``backoff_rng`` is set, so a refused crowd does not
+        re-stampede in lockstep) and re-sends a fresh copy.  Returns
+        ``(final_response, retries_performed)``.  With a zero budget
+        this is exactly one ``rpc.call``.
+        """
+        if budget is None:
+            budget = self.shed_retries
+        response = yield self.rpc.call(
+            build_request(), timeout=self.config.request_timeout_s)
+        retried = 0
+        while response.kind == "shed" and retried < budget:
+            retried += 1
+            self.shed_retried += 1
+            delay = float(response.headers.get("retry_after_s", 0.0))
+            if self.backoff_rng is not None:
+                delay *= 1.0 + float(self.backoff_rng.uniform(0.0, 0.5))
+            if delay > 0:
+                yield self.env.timeout(delay)
+            response = yield self.rpc.call(
+                build_request(), timeout=self.config.request_timeout_s)
+        return response, retried
 
     # -- model loading -----------------------------------------------------------------
 

@@ -406,13 +406,27 @@ class ClusterDeployment(DeploymentDriverMixin):
         # -- layer caches ----------------------------------------------------
         #: Per-edge LayerCacheManager over the edge's own ICCache (one
         #: shared byte budget), built when the policy ships layer
-        #: entries; ``layer_managers[edge_name].insert/plan`` is how
-        #: workloads populate and consume partial-inference state.
+        #: entries (``prewarm_layers``) or serves them
+        #: (``layer_reuse``); ``layer_managers[edge_name].insert/plan``
+        #: is how workloads populate and consume partial-inference
+        #: state, and each edge node carries its own manager so the
+        #: pipeline's layer-reuse stage can plan against it — prewarmed
+        #: and federated ``layer:*`` entries become servable.
         self.layer_managers: dict[str, LayerCacheManager] = {}
-        if spec.policy is not None and spec.policy.prewarm_layers > 0:
-            for name, cache in zip(self.edge_names, self.caches):
-                self.layer_managers[name] = LayerCacheManager(
-                    self._network, cache)
+        if spec.policy is not None and spec.policy.uses_layer_cache:
+            # Reuse thresholds scale with the recognition geometry: the
+            # shallowest tap tolerates twice the drift the coarse
+            # descriptor threshold accepts, the deepest tap (full-result
+            # reuse) is stricter than it — sketch-keyed whole results
+            # must not be easier to reuse than descriptor-matched ones.
+            for name, cache, node in zip(self.edge_names, self.caches,
+                                         self.edges):
+                manager = LayerCacheManager(
+                    self._network, cache,
+                    base_threshold=2.0 * node.match_threshold,
+                    device=node.recognizer.device)
+                self.layer_managers[name] = manager
+                node.layer_manager = manager
 
         # -- clients ---------------------------------------------------------
         # With affinity offload and edge-side extraction, clients attach
@@ -421,13 +435,23 @@ class ClusterDeployment(DeploymentDriverMixin):
         attach_sketch = (spec.policy is not None
                          and spec.policy.offload == "affinity"
                          and cfg.recognition.descriptor_source == "edge")
+        # Shed backoff: the policy's retry budget plus a per-client
+        # jitter stream, so a refused crowd de-synchronizes instead of
+        # re-stampeding on the same drain estimate.  Zero retries (the
+        # default) wires nothing — no extra RNG streams are created.
+        shed_retries = (spec.policy.shed_retries
+                        if spec.policy is not None else 0)
         self.clients_by_edge: list[list[CoICClient]] = []
         for espec in spec.edges:
             row = [CoICClient(self.env, self.rpc, cspec.name, cfg,
                               recognizer=self.mobile_recognizer,
                               loader=self.mobile_loader,
                               recorder=self.recorder, edge_name=espec.name,
-                              attach_sketch=attach_sketch)
+                              attach_sketch=attach_sketch,
+                              shed_retries=shed_retries,
+                              backoff_rng=(self.rng.stream(
+                                  f"client.backoff.{cspec.name}")
+                                  if shed_retries > 0 else None))
                    for cspec in espec.clients]
             self.clients_by_edge.append(row)
         self.all_clients = [c for row in self.clients_by_edge for c in row]

@@ -119,6 +119,15 @@ class EdgeNode:
         self.batched_lookups = 0
         self.lookup_batches = 0
         self.requests_served = 0
+        #: Layer-cache manager over this edge's cache, installed by the
+        #: deployment when the scenario policy ships or serves layer
+        #: activations; the pipeline's layer-reuse stage plans against
+        #: it.  None on the paper's plain edge.
+        self.layer_manager = None
+        #: Partial-inference counters (stay zero without layer_reuse).
+        self.partial_served = 0
+        self.partial_saved_s = 0.0
+        self.layer_seeded = 0
         #: Overload-layer counters (stay zero under the default pipeline).
         self.shed_count = 0
         self.redirect_count = 0
@@ -246,13 +255,21 @@ class EdgeNode:
 
     # -- extraction -----------------------------------------------------------------
 
-    def _extract_descriptor(self, task: RecognitionTask):
-        """Edge-side extraction from the uploaded frame (worker pool)."""
+    def _extract_descriptor(self, task: RecognitionTask, observation=None):
+        """Edge-side extraction from the uploaded frame (worker pool).
+
+        ``observation`` short-circuits the host-side ``extract`` call
+        when a deterministic observation of the same frame is already
+        in hand (the layer-reuse stage computes one for its sketch);
+        the simulated cost — worker slot plus extraction time — is paid
+        either way.
+        """
         slot = self.compute.request()
         yield slot
         try:
             yield self.env.timeout(self.recognizer.extraction_time())
-            observation = self.recognizer.extract(task.frame)
+            if observation is None:
+                observation = self.recognizer.extract(task.frame)
         finally:
             self.compute.release(slot)
         from repro.core.descriptors import VectorDescriptor

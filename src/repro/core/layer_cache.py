@@ -69,11 +69,18 @@ class LayerCacheManager:
         base_threshold: Input-sketch match threshold for the *shallowest*
             tap; deeper taps tighten linearly down to ``tighten`` x base.
         tighten: Threshold multiplier at the deepest tap (0 < tighten <= 1).
+        device: The compute device that produced the cached activations;
+            prices each entry's ``cost_s`` (what re-producing it would
+            cost, in *seconds*) for cost-aware eviction in the shared
+            cache.  None stores the raw GFLOP count instead (legacy
+            behaviour — only comparable to other layer entries, not to
+            result entries priced in seconds).
     """
 
     def __init__(self, network: "DnnModel", cache: ICCache,
                  tap_layers: typing.Sequence[str] | None = None,
-                 base_threshold: float = 0.10, tighten: float = 0.4):
+                 base_threshold: float = 0.10, tighten: float = 0.4,
+                 device: "ComputeDevice | None" = None):
         if not 0 < tighten <= 1:
             raise ValueError("tighten must be in (0, 1]")
         if base_threshold <= 0:
@@ -86,6 +93,7 @@ class LayerCacheManager:
             network.layer_index(name)  # validate
         self.base_threshold = base_threshold
         self.tighten = tighten
+        self.device = device
 
     # -- thresholds -------------------------------------------------------------
 
@@ -102,44 +110,138 @@ class LayerCacheManager:
     def _kind(layer_name: str) -> str:
         return f"{LAYER_KIND_PREFIX}{layer_name}"
 
+    # -- tap selection -----------------------------------------------------------
+
+    def layers_through(self, layer_name: str) -> list[str]:
+        """Tap layers at or before ``layer_name`` (network order).
+
+        What an extraction pass leaves behind: the backbone runs every
+        layer up to the feature tap, so exactly these taps' activations
+        exist and can be cached for free.
+        """
+        cutoff = self.network.layer_index(layer_name)
+        return [name for name in self.tap_layers
+                if self.network.layer_index(name) <= cutoff]
+
+    def layers_after(self, layer_name: str) -> list[str]:
+        """Tap layers strictly after ``layer_name`` (network order).
+
+        What a partial inference resumed at ``layer_name`` computes for
+        the *current* input — the only activations that are fresh enough
+        to re-cache under the new input's sketch.
+        """
+        cutoff = self.network.layer_index(layer_name)
+        return [name for name in self.tap_layers
+                if self.network.layer_index(name) > cutoff]
+
     # -- operations --------------------------------------------------------------
 
     def insert(self, sketch: np.ndarray, now: float = 0.0,
-               layers: typing.Sequence[str] | None = None) -> int:
+               layers: typing.Sequence[str] | None = None,
+               result: typing.Any = None) -> int:
         """Cache activations of ``layers`` (default: all taps) under the
-        input sketch.  Returns how many entries were stored."""
+        input sketch.  Returns how many entries were stored.
+
+        ``result`` attaches the inference result produced for this
+        input to the *final-layer* tap (the last layer's activation is
+        the result), so a later full-result reuse returns what was
+        actually cached — a false sketch match then surfaces as an
+        incorrect record instead of being silently oracle-corrected.
+        """
+        final_layer = self.network.layers[-1].name
+        targets = list(layers if layers is not None else self.tap_layers)
+        if result is not None and final_layer not in targets:
+            # Silently dropping the result would invisibly disable
+            # full-result reuse (servable() rejects marker-only final
+            # taps) — surface the misconfiguration instead.
+            raise ValueError(
+                f"cannot attach a result: final layer {final_layer!r} "
+                f"is not among the inserted taps {targets!r}")
         stored = 0
-        for name in (layers if layers is not None else self.tap_layers):
+        for name in targets:
             layer = self.network.layer(name)
             descriptor = VectorDescriptor(kind=self._kind(name),
                                           vector=sketch)
+            payload = ("activation", name)
+            size_bytes = layer.output_bytes
+            if result is not None and name == final_layer:
+                payload = ("activation", name, result)
+                # The attached result rides the entry through capacity
+                # accounting and prewarm/federation transfers — it must
+                # pay its own bytes, like any cached result.
+                size_bytes += getattr(result, "size_bytes", 64)
+            gflops = self.network.gflops_between(None, name)
             entry = self.cache.insert(
-                descriptor, result=("activation", name),
-                size_bytes=layer.output_bytes, now=now,
-                cost_s=self.network.gflops_between(None, name))
+                descriptor, result=payload,
+                size_bytes=size_bytes, now=now,
+                cost_s=(self.device.seconds_for_gflops(gflops)
+                        if self.device is not None else gflops))
             if entry is not None:
                 stored += 1
         return stored
 
-    def plan(self, sketch: np.ndarray, now: float = 0.0) -> LayerReusePlan:
-        """Find the deepest reusable layer for this input sketch."""
-        descriptor_cache: dict[str, VectorDescriptor] = {}
-        final_layer = self.network.layers[-1].name
-        # Walk taps deep-to-shallow: the deepest acceptable match wins.
+    @staticmethod
+    def cached_result(entry) -> typing.Any:
+        """The inference result riding a final-layer cache entry, or
+        None when the entry carries only the activation marker."""
+        payload = entry.result
+        if isinstance(payload, tuple) and len(payload) > 2:
+            return payload[2]
+        return None
+
+    def servable(self, layer_name: str, entry) -> bool:
+        """Can a probe match at ``layer_name`` actually be served?
+
+        A final-tap match is a *full-result* reuse: there are no layers
+        left to run, so the entry must carry the result itself — a
+        marker-only entry (legacy :meth:`insert` without ``result``)
+        has nothing to return.  Matches at any other tap resume real
+        compute and are always servable.
+        """
+        return (layer_name != self.network.layers[-1].name
+                or self.cached_result(entry) is not None)
+
+    def probe_sequence(self) -> typing.Iterator[tuple[str, str, float]]:
+        """``(layer_name, cache_kind, threshold)`` triples deep-to-shallow.
+
+        The probe order behind :meth:`plan`, exposed so simulated
+        callers (the pipeline's layer-reuse stage) can pay each probe's
+        lookup cost at the simulated instant it happens instead of
+        batching the charge.
+        """
         for name in reversed(self.tap_layers):
-            descriptor = descriptor_cache.setdefault(
-                name, VectorDescriptor(kind=self._kind(name), vector=sketch))
-            entry = self.cache.lookup(descriptor, now=now,
-                                      threshold=self.threshold_for(name))
-            if entry is None:
-                continue
-            remaining = self.network.gflops_between(name, final_layer)
-            return LayerReusePlan(resume_after=name,
-                                  compute_gflops=remaining,
-                                  full_result=(name == final_layer))
-        return LayerReusePlan(resume_after=None,
-                              compute_gflops=self.network.total_gflops,
-                              full_result=False)
+            yield name, self._kind(name), self.threshold_for(name)
+
+    def plan_for(self, resume_after: str | None) -> LayerReusePlan:
+        """The plan for a probe walk that matched at ``resume_after``
+        (None = nothing matched, full recompute)."""
+        if resume_after is None:
+            return LayerReusePlan(resume_after=None,
+                                  compute_gflops=self.network.total_gflops,
+                                  full_result=False)
+        final_layer = self.network.layers[-1].name
+        return LayerReusePlan(
+            resume_after=resume_after,
+            compute_gflops=self.network.gflops_between(resume_after,
+                                                       final_layer),
+            full_result=(resume_after == final_layer))
+
+    def plan(self, sketch: np.ndarray, now: float = 0.0) -> LayerReusePlan:
+        """Find the deepest reusable layer for this input sketch.
+
+        Agrees with the pipeline's serving walk: a final-tap match
+        without an attached result is not :meth:`servable` and is
+        skipped, so plan() never promises a free full-result reuse the
+        serving stage would decline.
+        """
+        # Walk taps deep-to-shallow: the deepest servable match wins.
+        for name, kind, threshold in self.probe_sequence():
+            entry = self.cache.lookup(
+                VectorDescriptor(kind=kind, vector=sketch),
+                now=now, threshold=threshold)
+            if entry is not None and self.servable(name, entry):
+                return self.plan_for(name)
+        return self.plan_for(None)
 
     def compute_time(self, plan: LayerReusePlan,
                      device: "ComputeDevice") -> float:

@@ -20,6 +20,7 @@ OUTCOME_ORIGIN = "origin"   # baseline: offload without cache
 OUTCOME_LOCAL = "local"     # baseline: on-device execution
 OUTCOME_ERROR = "error"
 OUTCOME_SHED = "shed"       # refused by an overloaded edge's admission
+OUTCOME_PARTIAL = "partial"  # served by partial inference from a cached layer
 
 
 @dataclasses.dataclass(frozen=True)
@@ -45,6 +46,16 @@ class RequestRecord:
     @property
     def latency_s(self) -> float:
         return self.end_s - self.start_s
+
+    @property
+    def resume_layer(self) -> str | None:
+        """The layer a ``partial`` serve resumed after (else None)."""
+        return self.detail.get("resume_layer")
+
+    @property
+    def saved_s(self) -> float:
+        """Compute seconds a ``partial`` serve saved vs full inference."""
+        return float(self.detail.get("saved_s", 0.0))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -77,6 +88,23 @@ class LatencySummary:
             min=float(arr.min()),
             max=float(arr.max()),
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class PartialSummary:
+    """Per-edge partial-inference aggregate.
+
+    Attributes:
+        served: Cache-served requests (hit + miss + partial) at the edge.
+        partials: How many of them partial inference answered.
+        ratio: ``partials / served``.
+        saved_s: Summed compute seconds saved vs full inference.
+    """
+
+    served: int
+    partials: int
+    ratio: float
+    saved_s: float
 
 
 class MetricsRecorder:
@@ -123,6 +151,56 @@ class MetricsRecorder:
         misses = len(self.select(task_kind=task_kind, outcome=OUTCOME_MISS))
         total = hits + misses
         return hits / total if total else 0.0
+
+    def partial_ratio(self, task_kind: str | None = None) -> float:
+        """partial / (hits + misses + partials) among cache-served outcomes.
+
+        How much of the served load partial inference absorbed.  Shed
+        and error outcomes are excluded, mirroring :meth:`hit_ratio`
+        (which itself keeps counting only full hits — a partial serve
+        is cheaper than a miss but is not a coarse-cache hit).
+        """
+        partials = len(self.select(task_kind=task_kind,
+                                   outcome=OUTCOME_PARTIAL))
+        hits = len(self.select(task_kind=task_kind, outcome=OUTCOME_HIT))
+        misses = len(self.select(task_kind=task_kind, outcome=OUTCOME_MISS))
+        total = hits + misses + partials
+        return partials / total if total else 0.0
+
+    def saved_compute_s(self, task_kind: str | None = None,
+                        edge: str | None = None) -> float:
+        """Total compute seconds partial serves saved vs full inference.
+
+        Sums the ``saved_s`` of every ``partial`` record (optionally
+        restricted to one task kind / serving edge) — the aggregate the
+        layer-reuse bench reports next to the latency distribution.
+        """
+        return sum(r.saved_s for r in self.select(
+            task_kind=task_kind, outcome=OUTCOME_PARTIAL, edge=edge))
+
+    def per_edge_partials(self, task_kind: str | None = None
+                          ) -> dict[str, "PartialSummary"]:
+        """Partial-inference breakdown keyed by serving edge id.
+
+        Which box is actually resuming from cached layers once prewarm
+        and federation move activation entries around.  Edges that
+        served requests but no partials report a zero row; baseline
+        records (no edge tag) group under ``""``.
+        """
+        groups: dict[str, list[RequestRecord]] = {}
+        for record in self.select(task_kind=task_kind):
+            if record.outcome not in (OUTCOME_HIT, OUTCOME_MISS,
+                                      OUTCOME_PARTIAL):
+                continue
+            groups.setdefault(record.edge, []).append(record)
+        out = {}
+        for edge, records in groups.items():
+            partials = [r for r in records if r.outcome == OUTCOME_PARTIAL]
+            out[edge] = PartialSummary(
+                served=len(records), partials=len(partials),
+                ratio=len(partials) / len(records),
+                saved_s=sum(r.saved_s for r in partials))
+        return out
 
     def accuracy(self, task_kind: str | None = None) -> float:
         """Fraction of correctness-checked requests that were correct.

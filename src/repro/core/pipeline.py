@@ -22,6 +22,13 @@ map onto Figure 1 of the paper (the middle "MEC platform" box):
 5. **respond** — "send IC result": one response message back to the
    client, tagged with the serving edge id.
 
+With ``EdgePolicySpec.layer_reuse`` a sixth stage, **layer_reuse**
+(:class:`LayerReuseStage`), sits between classify and lookup: it plans
+partial inference from the edge's cached DNN-layer activations (paper
+§4 / Potluck) and, when resuming beats full inference, serves the
+request for the remaining layers' compute only — the ``partial``
+outcome.
+
 The default chain (:func:`default_pipeline`) reproduces the historical
 ``EdgeNode`` behaviour *byte-identically* — same simulated yields in the
 same order — which the golden-digest tests in
@@ -41,7 +48,12 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.core.metrics import OUTCOME_HIT, OUTCOME_MISS, OUTCOME_SHED
+from repro.core.metrics import (
+    OUTCOME_HIT,
+    OUTCOME_MISS,
+    OUTCOME_PARTIAL,
+    OUTCOME_SHED,
+)
 from repro.core.tasks import ModelLoadTask, PanoramaTask, RecognitionTask
 from repro.net.message import Message
 
@@ -71,6 +83,13 @@ class RequestContext:
         entry: The cache entry on a hit, else None.
         speculative: In-flight hedged cloud call (speculative forward).
         spec_started: Simulated time the speculative call started.
+        layer_sketch: The request's cheap input sketch, set by the
+            layer-reuse stage (even when it declines to serve) so the
+            lookup stage can seed the layer cache with the taps its
+            extraction computes anyway.  None under the default chain.
+        layer_observation: The deterministic observation the layer-reuse
+            stage extracted for its sketch, reused by the lookup stage's
+            extraction so the same frame is not re-embedded host-side.
         result: The IC result to return (set by resolve on a hit).
         outcome: Outcome header value for the respond stage.
         extra_headers: Extra response headers (e.g. ``coalesced``).
@@ -86,6 +105,8 @@ class RequestContext:
     entry: typing.Any = None
     speculative: "Event | None" = None
     spec_started: float = 0.0
+    layer_sketch: typing.Any = None
+    layer_observation: typing.Any = None
     result: typing.Any = None
     outcome: str = ""
     extra_headers: dict = dataclasses.field(default_factory=dict)
@@ -132,6 +153,162 @@ class ClassifyStage(Stage):
         yield from _noop()
 
 
+class LayerReuseStage(Stage):
+    """Serve recognition by partial inference from cached DNN layers.
+
+    The missing half of the Potluck-style reuse loop (paper §4): PR 4
+    *transports* ``layer:*`` activation entries between edges (handoff
+    pre-warm, federation sync) but the serving path never read them.
+    This stage sits between classify and lookup when
+    ``EdgePolicySpec.layer_reuse`` is set and short-circuits the
+    expensive extract -> lookup -> cloud-forward path whenever a cached
+    intermediate is close enough to resume from:
+
+    1. Compute the request's cheap input sketch (milliseconds, not a
+       backbone pass) — or reuse the ``sketch`` header affinity-enabled
+       clients already attach.
+    2. :meth:`~repro.core.layer_cache.LayerCacheManager.plan` against
+       the edge's layer cache, paying one lookup per probed tap.
+    3. If the plan resumes at some layer and saves at least
+       ``layer_plan_margin_s`` versus full inference on this device,
+       run only the remaining layers on the worker pool and answer with
+       the ``partial`` outcome (headers carry ``resume_layer`` and
+       ``saved_s``).  The freshly computed activations — and, when the
+       resume point is shallower than the feature tap, the resulting
+       descriptor + result — are inserted back into the caches so reuse
+       compounds across drift chains.
+    4. Otherwise decline: the request continues down the default chain
+       unchanged, except that the sketch is left on the context so the
+       lookup stage's extraction seeds the layer cache for next time.
+
+    Only edge-extracted recognition requests are gated (client-computed
+    descriptors make the coarse lookup cheap enough that racing it with
+    a sketch probe is not worth the complexity), and only when the
+    frame actually crossed the access link (``has_input``) — resuming
+    layers needs the input.
+    """
+
+    name = "layer_reuse"
+
+    def __init__(self, spec: "EdgePolicySpec"):
+        self.spec = spec
+
+    def __repr__(self) -> str:
+        return (f"LayerReuseStage("
+                f"margin_s={self.spec.layer_plan_margin_s!r})")
+
+    def run(self, edge: "EdgeNode", ctx: RequestContext):
+        manager = edge.layer_manager
+        if (manager is None or not isinstance(ctx.task, RecognitionTask)
+                or ctx.skip_lookup or ctx.descriptor is not None
+                or not ctx.msg.headers.get("has_input", False)):
+            yield from _noop()
+            return
+        from repro.core.descriptors import VectorDescriptor
+        from repro.core.index import SKETCH_COST_S, input_sketch
+
+        observation = None
+        sketch = ctx.msg.headers.get("sketch")
+        if sketch is None:
+            if ctx.task.frame.capture_id < 0:
+                # Legacy frames draw fresh extraction noise from the
+                # recognizer's RNG on every extract(): a sketch taken
+                # here would key a different observation than the later
+                # descriptor (and perturb the stream).  Same gate as the
+                # client's sketch attachment — deterministic captures
+                # only.
+                return
+            # The edge pays the perceptual-sketch pass itself; clients
+            # running affinity offload shipped one already.
+            yield edge.env.timeout(SKETCH_COST_S)
+            observation = edge.recognizer.extract(ctx.task.frame)
+            sketch = input_sketch(observation.vector)
+            ctx.layer_observation = observation
+        ctx.layer_sketch = sketch
+        # Walk the taps deep-to-shallow, paying each probe's lookup
+        # cost at the instant it runs (same pay-then-probe convention
+        # as every other lookup path, so expiry and recency are judged
+        # at the true probe time); the deepest acceptable match wins.
+        resume_after = None
+        matched = None
+        for name, kind, threshold in manager.probe_sequence():
+            yield edge.env.timeout(manager.cache.lookup_cost_s(kind))
+            found = manager.cache.lookup(
+                VectorDescriptor(kind=kind, vector=sketch),
+                now=edge.env.now, threshold=threshold)
+            if found is None or not manager.servable(name, found):
+                # No match — or a marker-only final-tap entry with no
+                # result to return — keep walking; a shallower tap can
+                # still resume the pass.
+                continue
+            matched, resume_after = found, name
+            break
+        plan = manager.plan_for(resume_after)
+        if plan.resume_after is None:
+            return
+        partial_s = manager.compute_time(plan, edge.recognizer.device)
+        saved_s = edge.recognizer.inference_time() - partial_s
+        if saved_s < self.spec.layer_plan_margin_s:
+            return
+        yield from self._serve_partial(edge, ctx, manager, plan, matched,
+                                       partial_s, saved_s, observation)
+
+    def _serve_partial(self, edge: "EdgeNode", ctx: RequestContext,
+                       manager, plan, matched, partial_s: float,
+                       saved_s: float, observation=None):
+        """Run the remaining layers, refresh the caches, respond."""
+        if partial_s > 0:
+            # Full-result reuse runs no layers at all, so it must not
+            # queue behind the extraction backlog — zero compute takes
+            # zero slot time, exactly when the edge is busiest.
+            slot = edge.compute.request()
+            yield slot
+            try:
+                yield edge.env.timeout(partial_s)
+            finally:
+                edge.compute.release(slot)
+        # Full-result reuse returns what the cache actually holds — the
+        # result stored with the final-layer entry (the probe walk only
+        # accepts final-tap matches that carry one) — so a false sketch
+        # match is scored incorrect, exactly like a false coarse hit.
+        # Resumed passes produce a fresh result (the oracle; accuracy
+        # modelling for mid-network drift is a ROADMAP item).
+        result = (manager.cached_result(matched) if plan.full_result
+                  else edge.recognizer.recognize(ctx.task.frame))
+        if not plan.full_result:
+            # Re-cache what the resumed pass actually computed: the taps
+            # after the resume point under *this* input's sketch, plus —
+            # when the pass re-ran the feature tap — the descriptor and
+            # result, so near-identical recaptures hit the coarse cache.
+            yield edge.env.timeout(edge.config.cache.insert_ms / 1e3)
+            taps = manager.layers_after(plan.resume_after)
+            # Custom tap subsets may omit the final layer; the result
+            # can only ride a final-layer entry.
+            attach = (result if manager.network.layers[-1].name in taps
+                      else None)
+            manager.insert(ctx.layer_sketch, now=edge.env.now,
+                           layers=taps, result=attach)
+            network = manager.network
+            if (network.layer_index(plan.resume_after)
+                    < network.layer_index(network.feature_layer)):
+                from repro.core.descriptors import VectorDescriptor
+
+                if observation is None:
+                    observation = edge.recognizer.extract(ctx.task.frame)
+                descriptor = VectorDescriptor(kind=ctx.task.kind,
+                                              vector=observation.vector)
+                edge.cache.insert(descriptor, result, result.size_bytes,
+                                  now=edge.env.now, cost_s=partial_s)
+        edge.partial_served += 1
+        edge.partial_saved_s += saved_s
+        yield edge._respond(ctx.msg, size_bytes=result.size_bytes,
+                            payload=result, kind="ic_result",
+                            headers={"outcome": OUTCOME_PARTIAL,
+                                     "resume_layer": plan.resume_after,
+                                     "saved_s": saved_s})
+        ctx.responded = True
+
+
 class LookupStage(Stage):
     """Descriptor extraction (if needed) and the cache probe."""
 
@@ -158,7 +335,19 @@ class LookupStage(Stage):
             ctx.speculative = edge.rpc.call(
                 forward, timeout=edge.config.request_timeout_s)
         if ctx.descriptor is None:
-            ctx.descriptor = yield from edge._extract_descriptor(ctx.task)
+            ctx.descriptor = yield from edge._extract_descriptor(
+                ctx.task, observation=ctx.layer_observation)
+            if ctx.layer_sketch is not None and edge.layer_manager is not None:
+                # Layer reuse is on and the backbone just ran: cache the
+                # taps it computed (input .. feature layer) under this
+                # request's sketch, so the *next* drifted capture can
+                # resume mid-network instead of recomputing.
+                yield edge.env.timeout(edge.config.cache.insert_ms / 1e3)
+                manager = edge.layer_manager
+                edge.layer_seeded += manager.insert(
+                    ctx.layer_sketch, now=edge.env.now,
+                    layers=manager.layers_through(
+                        manager.network.feature_layer))
         ctx.entry = yield from edge._batched_lookup(ctx.descriptor,
                                                     edge.match_threshold)
 
@@ -259,6 +448,17 @@ class Pipeline:
         stages = [stage if s.name == name else s for s in self.stages]
         if stage not in stages:
             raise KeyError(f"no stage named {name!r}")
+        return Pipeline(stages)
+
+    def insert_after(self, name: str, stage: Stage) -> "Pipeline":
+        """A new pipeline with ``stage`` inserted after stage ``name``."""
+        if name not in self.stage_names:
+            raise KeyError(f"no stage named {name!r}")
+        stages: list[Stage] = []
+        for existing in self.stages:
+            stages.append(existing)
+            if existing.name == name:
+                stages.append(stage)
         return Pipeline(stages)
 
     def process(self, edge: "EdgeNode", msg: Message):
@@ -480,7 +680,9 @@ class AdmissionControlStage(AdmitStage):
             edge.shed_count += 1
             yield edge._respond(ctx.msg, size_bytes=96, payload=None,
                                 kind="shed",
-                                headers={"outcome": OUTCOME_SHED})
+                                headers={"outcome": OUTCOME_SHED,
+                                         "retry_after_s":
+                                             self.retry_after_s(edge)})
             ctx.responded = True
         elif self.spec.admission == "redirect":
             if not ctx.msg.headers.get("has_input", False):
@@ -497,6 +699,19 @@ class AdmissionControlStage(AdmitStage):
             ctx.responded = True
         # admission == "none": admit despite the backlog (offload-only
         # policies fall back to queueing when every peer is busy too).
+
+    @staticmethod
+    def retry_after_s(edge: "EdgeNode") -> float:
+        """Queue-drain estimate shipped with every shed response.
+
+        How long until a worker slot frees up given the current backlog
+        — the same deterministic service-time model the deadline
+        trigger uses — so clients can back off for roughly one drain
+        period instead of guessing.
+        """
+        backlog = edge.compute.queue_length
+        per_slot = edge.recognizer.extraction_time()
+        return ((backlog + 1) / edge.compute.capacity) * per_slot
 
     @staticmethod
     def _affinity_key(ctx: RequestContext):
@@ -548,4 +763,6 @@ def build_pipeline(policy: "EdgePolicySpec | None" = None,
     if policy is not None and policy.gates_admission:
         pipeline = pipeline.replace(
             "admit", AdmissionControlStage(policy, balancer=balancer))
+    if policy is not None and policy.layer_reuse:
+        pipeline = pipeline.insert_after("classify", LayerReuseStage(policy))
     return pipeline

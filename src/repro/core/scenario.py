@@ -281,6 +281,28 @@ class EdgePolicySpec:
             the handoff target can resume inference mid-network instead
             of recomputing.  Enables the per-edge layer-cache managers
             on the deployment.  0 disables layer pre-warm.
+        layer_reuse: Serve recognition requests by *partial inference*
+            when a cached DNN-layer activation matches the request's
+            cheap input sketch: the pipeline gains a
+            :class:`~repro.core.pipeline.LayerReuseStage` between
+            classify and lookup that plans against the edge's layer
+            cache, pays only the remaining layers' compute on a usable
+            plan, and answers with the ``partial`` outcome.  Also
+            enables the per-edge layer-cache managers and seeds them
+            with the taps every edge-side extraction computes anyway,
+            so reuse compounds without any out-of-band population.
+        layer_plan_margin_s: A reuse plan is only served when it saves
+            at least this many seconds versus full inference on the
+            edge device (``full_inference_s - partial_s >= margin``).
+            0 accepts any resuming plan.  Ignored unless
+            ``layer_reuse`` is set.
+        shed_retries: How many times a client re-sends a shed
+            recognition request after backing off for the response's
+            ``retry_after_s`` queue-drain hint (jittered per client so
+            a refused crowd does not re-stampede).  The deployment
+            wires this into every :class:`~repro.core.client
+            .CoICClient`.  0 keeps the pre-backoff behaviour: the app
+            sees the ``shed`` outcome immediately.
     """
 
     admission: str = "none"
@@ -291,6 +313,9 @@ class EdgePolicySpec:
     summary_refresh_s: float = 5.0
     prewarm_top_k: int = 0
     prewarm_layers: int = 0
+    layer_reuse: bool = False
+    layer_plan_margin_s: float = 0.0
+    shed_retries: int = 0
 
     def __post_init__(self) -> None:
         _require(self.admission in ("none", "shed", "redirect"),
@@ -307,11 +332,19 @@ class EdgePolicySpec:
         _require(self.summary_refresh_s > 0, "summary_refresh_s must be > 0")
         _require(self.prewarm_top_k >= 0, "prewarm_top_k must be >= 0")
         _require(self.prewarm_layers >= 0, "prewarm_layers must be >= 0")
+        _require(self.layer_plan_margin_s >= 0,
+                 "layer_plan_margin_s must be >= 0")
+        _require(self.shed_retries >= 0, "shed_retries must be >= 0")
 
     @property
     def gates_admission(self) -> bool:
         """Does this policy need the admission-control stage at all?"""
         return self.admission != "none" or self.offload != "none"
+
+    @property
+    def uses_layer_cache(self) -> bool:
+        """Does this policy need per-edge layer-cache managers built?"""
+        return self.prewarm_layers > 0 or self.layer_reuse
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)

@@ -13,6 +13,7 @@ Module                Reproduces
 ``panorama_exp``      A6 — VR panorama streaming benefit
 ``index_scaling``     A7 — linear vs LSH descriptor index scaling
 ``speculative``       A8 — speculative cloud forwarding on misses
+``layer_reuse_exp``   A13 — partial-inference serving from the layer caches
 ====================  =======================================================
 """
 

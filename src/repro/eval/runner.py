@@ -44,6 +44,7 @@ def _bootstrap() -> None:
     from repro.eval.experiments.fig2a import run_fig2a
     from repro.eval.experiments.fig2b import run_fig2b
     from repro.eval.experiments.index_scaling import run_index_scaling
+    from repro.eval.experiments.layer_reuse_exp import run_layer_reuse
     from repro.eval.experiments.layers import run_layer_cache
     from repro.eval.experiments.mobility_exp import run_mobility
     from repro.eval.experiments.overload_exp import run_overload
@@ -68,6 +69,7 @@ def _bootstrap() -> None:
         "mobility": run_mobility,
         "overload": run_overload,
         "affinity": run_affinity,
+        "layer_reuse": run_layer_reuse,
     })
 
 

@@ -14,8 +14,6 @@ import numpy as np
 import pytest
 
 from repro.core.cache import CacheSummary, ICCache
-from repro.core.cluster import ClusterDeployment
-from repro.core.config import CoICConfig
 from repro.core.descriptors import HashDescriptor, VectorDescriptor
 from repro.core.index import (
     AffinitySketch,
@@ -256,33 +254,28 @@ class TestAffinityLoadBalancer:
 # -- deployment-level behaviour ----------------------------------------------
 
 
-def affinity_spec(offload="affinity", refresh=1.0, warm_edges=("edge2",)):
-    return ScenarioSpec(
-        edges=(EdgeSpec(name="edge0",
-                        clients=tuple(ClientSpec(name=f"m{i}")
-                                      for i in range(3))),
-               EdgeSpec(name="edge1"),
-               EdgeSpec(name="edge2")),
-        inter_edge=(InterEdgeLinkSpec(a="edge0", b="edge1"),
-                    InterEdgeLinkSpec(a="edge0", b="edge2"),
-                    InterEdgeLinkSpec(a="edge1", b="edge2")),
-        warmup=WarmupSpec(classes=(1, 2, 3), edges=tuple(warm_edges)),
-        policy=EdgePolicySpec(offload=offload, queue_limit=0,
-                              offload_margin=0, summary_refresh_s=refresh))
+@pytest.fixture
+def affinity_dep(make_spec, make_deployment):
+    """Deployment factory for the 3-edge affinity scenario: hot
+    ``edge0`` (all the clients), idle ``edge1``/``edge2``, warm-up on
+    ``warm_edges``, full metro mesh, standard 2-worker test config."""
 
+    def factory(offload="affinity", refresh=1.0, warm_edges=("edge2",),
+                seed=0):
+        spec = make_spec(
+            clients=(("m0", "m1", "m2"), (), ()),
+            warmup=WarmupSpec(classes=(1, 2, 3), edges=tuple(warm_edges)),
+            policy=EdgePolicySpec(offload=offload, queue_limit=0,
+                                  offload_margin=0,
+                                  summary_refresh_s=refresh))
+        return make_deployment(spec=spec, seed=seed, edge_workers=2)
 
-def small_config(seed=0):
-    cfg = CoICConfig(seed=seed)
-    cfg.network.wifi_mbps = 100
-    cfg.network.backhaul_mbps = 10
-    cfg.edge_workers = 2
-    return cfg
+    return factory
 
 
 class TestSummaryGossip:
-    def test_no_summaries_before_the_first_interval(self):
-        dep = ClusterDeployment(affinity_spec(refresh=5.0),
-                                config=small_config())
+    def test_no_summaries_before_the_first_interval(self, affinity_dep):
+        dep = affinity_dep(refresh=5.0)
         dep.run_for(4.9)
         assert dep.summaries_sent == 0
         assert all(e.peer_summaries == {} for e in dep.edges)
@@ -291,24 +284,22 @@ class TestSummaryGossip:
         assert dep.summaries_sent == 6
         assert all(e.summaries_received == 2 for e in dep.edges)
 
-    def test_gossiped_summary_reflects_warmup(self):
-        dep = ClusterDeployment(affinity_spec(refresh=1.0),
-                                config=small_config())
+    def test_gossiped_summary_reflects_warmup(self, affinity_dep):
+        dep = affinity_dep(refresh=1.0)
         dep.run_for(1.2)
         view = dep.edges[0].peer_summaries
         assert set(view) == {"edge1", "edge2"}
         assert view["edge2"].kinds == {"recognition": 3}
         assert view["edge1"].kinds == {}
 
-    def test_gossip_only_runs_for_affinity_policies(self):
-        dep = ClusterDeployment(affinity_spec(offload="least_loaded"),
-                                config=small_config())
+    def test_gossip_only_runs_for_affinity_policies(self, affinity_dep):
+        dep = affinity_dep(offload="least_loaded")
         dep.run_for(3.0)
         assert dep.summaries_sent == 0
 
-    def test_gossip_and_offload_are_deterministic(self):
+    def test_gossip_and_offload_are_deterministic(self, affinity_dep):
         def one_run():
-            dep = ClusterDeployment(affinity_spec(), config=small_config())
+            dep = affinity_dep()
             tasks = [dep.recognition_task(cls, viewpoint=0.1 * i,
                                           user="m0", seq=i)
                      for i, cls in enumerate((1, 2, 3, 9, 1, 2))]
@@ -323,8 +314,8 @@ class TestSummaryGossip:
 
         assert one_run() == one_run()
 
-    def test_affinity_offload_targets_the_warm_edge(self):
-        dep = ClusterDeployment(affinity_spec(), config=small_config())
+    def test_affinity_offload_targets_the_warm_edge(self, affinity_dep):
+        dep = affinity_dep()
         dep.run_for(1.5)  # summaries in place
         record = dep.run_tasks(dep.client_by_name["m0"],
                                [dep.recognition_task(2, viewpoint=0.1)])[0]
@@ -332,8 +323,9 @@ class TestSummaryGossip:
         assert record.edge == "edge2"
         assert dep.balancer.affinity_picks >= 1
 
-    def test_before_gossip_affinity_falls_back_to_least_loaded(self):
-        dep = ClusterDeployment(affinity_spec(), config=small_config())
+    def test_before_gossip_affinity_falls_back_to_least_loaded(
+            self, affinity_dep):
+        dep = affinity_dep()
         # No gossip yet: pick must match least-loaded (edge1, first
         # registered among equally idle neighbours) — a miss there.
         record = dep.run_tasks(dep.client_by_name["m0"],
@@ -396,18 +388,17 @@ class TestPolicyKnobs:
         with pytest.raises(ValueError):
             EdgeSpec(name="e", cache_mb=0.0)
 
-    def test_cache_mb_overrides_deployment_capacity(self):
+    def test_cache_mb_overrides_deployment_capacity(self, make_deployment):
         spec = ScenarioSpec(edges=(EdgeSpec(name="big", cache_mb=1.0),
                                    EdgeSpec(name="small", cache_mb=0.01)))
-        dep = ClusterDeployment(spec, config=small_config())
+        dep = make_deployment(spec=spec, edge_workers=2)
         assert dep.cache_by_name["big"].capacity_bytes == 1_000_000
         assert dep.cache_by_name["small"].capacity_bytes == 10_000
 
-    def test_clients_attach_sketch_only_for_affinity(self):
-        dep = ClusterDeployment(affinity_spec(), config=small_config())
+    def test_clients_attach_sketch_only_for_affinity(self, affinity_dep):
+        dep = affinity_dep()
         assert all(c.attach_sketch for c in dep.all_clients)
-        dep = ClusterDeployment(affinity_spec(offload="least_loaded"),
-                                config=small_config())
+        dep = affinity_dep(offload="least_loaded")
         assert not any(c.attach_sketch for c in dep.all_clients)
 
 
@@ -424,8 +415,8 @@ def layer_spec(prewarm_layers=4, prewarm_top_k=2):
 
 
 class TestLayerPrewarmTransport:
-    def test_layer_entries_ride_the_prewarm_push(self):
-        dep = ClusterDeployment(layer_spec(), config=small_config())
+    def test_layer_entries_ride_the_prewarm_push(self, make_deployment):
+        dep = make_deployment(spec=layer_spec(), edge_workers=2)
         manager = dep.layer_managers["edge0"]
         sketch = layer_input_sketch(dep.space.observe(5, 0.0).vector)
         manager.insert(sketch, now=0.0)
@@ -444,15 +435,16 @@ class TestLayerPrewarmTransport:
         plan = dep.layer_managers["edge1"].plan(sketch, now=dep.env.now)
         assert plan.resume_after is not None
 
-    def test_layer_managers_absent_without_the_policy(self):
-        dep = ClusterDeployment(layer_spec(prewarm_layers=0),
-                                config=small_config())
+    def test_layer_managers_absent_without_the_policy(self,
+                                                       make_deployment):
+        dep = make_deployment(spec=layer_spec(prewarm_layers=0),
+                              edge_workers=2)
         assert dep.layer_managers == {}
 
-    def test_result_prewarm_excludes_layer_entries(self):
-        dep = ClusterDeployment(layer_spec(prewarm_layers=0,
-                                           prewarm_top_k=5),
-                                config=small_config())
+    def test_result_prewarm_excludes_layer_entries(self, make_deployment):
+        dep = make_deployment(spec=layer_spec(prewarm_layers=0,
+                                              prewarm_top_k=5),
+                              edge_workers=2)
         # prewarm_top_k only: layer entries present in the cache must
         # not consume the result budget.
         cache = dep.cache_by_name["edge0"]
@@ -469,8 +461,8 @@ class TestLayerPrewarmTransport:
                  for e in dep.cache_by_name["edge1"].entries()}
         assert kinds == {"recognition"}
 
-    def test_sync_federation_layer_switch(self):
-        dep = ClusterDeployment(layer_spec(), config=small_config())
+    def test_sync_federation_layer_switch(self, make_deployment):
+        dep = make_deployment(spec=layer_spec(), edge_workers=2)
         manager = dep.layer_managers["edge0"]
         sketch = layer_input_sketch(dep.space.observe(5, 0.0).vector)
         manager.insert(sketch, now=0.0)

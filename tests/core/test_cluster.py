@@ -91,6 +91,45 @@ class TestSeedEquivalence:
         assert recorder_digest(fed.recorder) == GOLDEN_ISOLATED
 
 
+# The full default-policy metro scenario (4 federated edges, moving
+# users, closed-loop recognition traffic) digested at commit b83e558
+# (pre-layer-reuse).  Unlike the CoIC/federated seeds above this
+# workload exercises mobility, handoff and federation peer probes in
+# one run, so *any* stage-chain edit that perturbs default behaviour —
+# not just the facade paths — fails loudly here.
+GOLDEN_METRO = \
+    "822117df5d52f71e831f00081604d6be36be4e2ae372adb443d836195b6f6033"
+
+
+def default_metro_digest(make_deployment, policy=None) -> str:
+    from repro.eval.experiments.mobility_exp import drive_scenario
+
+    mobility = MobilitySpec(n_places=16, mean_dwell_s=8.0,
+                            duration_s=60.0, handoff_latency_s=0.05)
+    spec = ScenarioSpec.metro(n_edges=4, clients_per_edge=1,
+                              federate=True, mobility=mobility,
+                              policy=policy)
+    dep = make_deployment(spec=spec)
+    drive_scenario(dep, 60.0, request_interval_s=2.0)
+    return recorder_digest(dep.recorder)
+
+
+class TestMetroGoldenDigest:
+    def test_default_metro_matches_pre_layer_reuse(self, make_deployment):
+        assert default_metro_digest(make_deployment) == GOLDEN_METRO
+
+    def test_inert_policy_is_byte_identical_to_no_policy(
+            self, make_deployment):
+        # EdgePolicySpec() — admission off, offload off, prewarm off,
+        # layer_reuse=False — must not perturb the default chain: the
+        # knobs added by the overload/affinity/layer-reuse layers only
+        # act when switched on.
+        from repro.core.scenario import EdgePolicySpec
+
+        assert default_metro_digest(
+            make_deployment, policy=EdgePolicySpec()) == GOLDEN_METRO
+
+
 class TestFacadeShape:
     def test_coic_deployment_is_a_cluster(self):
         dep = CoICDeployment(n_clients=2)
@@ -218,16 +257,9 @@ def metro_spec(seed_places=16, federate=True, warmup=None):
                               warmup=warmup)
 
 
-def metro_config(seed=0):
-    cfg = CoICConfig(seed=seed)
-    cfg.network.wifi_mbps = 100
-    cfg.network.backhaul_mbps = 10
-    return cfg
-
-
 class TestMobility:
-    def test_itineraries_drive_handoffs(self):
-        dep = ClusterDeployment(metro_spec(), config=metro_config())
+    def test_itineraries_drive_handoffs(self, make_deployment):
+        dep = make_deployment(spec=metro_spec())
         dep.start_mobility()
         dep.run_for(60.0)
         per_client = {name: 0 for name in dep.client_names}
@@ -238,9 +270,9 @@ class TestMobility:
         # Initial attachments for everyone plus one entry per handoff.
         assert len(timeline) == len(dep.client_names) + len(dep.handoff_log)
 
-    def test_same_seed_same_attachment_timeline(self):
+    def test_same_seed_same_attachment_timeline(self, make_deployment):
         def run_once():
-            dep = ClusterDeployment(metro_spec(), config=metro_config())
+            dep = make_deployment(spec=metro_spec())
             dep.start_mobility()
             dep.run_for(60.0)
             return dep.attachment_timeline(), recorder_digest(dep.recorder)
@@ -250,13 +282,11 @@ class TestMobility:
         assert first_timeline == second_timeline
         assert first_digest == second_digest
         assert len(first_timeline) > len(
-            ClusterDeployment(metro_spec(),
-                              config=metro_config()).client_names)
+            make_deployment(spec=metro_spec()).client_names)
 
-    def test_different_seed_different_timeline(self):
+    def test_different_seed_different_timeline(self, make_deployment):
         def timeline(seed):
-            dep = ClusterDeployment(metro_spec(),
-                                    config=metro_config(seed))
+            dep = make_deployment(spec=metro_spec(), seed=seed)
             dep.start_mobility()
             dep.run_for(60.0)
             return dep.attachment_timeline()
@@ -268,20 +298,20 @@ class TestMobility:
         with pytest.raises(ValueError):
             dep.start_mobility()
 
-    def test_mobility_cannot_start_twice(self):
-        dep = ClusterDeployment(metro_spec(), config=metro_config())
+    def test_mobility_cannot_start_twice(self, make_deployment):
+        dep = make_deployment(spec=metro_spec())
         dep.start_mobility()
         with pytest.raises(RuntimeError):
             dep.start_mobility()
 
 
 class TestWarmupAndSync:
-    def test_warmup_turns_first_request_into_a_hit(self):
+    def test_warmup_turns_first_request_into_a_hit(self, make_deployment):
         warmup = WarmupSpec(classes=(3,), models=(0,))
         spec = ScenarioSpec.federated(n_edges=2)
         spec = ScenarioSpec.from_dict({**spec.to_dict(),
                                        "warmup": warmup.to_dict()})
-        dep = ClusterDeployment(spec, config=metro_config())
+        dep = make_deployment(spec=spec)
         assert all(len(cache) == 2 for cache in dep.caches)
         record = dep.run_tasks(dep.clients_by_edge[0][0],
                                [dep.recognition_task(3, viewpoint=0.1)])[0]
@@ -290,21 +320,21 @@ class TestWarmupAndSync:
                              [dep.model_load_task(0)])[0]
         assert load.outcome == "hit"
 
-    def test_warmup_respects_edge_filter(self):
+    def test_warmup_respects_edge_filter(self, make_deployment):
         warmup = WarmupSpec(classes=(1, 2), edges=("edge0",))
         spec = ScenarioSpec.from_dict({
             **ScenarioSpec.federated(n_edges=2).to_dict(),
             "warmup": warmup.to_dict()})
-        dep = ClusterDeployment(spec, config=metro_config())
+        dep = make_deployment(spec=spec)
         assert len(dep.caches[0]) == 2
         assert len(dep.caches[1]) == 0
 
-    def test_sync_federation_diffuses_and_dedups(self):
+    def test_sync_federation_diffuses_and_dedups(self, make_deployment):
         spec = ScenarioSpec.from_dict({
             **ScenarioSpec.federated(n_edges=3).to_dict(),
             "warmup": WarmupSpec(classes=(1, 2), models=(0,),
                                  edges=("edge0",)).to_dict()})
-        dep = ClusterDeployment(spec, config=metro_config())
+        dep = make_deployment(spec=spec)
         copied = dep.sync_federation()
         assert copied == 6  # 3 entries to each of 2 empty edges
         assert all(len(cache) == 3 for cache in dep.caches)
@@ -322,8 +352,8 @@ def mixed_access_spec():
 
 
 class TestLteAccess:
-    def test_lte_clients_get_asymmetric_epc_links(self):
-        dep = ClusterDeployment(mixed_access_spec(), config=metro_config())
+    def test_lte_clients_get_asymmetric_epc_links(self, make_deployment):
+        dep = make_deployment(spec=mixed_access_spec())
         net = dep.config.network
         uplink, downlink = dep.access_links[("lte0", "edge0")]
         assert uplink.bandwidth_bps == net.lte_uplink_mbps * 1e6
@@ -334,8 +364,8 @@ class TestLteAccess:
         wifi_up, wifi_down = dep.access_links[("wifi0", "edge0")]
         assert wifi_up.bandwidth_bps == net.wifi_mbps * 1e6
 
-    def test_lte_round_trip_is_slower_than_wifi(self):
-        dep = ClusterDeployment(mixed_access_spec(), config=metro_config())
+    def test_lte_round_trip_is_slower_than_wifi(self, make_deployment):
+        dep = make_deployment(spec=mixed_access_spec())
         lte = dep.run_tasks(dep.client_by_name["lte0"],
                             [dep.recognition_task(1, viewpoint=0.0)])[0]
         dep.env.run()
@@ -346,8 +376,8 @@ class TestLteAccess:
         # uplink make the LTE user strictly slower.
         assert lte.latency_s > wifi.latency_s
 
-    def test_handoff_preserves_access_technology(self):
-        dep = ClusterDeployment(mixed_access_spec(), config=metro_config())
+    def test_handoff_preserves_access_technology(self, make_deployment):
+        dep = make_deployment(spec=mixed_access_spec())
         client = dep.client_by_name["lte0"]
         dep.env.run(until=dep.env.process(
             dep.handoff(client, "edge1", latency_s=0.1)))

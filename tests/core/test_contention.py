@@ -10,7 +10,7 @@ import pytest
 from repro.core import CoICConfig, CoICDeployment
 
 
-def make_deployment(edge_workers=1, cloud_workers=8, n_clients=4,
+def build_coic_deployment(edge_workers=1, cloud_workers=8, n_clients=4,
                     wifi=400, backhaul=40):
     config = CoICConfig()
     config.network.wifi_mbps = wifi
@@ -23,7 +23,7 @@ def make_deployment(edge_workers=1, cloud_workers=8, n_clients=4,
 class TestEdgeWorkerContention:
     def test_single_worker_serializes_extractions(self):
         """With one edge worker, simultaneous recognitions queue."""
-        dep = make_deployment(edge_workers=1, n_clients=2)
+        dep = build_coic_deployment(edge_workers=1, n_clients=2)
         plan = [
             (0.0, dep.clients[0], dep.recognition_task(0)),
             (0.0, dep.clients[1], dep.recognition_task(1)),
@@ -36,7 +36,7 @@ class TestEdgeWorkerContention:
 
     def test_more_workers_remove_queueing(self):
         def spread(workers):
-            dep = make_deployment(edge_workers=workers, n_clients=2)
+            dep = build_coic_deployment(edge_workers=workers, n_clients=2)
             plan = [
                 (0.0, dep.clients[0], dep.recognition_task(0)),
                 (0.0, dep.clients[1], dep.recognition_task(1)),
@@ -51,7 +51,7 @@ class TestEdgeWorkerContention:
 class TestCloudQueueing:
     def test_bounded_cloud_queues_origin_floods(self):
         """More simultaneous origin requests than workers => queueing."""
-        dep = make_deployment(cloud_workers=1, n_clients=4)
+        dep = build_coic_deployment(cloud_workers=1, n_clients=4)
         plan = [(0.0, dep.origin_clients[i], dep.recognition_task(i))
                 for i in range(4)]
         dep.run_concurrent(plan)
@@ -64,12 +64,12 @@ class TestCloudQueueing:
 class TestBackhaulCongestion:
     def test_shared_backhaul_slows_concurrent_misses(self):
         """Two cold misses at once share the edge->cloud pipe."""
-        solo = make_deployment(n_clients=1, backhaul=10)
+        solo = build_coic_deployment(n_clients=1, backhaul=10)
         record = solo.run_tasks(solo.clients[0],
                                 [solo.recognition_task(0)])[0]
         solo_latency = record.latency_s
 
-        dep = make_deployment(n_clients=2, backhaul=10)
+        dep = build_coic_deployment(n_clients=2, backhaul=10)
         plan = [(0.0, dep.clients[i], dep.recognition_task(i))
                 for i in range(2)]
         dep.run_concurrent(plan)
@@ -78,7 +78,7 @@ class TestBackhaulCongestion:
 
     def test_hits_bypass_congested_backhaul(self):
         """A warm cache shields users from backhaul congestion."""
-        dep = make_deployment(n_clients=3, backhaul=10)
+        dep = build_coic_deployment(n_clients=3, backhaul=10)
         # Warm with one object.
         dep.run_tasks(dep.clients[0],
                       [dep.recognition_task(0, viewpoint=-0.2)])
@@ -99,7 +99,7 @@ class TestBackhaulCongestion:
 
 class TestCoalescingUnderLoad:
     def test_panorama_thundering_herd_collapses_to_one_fetch(self):
-        dep = make_deployment(n_clients=4, backhaul=20)
+        dep = build_coic_deployment(n_clients=4, backhaul=20)
         task = dep.panorama_task(0, 0)
         plan = [(0.001 * i, dep.clients[i], task) for i in range(4)]
         dep.run_concurrent(plan)

@@ -67,11 +67,18 @@ class TestThresholds:
 class TestPlan:
     def test_identical_input_full_reuse(self, manager, space):
         sketch = input_sketch(space.observe(3, 0.0).vector)
-        manager.insert(sketch)
+        # Full-result reuse needs the result cached with the final tap;
+        # a marker-only insert is not servable and plans one tap up.
+        manager.insert(sketch, result=("label", 3))
         plan = manager.plan(sketch)
         assert plan.full_result
         assert plan.compute_gflops == 0.0
         assert manager.compute_time(plan, EDGE_CPU_2018) == 0.0
+        marker_only = LayerCacheManager(manager.network, manager.cache,
+                                        base_threshold=0.05, tighten=0.4)
+        other = input_sketch(space.observe(9, 0.0).vector)
+        marker_only.insert(other)
+        assert not marker_only.plan(other).full_result
 
     def test_unknown_input_full_compute(self, manager, space, network):
         manager.insert(input_sketch(space.observe(3, 0.0).vector))
@@ -101,6 +108,23 @@ class TestPlan:
         assert stored == len(network.layers)
         expected = sum(layer.output_bytes for layer in network.layers)
         assert manager.cache.size_bytes == expected
+
+    def test_attached_result_charges_its_bytes(self, manager, space,
+                                               network):
+        from repro.vision.recognition import RecognitionResult
+
+        sketch = input_sketch(space.observe(3, 0.0).vector)
+        final = network.layers[-1].name
+        result = RecognitionResult(label=3, confidence=0.9)
+        manager.insert(sketch, layers=[final], result=result)
+        # The result payload rides the entry: it pays its own bytes in
+        # the shared budget (and on the wire when the entry is shipped).
+        assert manager.cache.size_bytes == \
+            network.layer(final).output_bytes + result.size_bytes
+        # Attaching a result to a tap set without the final layer would
+        # silently disable full-result reuse — rejected loudly instead.
+        with pytest.raises(ValueError):
+            manager.insert(sketch, layers=["conv3"], result=result)
 
     def test_eviction_degrades_gracefully(self, space, network):
         """A tiny cache holds only some layers; plans still work."""

@@ -11,7 +11,7 @@ import pytest
 from repro.core import CoICConfig, CoICDeployment
 
 
-def make_deployment(n_clients=2, **net_overrides):
+def build_coic_deployment(n_clients=2, **net_overrides):
     config = CoICConfig()
     config.network.wifi_mbps = net_overrides.get("wifi_mbps", 100)
     config.network.backhaul_mbps = net_overrides.get("backhaul_mbps", 10)
@@ -22,7 +22,7 @@ def make_deployment(n_clients=2, **net_overrides):
 
 class TestRecognitionPipeline:
     def test_miss_then_hit_across_users(self):
-        dep = make_deployment()
+        dep = build_coic_deployment()
         t1 = dep.recognition_task(5, viewpoint=-0.2)
         r1 = dep.run_tasks(dep.clients[0], [t1])[0]
         t2 = dep.recognition_task(5, viewpoint=0.2)
@@ -32,14 +32,14 @@ class TestRecognitionPipeline:
         assert r2.correct
 
     def test_different_objects_do_not_collide(self):
-        dep = make_deployment()
+        dep = build_coic_deployment()
         dep.run_tasks(dep.clients[0], [dep.recognition_task(5)])
         r = dep.run_tasks(dep.clients[1], [dep.recognition_task(6)])[0]
         assert r.outcome == "miss"
         assert r.correct
 
     def test_latency_ordering_hit_origin_miss(self):
-        dep = make_deployment()
+        dep = build_coic_deployment()
         origin = dep.run_tasks(dep.origin_clients[0],
                                [dep.recognition_task(3)])[0]
         miss = dep.run_tasks(dep.clients[0],
@@ -49,7 +49,7 @@ class TestRecognitionPipeline:
         assert hit.latency_s < origin.latency_s < miss.latency_s
 
     def test_local_baseline_no_network(self):
-        dep = make_deployment()
+        dep = build_coic_deployment()
         record = dep.run_tasks(dep.local_clients[0],
                                [dep.recognition_task(2)])[0]
         assert record.outcome == "local"
@@ -79,7 +79,7 @@ class TestRecognitionPipeline:
         assert r2.outcome == "hit"
 
     def test_speculative_forward_miss_near_origin(self):
-        dep_seq = make_deployment()
+        dep_seq = build_coic_deployment()
         origin = dep_seq.run_tasks(dep_seq.origin_clients[0],
                                    [dep_seq.recognition_task(1)])[0]
         config = CoICConfig()
@@ -94,7 +94,7 @@ class TestRecognitionPipeline:
 
 class TestModelLoadPipeline:
     def test_miss_returns_raw_hit_returns_parsed(self):
-        dep = make_deployment()
+        dep = build_coic_deployment()
         task = dep.model_load_task(0)
         r1 = dep.run_tasks(dep.clients[0], [task])[0]
         assert r1.outcome == "miss" and r1.detail["parsed"] is False
@@ -104,7 +104,7 @@ class TestModelLoadPipeline:
         assert r2.latency_s < r1.latency_s
 
     def test_concurrent_misses_coalesce(self):
-        dep = make_deployment()
+        dep = build_coic_deployment()
         task = dep.model_load_task(4)  # largest: long fetch window
         dep.run_concurrent([
             (0.0, dep.clients[0], task),
@@ -116,7 +116,7 @@ class TestModelLoadPipeline:
         assert outcomes == ["hit", "miss"]
 
     def test_cache_stores_loaded_bytes(self):
-        dep = make_deployment()
+        dep = build_coic_deployment()
         task = dep.model_load_task(1)
         dep.run_tasks(dep.clients[0], [task])
         dep.env.run()
@@ -127,14 +127,14 @@ class TestModelLoadPipeline:
 
 class TestPanoramaPipeline:
     def test_hit_after_miss(self):
-        dep = make_deployment()
+        dep = build_coic_deployment()
         task = dep.panorama_task(0, 3)
         r1 = dep.run_tasks(dep.clients[0], [task])[0]
         r2 = dep.run_tasks(dep.clients[1], [task])[0]
         assert (r1.outcome, r2.outcome) == ("miss", "hit")
 
     def test_pose_cells_distinguish(self):
-        dep = make_deployment()
+        dep = build_coic_deployment()
         dep.run_tasks(dep.clients[0], [dep.panorama_task(0, 3, 0)])
         r = dep.run_tasks(dep.clients[1], [dep.panorama_task(0, 3, 1)])[0]
         assert r.outcome == "miss"
@@ -142,7 +142,7 @@ class TestPanoramaPipeline:
 
 class TestFaultHandling:
     def test_lossy_network_still_completes(self):
-        dep = make_deployment(loss_rate=0.05)
+        dep = build_coic_deployment(loss_rate=0.05)
         records = dep.run_tasks(dep.clients[0], [
             dep.recognition_task(i) for i in range(5)])
         assert all(r.outcome in ("hit", "miss") for r in records)
@@ -160,7 +160,7 @@ class TestFaultHandling:
 
 class TestMetricsPlumbing:
     def test_recorder_sees_all_clients(self):
-        dep = make_deployment()
+        dep = build_coic_deployment()
         dep.run_tasks(dep.clients[0], [dep.recognition_task(0)])
         dep.run_tasks(dep.clients[1],
                       [dep.recognition_task(0, viewpoint=0.3)])
@@ -169,7 +169,7 @@ class TestMetricsPlumbing:
         assert users == {"mobile0", "mobile1"}
 
     def test_cache_stats_consistent_with_outcomes(self):
-        dep = make_deployment()
+        dep = build_coic_deployment()
         for i in range(4):
             dep.run_tasks(dep.clients[0], [dep.recognition_task(i % 2,
                           viewpoint=0.05 * i)])
@@ -184,7 +184,7 @@ class TestBatchedLookups:
     """Same-tick recognition bursts are matched in one vectorized pass."""
 
     def test_same_tick_burst_shares_one_batch_pass(self):
-        dep = make_deployment(n_clients=4)
+        dep = build_coic_deployment(n_clients=4)
         # Warm the cache with one miss so the burst can hit.
         dep.run_tasks(dep.clients[0], [dep.recognition_task(7)])
         batches_before = dep.edge.lookup_batches
@@ -208,7 +208,7 @@ class TestBatchedLookups:
         and well-separated requests make identical match decisions."""
         outcomes = {}
         for label, gap_s in (("burst", 0.0), ("staggered", 3.0)):
-            dep = make_deployment(n_clients=3)
+            dep = build_coic_deployment(n_clients=3)
             dep.run_tasks(dep.clients[0], [dep.recognition_task(4)])
             plan = [(gap_s * i, dep.clients[i],
                      dep.recognition_task(4, viewpoint=0.1 * i))

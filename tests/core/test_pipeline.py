@@ -29,10 +29,7 @@ from repro.core.pipeline import (
     default_pipeline,
 )
 from repro.core.scenario import (
-    ClientSpec,
     EdgePolicySpec,
-    EdgeSpec,
-    InterEdgeLinkSpec,
     MobilitySpec,
     ScenarioSpec,
 )
@@ -139,31 +136,13 @@ class TestPipelineShape:
         assert isinstance(pipeline.stages[0], AdmissionControlStage)
 
 
-def overload_spec(policy: EdgePolicySpec, n_clients: int = 2):
-    """Two linked edges; edge0 holds the clients, edge1 idles."""
-    return ScenarioSpec(
-        edges=(EdgeSpec(name="edge0",
-                        clients=tuple(ClientSpec(name=f"m{i}")
-                                      for i in range(n_clients))),
-               EdgeSpec(name="edge1", clients=(ClientSpec(name="far0"),))),
-        inter_edge=(InterEdgeLinkSpec(a="edge0", b="edge1"),),
-        policy=policy)
-
-
-def overload_config():
-    cfg = CoICConfig(seed=1)
-    cfg.network.wifi_mbps = 100
-    cfg.network.backhaul_mbps = 10
-    return cfg
-
-
 class TestAdmissionControl:
-    def test_shed_refuses_past_the_queue_limit(self):
+    def test_shed_refuses_past_the_queue_limit(self, make_deployment):
         # queue_limit=0: the edge is "overloaded" from the first request,
         # so every recognition request is refused.
-        spec = overload_spec(EdgePolicySpec(admission="shed",
-                                            queue_limit=0))
-        dep = ClusterDeployment(spec, config=overload_config())
+        dep = make_deployment(seed=1,
+                              policy=EdgePolicySpec(admission="shed",
+                                                    queue_limit=0))
         records = dep.run_tasks(dep.client_by_name["m0"],
                                 [dep.recognition_task(1),
                                  dep.recognition_task(2)])
@@ -174,27 +153,28 @@ class TestAdmissionControl:
         # frame upload — no extraction queueing, no cloud round trip.
         assert records[0].latency_s < 0.5
 
-    def test_shed_does_not_gate_hash_tasks(self):
-        spec = overload_spec(EdgePolicySpec(admission="shed",
-                                            queue_limit=0))
-        dep = ClusterDeployment(spec, config=overload_config())
+    def test_shed_does_not_gate_hash_tasks(self, make_deployment):
+        dep = make_deployment(seed=1,
+                              policy=EdgePolicySpec(admission="shed",
+                                                    queue_limit=0))
         record = dep.run_tasks(dep.client_by_name["m0"],
                                [dep.model_load_task(0)])[0]
         assert record.outcome == "miss"
         assert dep.edges[0].shed_count == 0
 
-    def test_shed_outcome_not_counted_in_hit_ratio(self):
-        spec = overload_spec(EdgePolicySpec(admission="shed",
-                                            queue_limit=0))
-        dep = ClusterDeployment(spec, config=overload_config())
+    def test_shed_outcome_not_counted_in_hit_ratio(self, make_deployment):
+        dep = make_deployment(seed=1,
+                              policy=EdgePolicySpec(admission="shed",
+                                                    queue_limit=0))
         dep.run_tasks(dep.client_by_name["m0"], [dep.recognition_task(1)])
         assert dep.recorder.hit_ratio() == 0.0
         assert len(dep.recorder.select(outcome=OUTCOME_SHED)) == 1
 
-    def test_redirect_relays_to_cloud_without_caching(self):
-        spec = overload_spec(EdgePolicySpec(admission="redirect",
-                                            queue_limit=0))
-        dep = ClusterDeployment(spec, config=overload_config())
+    def test_redirect_relays_to_cloud_without_caching(self,
+                                                      make_deployment):
+        dep = make_deployment(seed=1,
+                              policy=EdgePolicySpec(admission="redirect",
+                                                    queue_limit=0))
         record = dep.run_tasks(dep.client_by_name["m0"],
                                [dep.recognition_task(3)])[0]
         assert record.outcome == "miss"
@@ -203,17 +183,20 @@ class TestAdmissionControl:
         # No extraction, no insert: the cache never saw the request.
         assert len(dep.caches[0]) == 0
 
-    def test_redirect_without_input_asks_for_the_frame_first(self):
+    def test_redirect_without_input_asks_for_the_frame_first(
+            self, make_deployment):
         # Descriptor-only clients never uploaded the frame, so a
         # redirecting edge cannot relay it: the need_input two-phase
         # exchange runs first and the re-send (frame attached) is what
         # gets redirected.
-        cfg = overload_config()
+        cfg = CoICConfig(seed=1)
+        cfg.network.wifi_mbps = 100
+        cfg.network.backhaul_mbps = 10
         cfg.recognition.descriptor_source = "client"
         cfg.recognition.attach_input = False
-        spec = overload_spec(EdgePolicySpec(admission="redirect",
-                                            queue_limit=0))
-        dep = ClusterDeployment(spec, config=cfg)
+        dep = make_deployment(config=cfg,
+                              policy=EdgePolicySpec(admission="redirect",
+                                                    queue_limit=0))
         record = dep.run_tasks(dep.client_by_name["m0"],
                                [dep.recognition_task(4)])[0]
         assert record.outcome == "miss"
@@ -223,26 +206,24 @@ class TestAdmissionControl:
         assert dep.edges[0].redirect_count == 1
         assert len(dep.caches[0]) == 0
 
-    def test_admission_accepts_below_the_limit(self):
-        spec = overload_spec(EdgePolicySpec(admission="shed",
-                                            queue_limit=8))
-        dep = ClusterDeployment(spec, config=overload_config())
+    def test_admission_accepts_below_the_limit(self, make_deployment):
+        dep = make_deployment(seed=1,
+                              policy=EdgePolicySpec(admission="shed",
+                                                    queue_limit=8))
         record = dep.run_tasks(dep.client_by_name["m0"],
                                [dep.recognition_task(1)])[0]
         assert record.outcome == "miss"
         assert dep.edges[0].shed_count == 0
 
-    def test_deadline_based_shed(self):
+    def test_deadline_based_shed(self, make_deployment):
         # One worker, deadline 0.5 s, extraction ~0.84 s: the first
         # request runs, the second queues (backlog 0 at its admission),
         # the third sees backlog 1 -> estimated wait ~0.84 s > deadline.
-        cfg = overload_config()
-        cfg.edge_workers = 1
-        spec = overload_spec(EdgePolicySpec(admission="shed",
-                                            queue_limit=None,
-                                            deadline_s=0.5),
-                             n_clients=3)
-        dep = ClusterDeployment(spec, config=cfg)
+        dep = make_deployment(seed=1, edge_workers=1,
+                              clients=(("m0", "m1", "m2"), ("far0",)),
+                              policy=EdgePolicySpec(admission="shed",
+                                                    queue_limit=None,
+                                                    deadline_s=0.5))
         dep.run_concurrent([
             (0.0, dep.client_by_name["m0"], dep.recognition_task(1)),
             (0.001, dep.client_by_name["m1"], dep.recognition_task(2)),
@@ -254,11 +235,11 @@ class TestAdmissionControl:
 
 
 class TestPeerOffload:
-    def test_overloaded_edge_borrows_idle_neighbour(self):
-        spec = overload_spec(EdgePolicySpec(offload="least_loaded",
-                                            queue_limit=0,
-                                            offload_margin=0))
-        dep = ClusterDeployment(spec, config=overload_config())
+    def test_overloaded_edge_borrows_idle_neighbour(self, make_deployment):
+        dep = make_deployment(seed=1,
+                              policy=EdgePolicySpec(offload="least_loaded",
+                                                    queue_limit=0,
+                                                    offload_margin=0))
         record = dep.run_tasks(dep.client_by_name["m0"],
                                [dep.recognition_task(5)])[0]
         # Served, not refused — and by the neighbour, which the
@@ -272,11 +253,11 @@ class TestPeerOffload:
         assert len(dep.caches[1]) == 1
         assert len(dep.caches[0]) == 0
 
-    def test_offloaded_result_hits_on_the_neighbour(self):
-        spec = overload_spec(EdgePolicySpec(offload="least_loaded",
-                                            queue_limit=0,
-                                            offload_margin=0))
-        dep = ClusterDeployment(spec, config=overload_config())
+    def test_offloaded_result_hits_on_the_neighbour(self, make_deployment):
+        dep = make_deployment(seed=1,
+                              policy=EdgePolicySpec(offload="least_loaded",
+                                                    queue_limit=0,
+                                                    offload_margin=0))
         first = dep.run_tasks(dep.client_by_name["m0"],
                               [dep.recognition_task(5, viewpoint=-0.1)])[0]
         dep.env.run()
@@ -286,14 +267,12 @@ class TestPeerOffload:
         assert second.outcome == "hit"
         assert second.edge == "edge1"
 
-    def test_no_offload_without_inter_edge_link(self):
-        spec = ScenarioSpec(
-            edges=(EdgeSpec(name="edge0",
-                            clients=(ClientSpec(name="m0"),)),
-                   EdgeSpec(name="edge1")),
-            policy=EdgePolicySpec(offload="least_loaded", queue_limit=0,
-                                  offload_margin=0))
-        dep = ClusterDeployment(spec, config=overload_config())
+    def test_no_offload_without_inter_edge_link(self, make_deployment):
+        dep = make_deployment(seed=1, clients=(("m0",), ()),
+                              inter_edge=False,
+                              policy=EdgePolicySpec(offload="least_loaded",
+                                                    queue_limit=0,
+                                                    offload_margin=0))
         record = dep.run_tasks(dep.client_by_name["m0"],
                                [dep.recognition_task(1)])[0]
         # No backhaul neighbour: the request is admitted locally.
@@ -432,8 +411,8 @@ class TestEdgePolicySpec:
                                 offload_margin=1, prewarm_top_k=7)
         assert EdgePolicySpec.from_dict(policy.to_dict()) == policy
 
-    def test_round_trip_through_scenario(self):
-        spec = overload_spec(EdgePolicySpec(admission="redirect"))
+    def test_round_trip_through_scenario(self, make_spec):
+        spec = make_spec(policy=EdgePolicySpec(admission="redirect"))
         rebuilt = ScenarioSpec.from_dict(spec.to_dict())
         assert rebuilt.policy == spec.policy
         assert ScenarioSpec.from_dict(

@@ -1,0 +1,17 @@
+"""Hypothesis configuration for the property suite.
+
+Registers a derandomized ``tier1`` profile (no deadline) and loads it
+by default, so property tests draw identical examples on every run and
+the tier-1 gate stays deterministic.  Override with
+``HYPOTHESIS_PROFILE=dev`` for exploratory randomized runs.  Lives
+here, not in ``tests/conftest.py``, so the rest of the suite imports
+without hypothesis installed.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("tier1", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "tier1"))
