@@ -16,10 +16,14 @@ import typing
 
 from repro.core.descriptors import Descriptor, HashDescriptor, VectorDescriptor
 from repro.core.index import (
+    DEFAULT_DTYPE,
+    STORE_DTYPES,
     AffinitySketch,
     DescriptorIndex,
     ExactIndex,
+    FusedLinearCore,
     SketchSummary,
+    _FusedKindView,
     make_index,
 )
 from repro.core.policies import EvictionPolicy, LruPolicy, TtlPolicy
@@ -114,11 +118,17 @@ class ICCache:
         default_threshold: Vector-match threshold when the caller does not
             pass one explicitly.
         vector_index: Spec for vector-kind indexes ("linear", "lsh",
-            "lsh:T:B") — hash kinds always use the exact index.
+            "lsh:T:B", "ivf", "ivf:K:P") — hash kinds always use the
+            exact index.  Under "linear", all vector kinds of one
+            dimension share a :class:`~repro.core.index.FusedLinearCore`,
+            so a mixed-kind lookup burst is one stacked matmul.
         metric: Distance metric for vector indexes.
         descriptor_dim: Vector dimension (needed to pre-build LSH planes).
         ttl_s: Optional lifetime; expired entries never hit and are purged
             lazily.
+        vector_dtype: Storage dtype for vector indexes ("float32"
+            default, "float64" compatibility mode, "int8" scalar
+            quantized); see :mod:`repro.core.index`.
     """
 
     def __init__(self, capacity_bytes: int,
@@ -127,13 +137,17 @@ class ICCache:
                  vector_index: str = "linear",
                  metric: str = "cosine",
                  descriptor_dim: int = 128,
-                 ttl_s: float | None = None):
+                 ttl_s: float | None = None,
+                 vector_dtype: str = DEFAULT_DTYPE):
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be > 0")
         if default_threshold < 0:
             raise ValueError("default_threshold must be >= 0")
         if ttl_s is not None and ttl_s <= 0:
             raise ValueError("ttl_s must be > 0 when given")
+        if vector_dtype not in STORE_DTYPES:
+            raise ValueError(f"vector_dtype must be one of {STORE_DTYPES}, "
+                             f"got {vector_dtype!r}")
         self.capacity_bytes = int(capacity_bytes)
         self.policy = policy if policy is not None else LruPolicy()
         self.default_threshold = default_threshold
@@ -142,8 +156,12 @@ class ICCache:
         self._vector_index_spec = vector_index
         self._metric = metric
         self._descriptor_dim = descriptor_dim
+        self.vector_dtype = vector_dtype
         self._entries: dict[int, CacheEntry] = {}
         self._indexes: dict[str, DescriptorIndex] = {}
+        #: One fused linear core per vector dimension ("linear" spec
+        #: only); every vector kind of that dim is a view into it.
+        self._fused_cores: dict[int, FusedLinearCore] = {}
         #: Per-vector-kind affinity sketches, maintained incrementally on
         #: every insert/drop; snapshot with :meth:`summary` for gossip.
         self._sketches: dict[str, AffinitySketch] = {}
@@ -220,19 +238,51 @@ class ICCache:
 
     def index_for(self, kind: str,
                   descriptor: Descriptor | None = None) -> DescriptorIndex:
-        """The per-kind index, created on first use."""
+        """The per-kind index, created on first use.
+
+        Hash kinds get an :class:`ExactIndex`.  Under the "linear" spec
+        a vector kind gets a view into the per-dimension fused core (one
+        stacked matmul covers every kind of that dim); other specs get a
+        dedicated index per kind.
+        """
         index = self._indexes.get(kind)
         if index is None:
             if descriptor is None:
                 raise KeyError(f"no index for kind {kind!r} yet")
             if isinstance(descriptor, HashDescriptor):
                 index = ExactIndex()
+            elif self._vector_index_spec == "linear":
+                dim = descriptor.dim
+                core = self._fused_cores.get(dim)
+                if core is None:
+                    core = self._fused_cores[dim] = FusedLinearCore(
+                        metric=self._metric, dtype=self.vector_dtype)
+                index = core.view(kind)
             else:
                 index = make_index(self._vector_index_spec,
                                    dim=self._descriptor_dim,
-                                   metric=self._metric)
+                                   metric=self._metric,
+                                   dtype=self.vector_dtype)
             self._indexes[kind] = index
         return index
+
+    def index_memory_bytes(self) -> int:
+        """Allocated bytes across all vector index storage.
+
+        Fused views share one core per dimension; the core is counted
+        once, not once per kind.
+        """
+        seen: set[int] = set()
+        total = 0
+        for index in self._indexes.values():
+            target = getattr(index, "_core", index)
+            if id(target) in seen:
+                continue
+            seen.add(id(target))
+            memory = getattr(target, "memory_bytes", None)
+            if memory is not None:
+                total += memory()
+        return total
 
     # -- operations ---------------------------------------------------------------
 
@@ -256,22 +306,37 @@ class ICCache:
 
     def lookup_batch(self, descriptors: typing.Sequence[Descriptor],
                      now: float = 0.0,
-                     threshold: float | None = None
+                     threshold: float | None = None,
+                     thresholds: typing.Sequence[float | None] | None = None
                      ) -> list[CacheEntry | None]:
         """Answer a burst of lookups in one vectorized index pass.
 
         Returns one entry-or-None per descriptor, in input order, with
         match decisions, stats, and policy updates identical to the
-        equivalent sequence of :meth:`lookup` calls.  Descriptors may mix
-        kinds; each kind's index answers its sub-batch in a single
-        :meth:`~repro.core.index.DescriptorIndex.query_batch` call.
-        Simulated lookup *pricing* stays with the caller (the edge
-        charges per request via :meth:`lookup_cost_s`).
+        equivalent sequence of :meth:`lookup` calls.  Descriptors may
+        mix kinds; kinds sharing a fused linear core are answered by
+        one stacked cross-kind matmul
+        (:meth:`~repro.core.index.FusedLinearCore.query_multi`), other
+        kinds by one
+        :meth:`~repro.core.index.DescriptorIndex.query_batch` each.
+        ``thresholds`` gives a per-descriptor match threshold (None
+        entries fall back like ``threshold``); it wins over
+        ``threshold`` when both are passed.  Simulated lookup *pricing*
+        stays with the caller (the edge charges per request via
+        :meth:`lookup_cost_s`).
         """
         descriptors = list(descriptors)
-        if threshold is None:
-            threshold = self.default_threshold
-        matches = self._batch_matches(descriptors, threshold)
+        if thresholds is None:
+            fill = self.default_threshold if threshold is None else threshold
+            per_item = [fill] * len(descriptors)
+        else:
+            per_item = [self.default_threshold if t is None else t
+                        for t in thresholds]
+            if len(per_item) != len(descriptors):
+                raise ValueError(
+                    f"thresholds has {len(per_item)} entries for "
+                    f"{len(descriptors)} descriptors")
+        matches = self._batch_matches(descriptors, per_item)
         results: list[CacheEntry | None] = [None] * len(descriptors)
         for i, descriptor in enumerate(descriptors):
             self.stats.lookups += 1
@@ -282,7 +347,7 @@ class ICCache:
                 # computed for later same-kind descriptors may point at
                 # the dropped entry, so recompute them.
                 self._rematch(descriptors, matches, i + 1,
-                              descriptor.kind, threshold)
+                              descriptor.kind, per_item)
         return results
 
     def _settle(self, found: tuple[int, float] | None,
@@ -308,17 +373,38 @@ class ICCache:
         return entry, False
 
     def _batch_matches(self, descriptors: typing.Sequence[Descriptor],
-                       threshold: float
+                       thresholds: typing.Sequence[float]
                        ) -> list[tuple[int, float] | None]:
-        """Raw per-kind index answers for a batch, in input order."""
+        """Raw index answers for a batch, in input order.
+
+        Kinds whose index is a view into a shared
+        :class:`~repro.core.index.FusedLinearCore` are gathered across
+        kinds and answered by one ``query_multi`` (one stacked matmul
+        per core); everything else groups by ``(kind, threshold)`` and
+        answers through ``query_batch``.
+        """
         matches: list[tuple[int, float] | None] = [None] * len(descriptors)
-        by_kind: dict[str, list[int]] = {}
+        fused: dict[int, tuple[FusedLinearCore, list[int]]] = {}
+        by_kind: dict[tuple[str, float], list[int]] = {}
         for i, descriptor in enumerate(descriptors):
-            by_kind.setdefault(descriptor.kind, []).append(i)
-        for kind, positions in by_kind.items():
-            index = self._indexes.get(kind)
+            index = self._indexes.get(descriptor.kind)
             if index is None:
                 continue
+            if isinstance(index, _FusedKindView):
+                core = index._core
+                fused.setdefault(id(core), (core, []))[1].append(i)
+            else:
+                by_kind.setdefault((descriptor.kind, thresholds[i]),
+                                   []).append(i)
+        for core, positions in fused.values():
+            found = core.query_multi(
+                [descriptors[i].kind for i in positions],
+                [descriptors[i] for i in positions],
+                [thresholds[i] for i in positions])
+            for i, result in zip(positions, found):
+                matches[i] = result
+        for (kind, threshold), positions in by_kind.items():
+            index = self._indexes[kind]
             found = index.query_batch([descriptors[i] for i in positions],
                                       threshold)
             for i, result in zip(positions, found):
@@ -327,17 +413,20 @@ class ICCache:
 
     def _rematch(self, descriptors: typing.Sequence[Descriptor],
                  matches: list[tuple[int, float] | None], start: int,
-                 kind: str, threshold: float) -> None:
+                 kind: str, thresholds: typing.Sequence[float]) -> None:
         """Recompute pending answers of ``kind`` after an index mutation."""
-        positions = [i for i in range(start, len(descriptors))
-                     if descriptors[i].kind == kind]
-        if not positions:
+        groups: dict[float, list[int]] = {}
+        for i in range(start, len(descriptors)):
+            if descriptors[i].kind == kind:
+                groups.setdefault(thresholds[i], []).append(i)
+        if not groups:
             return
         index = self._indexes.get(kind)
-        found = index.query_batch([descriptors[i] for i in positions],
-                                  threshold)
-        for i, result in zip(positions, found):
-            matches[i] = result
+        for threshold, positions in groups.items():
+            found = index.query_batch(
+                [descriptors[i] for i in positions], threshold)
+            for i, result in zip(positions, found):
+                matches[i] = result
 
     def lookup_cost_s(self, kind: str) -> float:
         """Simulated seconds a lookup against ``kind`` costs right now."""

@@ -347,6 +347,14 @@ class ClusterDeployment(DeploymentDriverMixin):
             neighbours[lspec.a].append(lspec.b)
             neighbours[lspec.b].append(lspec.a)
 
+        # Scenario policy may override the deployment's index tier /
+        # storage dtype for every edge cache (empty string = inherit).
+        vector_index = cfg.cache.vector_index
+        vector_dtype = cfg.cache.vector_dtype
+        if spec.policy is not None:
+            vector_index = spec.policy.vector_index or vector_index
+            vector_dtype = spec.policy.vector_dtype or vector_dtype
+
         self.edges: list[EdgeNode] = []
         self.caches: list[ICCache] = []
         self.edge_recognizers: list[Recognizer] = []
@@ -356,10 +364,11 @@ class ClusterDeployment(DeploymentDriverMixin):
                                 if espec.cache_mb is not None
                                 else cfg.cache.capacity_bytes),
                 policy=make_policy(cfg.cache.policy),
-                vector_index=cfg.cache.vector_index,
+                vector_index=vector_index,
                 metric=cfg.cache.metric,
                 descriptor_dim=rec.descriptor_dim,
-                ttl_s=cfg.cache.ttl_s)
+                ttl_s=cfg.cache.ttl_s,
+                vector_dtype=vector_dtype)
             self.caches.append(cache)
             stream_name = ("vision.edge" if len(spec.edges) == 1
                            else f"vision.edge.{espec.name}")
@@ -391,6 +400,19 @@ class ClusterDeployment(DeploymentDriverMixin):
         self.edge_by_name = dict(zip(self.edge_names, self.edges))
         self.cache_by_name = dict(zip(self.edge_names, self.caches))
 
+        # -- lookup fan-out --------------------------------------------------
+        # One shared rendezvous: every edge's same-tick batch lookup
+        # joins one wave, optionally executed on threads.  Bit-identical
+        # to inline flushing (see repro.core.parallel).
+        self.lookup_fanout = None
+        if cfg.lookup_threads > 0:
+            from repro.core.parallel import TickLookupFanout
+
+            self.lookup_fanout = TickLookupFanout(
+                self.env, workers=cfg.lookup_threads)
+            for node in self.edges:
+                node.lookup_fanout = self.lookup_fanout
+
         # -- affinity gossip -------------------------------------------------
         # Each edge pushes a CacheSummary snapshot to every backhaul
         # neighbour on the policy's refresh interval.  The processes run
@@ -419,12 +441,16 @@ class ClusterDeployment(DeploymentDriverMixin):
             # descriptor threshold accepts, the deepest tap (full-result
             # reuse) is stricter than it — sketch-keyed whole results
             # must not be easier to reuse than descriptor-matched ones.
+            budget_frac = spec.policy.layer_tap_budget_frac
             for name, cache, node in zip(self.edge_names, self.caches,
                                          self.edges):
                 manager = LayerCacheManager(
                     self._network, cache,
                     base_threshold=2.0 * node.match_threshold,
-                    device=node.recognizer.device)
+                    device=node.recognizer.device,
+                    tap_budget_bytes=(
+                        int(budget_frac * cache.capacity_bytes)
+                        if budget_frac is not None else None))
                 self.layer_managers[name] = manager
                 node.layer_manager = manager
 

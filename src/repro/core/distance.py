@@ -23,6 +23,13 @@ divides by them; ``l2``/``l2sq`` square them for the Gram-expansion
 ``cosine`` is the default — DNN retrieval descriptors are compared by
 angle — with ``l2`` and ``l2sq`` available for un-normalized feature
 spaces.
+
+Dtype contract: when *both* the matrix and the queries arrive as
+float32, the whole pipeline (gemm, norms, clipping) runs in float32 —
+half the memory traffic and roughly double the BLAS throughput, which
+is what the float32 index tier buys.  Any other input combination is
+computed in float64 exactly as before, so the float64 compatibility
+mode stays bit-identical to the historical arithmetic.
 """
 
 from __future__ import annotations
@@ -35,11 +42,27 @@ MetricFn = typing.Callable[..., np.ndarray]
 BatchMetricFn = typing.Callable[..., np.ndarray]
 
 
-def _as_matrix(queries: np.ndarray) -> np.ndarray:
-    queries = np.asarray(queries, dtype=np.float64)
+def _as_matrix(queries: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    queries = np.asarray(queries, dtype=dtype)
     if queries.ndim != 2:
         raise ValueError(f"queries must be 2-D (Q, D), got {queries.shape}")
     return queries
+
+
+def _compute_dtype(matrix: np.ndarray, queries: np.ndarray) -> np.dtype:
+    """float32 only when both operands already are; float64 otherwise."""
+    if (getattr(matrix, "dtype", None) == np.float32
+            and getattr(queries, "dtype", None) == np.float32):
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
+def _as_query(query: np.ndarray) -> np.ndarray:
+    """A 1-D query in its native float dtype (non-float input -> float64)."""
+    query = np.asarray(query)
+    if query.dtype not in (np.float32, np.float64):
+        query = np.asarray(query, dtype=np.float64)
+    return query
 
 
 def cosine_distance_batch(matrix: np.ndarray, queries: np.ndarray,
@@ -51,8 +74,11 @@ def cosine_distance_batch(matrix: np.ndarray, queries: np.ndarray,
     Degenerate zero-norm vectors compare at maximum distance (2.0) rather
     than raising, so a corrupt descriptor can never accidentally match.
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
-    queries = _as_matrix(queries)
+    matrix = np.asarray(matrix)
+    queries = np.asarray(queries)
+    dtype = _compute_dtype(matrix, queries)
+    matrix = np.asarray(matrix, dtype=dtype)
+    queries = _as_matrix(queries, dtype)
     if row_norms is None:
         row_norms = np.linalg.norm(matrix, axis=1)
     if query_norms is None:
@@ -84,16 +110,19 @@ def l2sq_distance_batch(matrix: np.ndarray, queries: np.ndarray,
     of a (Q, N, D) difference tensor; cancellation residue is clipped at
     zero.
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
-    queries = _as_matrix(queries)
+    matrix = np.asarray(matrix)
+    queries = np.asarray(queries)
+    dtype = _compute_dtype(matrix, queries)
+    matrix = np.asarray(matrix, dtype=dtype)
+    queries = _as_matrix(queries, dtype)
     if row_norms is None:
         row_sq = np.einsum("ij,ij->i", matrix, matrix)
     else:
-        row_sq = np.asarray(row_norms, dtype=np.float64) ** 2
+        row_sq = np.asarray(row_norms, dtype=dtype) ** 2
     if query_norms is None:
         query_sq = np.einsum("ij,ij->i", queries, queries)
     else:
-        query_sq = np.asarray(query_norms, dtype=np.float64) ** 2
+        query_sq = np.asarray(query_norms, dtype=dtype) ** 2
     sq = queries @ matrix.T
     sq *= -2.0
     sq += query_sq[:, None]
@@ -114,9 +143,9 @@ def cosine_distance(matrix: np.ndarray, query: np.ndarray,
                     row_norms: np.ndarray | None = None,
                     query_norm: float | None = None) -> np.ndarray:
     """1 - cos(angle) for each row against the query; shape (N,)."""
-    query = np.asarray(query, dtype=np.float64)
+    query = _as_query(query)
     query_norms = None if query_norm is None else np.array(
-        [query_norm], dtype=np.float64)
+        [query_norm], dtype=query.dtype)
     return cosine_distance_batch(matrix, query[None, :],
                                  row_norms=row_norms,
                                  query_norms=query_norms)[0]
@@ -126,9 +155,9 @@ def l2_distance(matrix: np.ndarray, query: np.ndarray,
                 row_norms: np.ndarray | None = None,
                 query_norm: float | None = None) -> np.ndarray:
     """Euclidean distance of each row to the query; shape (N,)."""
-    query = np.asarray(query, dtype=np.float64)
+    query = _as_query(query)
     query_norms = None if query_norm is None else np.array(
-        [query_norm], dtype=np.float64)
+        [query_norm], dtype=query.dtype)
     return l2_distance_batch(matrix, query[None, :], row_norms=row_norms,
                              query_norms=query_norms)[0]
 
@@ -137,9 +166,9 @@ def l2sq_distance(matrix: np.ndarray, query: np.ndarray,
                   row_norms: np.ndarray | None = None,
                   query_norm: float | None = None) -> np.ndarray:
     """Squared Euclidean distance (cheaper when only ordering matters)."""
-    query = np.asarray(query, dtype=np.float64)
+    query = _as_query(query)
     query_norms = None if query_norm is None else np.array(
-        [query_norm], dtype=np.float64)
+        [query_norm], dtype=query.dtype)
     return l2sq_distance_batch(matrix, query[None, :], row_norms=row_norms,
                                query_norms=query_norms)[0]
 

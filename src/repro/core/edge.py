@@ -113,11 +113,18 @@ class EdgeNode:
         self.pipeline = pipeline
         #: digest -> completion event, for miss coalescing on hash tasks.
         self._inflight: dict[str, Event] = {}
-        #: (kind, threshold) -> same-tick lookups awaiting one batch pass.
-        self._pending_lookups: dict[tuple[str, float],
-                                    list[tuple[Descriptor, Event]]] = {}
+        #: Same-tick lookups awaiting one fused batch pass, as
+        #: (descriptor, threshold, waiter) in arrival order — all kinds
+        #: share the one list because the cache's fused core answers a
+        #: mixed-kind burst in one stacked matmul.
+        self._pending_lookups: list[
+            tuple[Descriptor, float, Event]] = []
         self.batched_lookups = 0
         self.lookup_batches = 0
+        #: Optional :class:`~repro.core.parallel.TickLookupFanout`
+        #: shared by co-located edges; installed by the deployment when
+        #: ``config.lookup_threads > 0``.  None = flush inline.
+        self.lookup_fanout = None
         self.requests_served = 0
         #: Layer-cache manager over this edge's cache, installed by the
         #: deployment when the scenario policy ships or serves layer
@@ -181,38 +188,52 @@ class EdgeNode:
         """Charge one lookup's simulated cost, then resolve it in a
         shared vectorized pass.
 
-        Requests of the same kind whose cost timeout lands on the same
-        simulated instant are collected and answered by a single
-        :meth:`ICCache.lookup_batch` call — the burst of co-located users
-        that the multi-user sharing ablation hammers becomes one BLAS
-        pass instead of N scans.  Simulated timing and match decisions
-        are identical to per-request lookups: every request still pays
-        its own ``lookup_cost_s`` and the batch pass itself adds zero
+        Requests whose cost timeout lands on the same simulated instant
+        are collected — across descriptor kinds — and answered by a
+        single :meth:`ICCache.lookup_batch` call with per-item
+        thresholds; under the fused linear core the whole mixed burst
+        is one stacked matmul.  The burst of co-located users that the
+        multi-user sharing ablation hammers becomes one BLAS pass
+        instead of N scans.  Simulated timing and match decisions are
+        identical to per-request lookups: every request still pays its
+        own ``lookup_cost_s`` and the batch pass itself adds zero
         simulated time.
         """
         yield self.env.timeout(self.cache.lookup_cost_s(descriptor.kind))
-        key = (descriptor.kind, threshold)
-        batch = self._pending_lookups.get(key)
-        if batch is None:
-            self._pending_lookups[key] = batch = []
-            self.env.process(self._flush_lookups(key))
+        if not self._pending_lookups:
+            self.env.process(self._flush_lookups())
         waiter = self.env.event()
-        batch.append((descriptor, waiter))
+        self._pending_lookups.append((descriptor, threshold, waiter))
         entry = yield waiter
         return entry
 
-    def _flush_lookups(self, key: tuple[str, float]):
+    def _flush_lookups(self):
         # A zero timeout lets every same-tick request register first.
         yield self.env.timeout(0.0)
-        batch = self._pending_lookups.pop(key, [])
+        batch, self._pending_lookups = self._pending_lookups, []
         if not batch:
             return
-        entries = self.cache.lookup_batch([d for d, _ in batch],
-                                          now=self.env.now,
-                                          threshold=key[1])
-        self.batched_lookups += len(batch)
+        # Stable-group by (kind, threshold), first-seen order: bursts
+        # settle (stats, recency, expiry purges) in exactly the order
+        # the historical per-key flush processes produced.
+        groups: dict[tuple[str, float], list[
+            tuple[Descriptor, float, Event]]] = {}
+        for item in batch:
+            groups.setdefault((item[0].kind, item[1]), []).append(item)
+        ordered = [item for group in groups.values() for item in group]
+        descriptors = [d for d, _, _ in ordered]
+        thresholds = [t for _, t, _ in ordered]
+        now = self.env.now
+        if self.lookup_fanout is not None:
+            entries = yield self.lookup_fanout.submit(
+                lambda: self.cache.lookup_batch(
+                    descriptors, now=now, thresholds=thresholds))
+        else:
+            entries = self.cache.lookup_batch(descriptors, now=now,
+                                              thresholds=thresholds)
+        self.batched_lookups += len(ordered)
         self.lookup_batches += 1
-        for (_, waiter), entry in zip(batch, entries):
+        for (_, _, waiter), entry in zip(ordered, entries):
             waiter.succeed(entry)
 
     # -- serve loop ----------------------------------------------------------------

@@ -54,6 +54,7 @@ from repro.core.cache import ICCache
 from repro.core.cluster import ClusterDeployment
 from repro.core.descriptors import Descriptor
 from repro.core.edge import EdgeNode
+from repro.core.index import AffinitySketch
 from repro.core.metrics import OUTCOME_HIT
 from repro.core.scenario import ScenarioSpec
 from repro.net.message import Message
@@ -67,6 +68,13 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.net.transport import Rpc
     from repro.render.loader import ModelLoader
     from repro.vision.recognition import Recognizer
+
+#: Shared signature sketch for scoring peer probes against gossiped
+#: cache summaries.  AffinitySketch hyperplanes are deterministic from
+#: the module seed, so every edge (and every gossiped summary) agrees
+#: on bucket keys; one instance serves all nodes since signature() is
+#: read-only.
+_QUERY_SKETCH = AffinitySketch()
 
 
 class FederatedEdgeNode(EdgeNode):
@@ -98,6 +106,10 @@ class FederatedEdgeNode(EdgeNode):
         self.peer_timeout_s = peer_timeout_s
         self.peer_hits = 0
         self.peer_misses = 0
+        #: Total peer_lookup probes sent (backhaul messages); with
+        #: affinity-ordered probing this drops relative to spec-order
+        #: probing because likely holders are asked first.
+        self.peer_probes = 0
 
     # -- serve loop: add the peer protocol -------------------------------------
 
@@ -132,12 +144,38 @@ class FederatedEdgeNode(EdgeNode):
 
     # -- the federated miss path -------------------------------------------------
 
+    def _probe_order(self, descriptor: Descriptor) -> list[str]:
+        """Peers in probe order: likeliest holder first.
+
+        When affinity gossip is running (``EdgePolicySpec.offload=
+        "affinity"``), each peer's last :class:`~repro.core.cache
+        .CacheSummary` sits in ``peer_summaries``; a vector probe is
+        scored against every snapshot's signature sketch and peers are
+        sorted by descending expected-hit probability.  The sort is
+        stable, so peers without summaries — and all peers on hash
+        probes or when no gossip has arrived — keep the configured
+        spec order (nearest first), which is exactly the historical
+        behaviour.
+        """
+        if not descriptor.is_vector or not self.peer_summaries:
+            return self.peers
+        signature = _QUERY_SKETCH.signature(descriptor.vector)
+        scores = {
+            peer: summary.expected_hit(descriptor.kind, signature)
+            for peer, summary in self.peer_summaries.items()}
+        return sorted(self.peers,
+                      key=lambda peer: -scores.get(peer, 0.0))
+
     def _query_peers(self, descriptor: Descriptor):
-        """Ask peers in order; returns the first result or None."""
-        for peer in self.peers:
+        """Ask peers, likeliest holder first; return the first result.
+
+        Returns None when every probe misses or errors.
+        """
+        for peer in self._probe_order(descriptor):
             probe = Message(size_bytes=descriptor.size_bytes,
                             kind="peer_lookup", payload=descriptor,
                             src=self.host.name, dst=peer)
+            self.peer_probes += 1
             try:
                 response = yield self.rpc.call(
                     probe, timeout=self.peer_timeout_s)

@@ -1,6 +1,6 @@
 """Descriptor indexes: how the edge finds "a result close enough".
 
-Three implementations behind one interface:
+Four implementations behind one interface:
 
 * :class:`ExactIndex` — hash table for :class:`HashDescriptor` keys
   (3D models, panoramas).  O(1) lookups.
@@ -9,16 +9,33 @@ Three implementations behind one interface:
 * :class:`LshIndex` — random-hyperplane locality-sensitive hashing.
   Sub-linear candidate sets at the price of missed borderline matches;
   the index-scaling ablation quantifies the trade.
+* :class:`IvfIndex` — inverted-file coarse quantizer: k-means centroids
+  over the stored vectors, an ``nprobe``-wide probe list per query, and
+  exact re-ranking of the probed cells' members.  The million-entry
+  tier: per-query work grows with ``K + n * nprobe / K`` instead of
+  ``n``.
 
 Storage layout
 ==============
 Vector indexes keep their descriptors in a :class:`_VectorStore`: one
-contiguous, preallocated float64 matrix plus a parallel array of cached
+contiguous, preallocated matrix plus a parallel array of cached
 Euclidean row norms.  Capacity grows by amortized doubling (never per
 insert); removal swap-compacts the last row into the freed slot, so the
 live rows are always the dense prefix ``matrix[:n]`` and every query is
 one contiguous BLAS pass with no masking.  Cosine queries reuse the
 cached norms instead of re-running ``np.linalg.norm`` over the store.
+
+The store is dtype-parametric.  ``"float32"`` is the default — client
+descriptors are float32 already (:class:`~repro.core.descriptors
+.VectorDescriptor` stores float32 vectors), so halving the bytes loses
+no input precision, only gemm accumulation width — and ``"float64"`` is
+the compatibility mode the deployment pipeline pins so historical
+golden digests stay byte-identical.  ``"int8"`` selects
+:class:`_QuantizedVectorStore`: scalar quantization with per-row
+scale/offset (4x smaller again), dequantized chunk-by-chunk at query
+time.  Decision-stability margins scale with the dtype: float64 wobble
+is ~1e-13, float32 gemm-order wobble is ~1e-6, so the boundary
+re-answer epsilon is 1e-9 / 1e-5 respectively.
 
 Batch API contract
 ==================
@@ -219,20 +236,51 @@ class IndexEntryExists(ValueError):
     """The entry id is already present in the index."""
 
 
+#: Storage dtype vector indexes use unless told otherwise.  Descriptor
+#: vectors are float32 at the source, so float32 storage is value-exact;
+#: only gemm accumulation differs from the "float64" compatibility mode.
+DEFAULT_DTYPE = "float32"
+
+#: Valid ``dtype`` arguments for vector stores / indexes.
+STORE_DTYPES = ("float32", "float64", "int8")
+
+
+def _decision_eps(dtype: str) -> float:
+    """Decision-stability margin for batch-vs-sequential re-answers.
+
+    Far wider than the dtype's BLAS summation-order wobble (~1e-13 for
+    float64 accumulation, ~1e-6 for float32), far narrower than any
+    real match margin.
+    """
+    return 1e-9 if dtype == "float64" else 1e-5
+
+
 class _VectorStore:
-    """Contiguous float64 vector storage with cached per-row norms.
+    """Contiguous dense vector storage with cached per-row norms.
 
     Rows live in the dense prefix ``matrix[:n]``.  Inserts append;
     capacity doubles when full (amortized O(dim) per insert).  Removes
     swap the last live row into the freed slot (O(dim), order not
-    preserved).  ``norms[:n]`` always mirrors ``matrix[:n]``.
+    preserved).  ``norms[:n]`` always mirrors ``matrix[:n]``.  Each row
+    carries an int32 *tag* (default 0) that survives swap-compaction —
+    the fused multi-kind index stores its kind code there.
+
+    Args:
+        dtype: ``"float32"`` (default) or ``"float64"``; the matrix,
+            norms, and all query arithmetic run in this dtype.
     """
 
     MIN_CAPACITY = 64
 
-    def __init__(self):
+    def __init__(self, dtype: str = DEFAULT_DTYPE):
+        if dtype not in ("float32", "float64"):
+            raise ValueError(f"dtype must be float32/float64, got {dtype!r}")
+        self.dtype = dtype
+        #: The float dtype queries are cast to before any arithmetic.
+        self.compute_dtype = np.dtype(dtype)
         self._matrix: np.ndarray | None = None  # (capacity, dim)
         self._norms: np.ndarray | None = None   # (capacity,)
+        self._tags: np.ndarray | None = None    # (capacity,) int32
         self._row_ids: list[int] = []           # row -> entry_id
         self._row_of: dict[int, int] = {}       # entry_id -> row
         self.dim: int | None = None
@@ -253,6 +301,11 @@ class _VectorStore:
         """Cached Euclidean norms of the live rows; (n,) view."""
         return self._norms[:len(self._row_ids)]
 
+    @property
+    def tags(self) -> np.ndarray:
+        """Per-row int32 tags of the live rows; (n,) view."""
+        return self._tags[:len(self._row_ids)]
+
     def id_at(self, row: int) -> int:
         return self._row_ids[row]
 
@@ -264,27 +317,81 @@ class _VectorStore:
         """The stored vector (a copy) for ``entry_id``."""
         return np.array(self._matrix[self._row_of[entry_id]])
 
-    def add(self, entry_id: int, vec: np.ndarray) -> None:
+    def take(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(vectors, norms)`` of the given rows, in row order."""
+        return self._matrix[rows], self._norms[rows]
+
+    def distances(self, metric_batch, queries: np.ndarray,
+                  lo: int = 0, hi: int | None = None) -> np.ndarray:
+        """(Q, hi - lo) distances of a query block against rows [lo, hi).
+
+        Defaults cover every live row.  The restriction is a view, not a
+        gather: callers that keep related rows contiguous (the fused
+        core's kind segments) pay flops only for the rows they ask for.
+        """
+        if hi is None:
+            hi = len(self._row_ids)
+        return metric_batch(self._matrix[lo:hi], queries,
+                            row_norms=self._norms[lo:hi])
+
+    def dots(self, queries: np.ndarray,
+             lo: int = 0, hi: int | None = None) -> np.ndarray:
+        """Raw (Q, hi - lo) inner products against rows [lo, hi)."""
+        if hi is None:
+            hi = len(self._row_ids)
+        return queries @ self._matrix[lo:hi].T
+
+    def swap_rows(self, i: int, j: int) -> None:
+        """Swap two live rows in place (vectors, norms, tags, ids)."""
+        if i == j:
+            return
+        self._matrix[[i, j]] = self._matrix[[j, i]]
+        self._norms[[i, j]] = self._norms[[j, i]]
+        self._tags[[i, j]] = self._tags[[j, i]]
+        id_i, id_j = self._row_ids[i], self._row_ids[j]
+        self._row_ids[i], self._row_ids[j] = id_j, id_i
+        self._row_of[id_i] = j
+        self._row_of[id_j] = i
+
+    def memory_bytes(self) -> int:
+        """Allocated array bytes (matrix + norms + tags)."""
         if self._matrix is None:
-            self.dim = vec.shape[0]
-            capacity = max(self.MIN_CAPACITY, 1)
-            self._matrix = np.empty((capacity, self.dim), dtype=np.float64)
-            self._norms = np.empty(capacity, dtype=np.float64)
+            return 0
+        return (self._matrix.nbytes + self._norms.nbytes
+                + self._tags.nbytes)
+
+    def _allocate(self, capacity: int, dim: int) -> None:
+        self.dim = dim
+        self._matrix = np.empty((capacity, dim), dtype=self.compute_dtype)
+        self._norms = np.empty(capacity, dtype=self.compute_dtype)
+        self._tags = np.zeros(capacity, dtype=np.int32)
+
+    def _grow(self, capacity: int) -> None:
+        n = len(self._row_ids)
+        grown = np.empty((capacity, self.dim), dtype=self.compute_dtype)
+        grown[:n] = self._matrix[:n]
+        self._matrix = grown
+        grown_norms = np.empty(capacity, dtype=self.compute_dtype)
+        grown_norms[:n] = self._norms[:n]
+        self._norms = grown_norms
+        grown_tags = np.zeros(capacity, dtype=np.int32)
+        grown_tags[:n] = self._tags[:n]
+        self._tags = grown_tags
+
+    def add(self, entry_id: int, vec: np.ndarray, tag: int = 0) -> None:
+        if self._matrix is None:
+            self._allocate(max(self.MIN_CAPACITY, 1), vec.shape[0])
         n = len(self._row_ids)
         if n == self._matrix.shape[0]:
-            grown = np.empty((2 * n, self.dim), dtype=np.float64)
-            grown[:n] = self._matrix
-            self._matrix = grown
-            grown_norms = np.empty(2 * n, dtype=np.float64)
-            grown_norms[:n] = self._norms
-            self._norms = grown_norms
+            self._grow(2 * n)
         self._matrix[n] = vec
         self._norms[n] = np.linalg.norm(self._matrix[n])
+        self._tags[n] = tag
         self._row_ids.append(entry_id)
         self._row_of[entry_id] = n
 
     def add_batch(self, entry_ids: typing.Sequence[int],
-                  matrix: np.ndarray) -> None:
+                  matrix: np.ndarray, tag: int = 0) -> None:
         """Append many rows at once: one copy, at most one growth.
 
         ``matrix`` is (k, dim) and row j belongs to ``entry_ids[j]``.
@@ -295,22 +402,15 @@ class _VectorStore:
         if k == 0:
             return
         if self._matrix is None:
-            self.dim = matrix.shape[1]
-            capacity = max(self.MIN_CAPACITY, k)
-            self._matrix = np.empty((capacity, self.dim), dtype=np.float64)
-            self._norms = np.empty(capacity, dtype=np.float64)
+            self._allocate(max(self.MIN_CAPACITY, k), matrix.shape[1])
         n = len(self._row_ids)
         if n + k > self._matrix.shape[0]:
             capacity = self._matrix.shape[0]
             while capacity < n + k:
                 capacity *= 2
-            grown = np.empty((capacity, self.dim), dtype=np.float64)
-            grown[:n] = self._matrix[:n]
-            self._matrix = grown
-            grown_norms = np.empty(capacity, dtype=np.float64)
-            grown_norms[:n] = self._norms[:n]
-            self._norms = grown_norms
+            self._grow(capacity)
         self._matrix[n:n + k] = matrix
+        self._tags[n:n + k] = tag
         for j, entry_id in enumerate(entry_ids):
             # Per-row norms on purpose: an axis-1 reduction rounds
             # differently than the BLAS norm add() uses, and cached
@@ -327,8 +427,214 @@ class _VectorStore:
         if row != last:
             self._matrix[row] = self._matrix[last]
             self._norms[row] = self._norms[last]
+            self._tags[row] = self._tags[last]
             self._row_ids[row] = last_id
             self._row_of[last_id] = row
+
+
+class _QuantizedVectorStore:
+    """int8 scalar-quantized vector storage with per-row scale/offset.
+
+    Same interface and swap-compact layout as :class:`_VectorStore`, a
+    quarter of its float32 bytes: each row is stored as int8 codes in
+    [-127, 127] plus a float32 affine ``(scale, offset)`` pair, so a
+    stored value reconstructs as ``code * scale + offset`` with at most
+    half a quantization step of error.  Norms are cached from the
+    *dequantized* rows, so query-time distances are self-consistent.
+    Queries dequantize chunk-by-chunk (:data:`CHUNK` rows at a time) to
+    bound the float32 temporary, then run the normal BLAS metric —
+    approximate storage, exact arithmetic over it.
+    """
+
+    MIN_CAPACITY = 64
+    #: Rows dequantized per query chunk; bounds the float32 temporary
+    #: at CHUNK * dim * 4 bytes (32 MB at 128-d) regardless of n.
+    CHUNK = 65536
+
+    dtype = "int8"
+    compute_dtype = np.dtype(np.float32)
+
+    def __init__(self):
+        self._codes: np.ndarray | None = None    # (capacity, dim) int8
+        self._scales: np.ndarray | None = None   # (capacity,) float32
+        self._offsets: np.ndarray | None = None  # (capacity,) float32
+        self._norms: np.ndarray | None = None    # (capacity,) float32
+        self._tags: np.ndarray | None = None     # (capacity,) int32
+        self._row_ids: list[int] = []
+        self._row_of: dict[int, int] = {}
+        self.dim: int | None = None
+
+    def __len__(self) -> int:
+        return len(self._row_ids)
+
+    def __contains__(self, entry_id: int) -> bool:
+        return entry_id in self._row_of
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Dequantized (n, dim) float32 matrix of the live rows.
+
+        Materializes the whole store — fine for small stores and tests;
+        queries should go through :meth:`distances`, which chunks.
+        """
+        return self._dequant(np.arange(len(self._row_ids), dtype=np.intp))
+
+    @property
+    def norms(self) -> np.ndarray:
+        """Cached norms of the dequantized live rows; (n,) view."""
+        return self._norms[:len(self._row_ids)]
+
+    @property
+    def tags(self) -> np.ndarray:
+        return self._tags[:len(self._row_ids)]
+
+    def id_at(self, row: int) -> int:
+        return self._row_ids[row]
+
+    def rows_for(self, entry_ids: typing.Sequence[int]) -> np.ndarray:
+        return np.fromiter((self._row_of[i] for i in entry_ids),
+                           dtype=np.intp, count=len(entry_ids))
+
+    def get(self, entry_id: int) -> np.ndarray:
+        """The stored (dequantized) vector for ``entry_id``."""
+        return self._dequant(np.array([self._row_of[entry_id]],
+                                      dtype=np.intp))[0]
+
+    def _dequant(self, rows: np.ndarray) -> np.ndarray:
+        out = self._codes[rows].astype(np.float32)
+        out *= self._scales[rows, None]
+        out += self._offsets[rows, None]
+        return out
+
+    def take(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self._dequant(np.asarray(rows, dtype=np.intp)), \
+            self._norms[rows]
+
+    def distances(self, metric_batch, queries: np.ndarray,
+                  lo: int = 0, hi: int | None = None) -> np.ndarray:
+        """(Q, hi - lo) distances, dequantizing :data:`CHUNK` at a time.
+
+        Defaults cover every live row.  Chunk boundaries depend only on
+        the row range, never on the query count, so a batch of Q and Q
+        batches of one run byte-identical arithmetic per (query, row)
+        pair.
+        """
+        if hi is None:
+            hi = len(self._row_ids)
+        blocks = []
+        for start in range(lo, hi, self.CHUNK):
+            rows = np.arange(start, min(start + self.CHUNK, hi),
+                             dtype=np.intp)
+            blocks.append(metric_batch(self._dequant(rows), queries,
+                                       row_norms=self._norms[rows]))
+        return np.concatenate(blocks, axis=1)
+
+    def swap_rows(self, i: int, j: int) -> None:
+        """Swap two live rows in place (codes, affine params, tags, ids)."""
+        if i == j:
+            return
+        for name in ("_codes", "_scales", "_offsets", "_norms", "_tags"):
+            arr = getattr(self, name)
+            arr[[i, j]] = arr[[j, i]]
+        id_i, id_j = self._row_ids[i], self._row_ids[j]
+        self._row_ids[i], self._row_ids[j] = id_j, id_i
+        self._row_of[id_i] = j
+        self._row_of[id_j] = i
+
+    def memory_bytes(self) -> int:
+        if self._codes is None:
+            return 0
+        return (self._codes.nbytes + self._scales.nbytes
+                + self._offsets.nbytes + self._norms.nbytes
+                + self._tags.nbytes)
+
+    def _quantize(self, vec: np.ndarray
+                  ) -> tuple[np.ndarray, np.float32, np.float32]:
+        lo = float(vec.min())
+        hi = float(vec.max())
+        offset = np.float32((hi + lo) / 2.0)
+        scale = np.float32((hi - lo) / 254.0)
+        if scale == 0:
+            return np.zeros(vec.shape[0], dtype=np.int8), scale, offset
+        codes = np.clip(np.rint((vec - offset) / scale), -127, 127)
+        return codes.astype(np.int8), scale, offset
+
+    def _allocate(self, capacity: int, dim: int) -> None:
+        self.dim = dim
+        self._codes = np.empty((capacity, dim), dtype=np.int8)
+        self._scales = np.empty(capacity, dtype=np.float32)
+        self._offsets = np.empty(capacity, dtype=np.float32)
+        self._norms = np.empty(capacity, dtype=np.float32)
+        self._tags = np.zeros(capacity, dtype=np.int32)
+
+    def _grow(self, capacity: int) -> None:
+        n = len(self._row_ids)
+        for name in ("_codes", "_scales", "_offsets", "_norms", "_tags"):
+            old = getattr(self, name)
+            shape = (capacity,) + old.shape[1:]
+            grown = (np.zeros if name == "_tags" else np.empty)(
+                shape, dtype=old.dtype)
+            grown[:n] = old[:n]
+            setattr(self, name, grown)
+
+    def _set_row(self, row: int, vec: np.ndarray, tag: int) -> None:
+        codes, scale, offset = self._quantize(
+            np.asarray(vec, dtype=np.float32))
+        self._codes[row] = codes
+        self._scales[row] = scale
+        self._offsets[row] = offset
+        self._norms[row] = np.linalg.norm(
+            self._dequant(np.array([row], dtype=np.intp))[0])
+        self._tags[row] = tag
+
+    def add(self, entry_id: int, vec: np.ndarray, tag: int = 0) -> None:
+        if self._codes is None:
+            self._allocate(max(self.MIN_CAPACITY, 1), vec.shape[0])
+        n = len(self._row_ids)
+        if n == self._codes.shape[0]:
+            self._grow(2 * n)
+        self._set_row(n, vec, tag)
+        self._row_ids.append(entry_id)
+        self._row_of[entry_id] = n
+
+    def add_batch(self, entry_ids: typing.Sequence[int],
+                  matrix: np.ndarray, tag: int = 0) -> None:
+        k = len(entry_ids)
+        if k == 0:
+            return
+        if self._codes is None:
+            self._allocate(max(self.MIN_CAPACITY, k), matrix.shape[1])
+        n = len(self._row_ids)
+        if n + k > self._codes.shape[0]:
+            capacity = self._codes.shape[0]
+            while capacity < n + k:
+                capacity *= 2
+            self._grow(capacity)
+        for j, entry_id in enumerate(entry_ids):
+            # Row-at-a-time so batch and scalar inserts quantize (and
+            # cache norms) bit-identically.
+            self._set_row(n + j, matrix[j], tag)
+            self._row_ids.append(entry_id)
+            self._row_of[entry_id] = n + j
+
+    def remove(self, entry_id: int) -> None:
+        row = self._row_of.pop(entry_id)
+        last = len(self._row_ids) - 1
+        last_id = self._row_ids.pop()
+        if row != last:
+            self._codes[row] = self._codes[last]
+            self._scales[row] = self._scales[last]
+            self._offsets[row] = self._offsets[last]
+            self._norms[row] = self._norms[last]
+            self._tags[row] = self._tags[last]
+            self._row_ids[row] = last_id
+            self._row_of[last_id] = row
+
+
+def _make_store(dtype: str) -> "_VectorStore | _QuantizedVectorStore":
+    if dtype == "int8":
+        return _QuantizedVectorStore()
+    return _VectorStore(dtype=dtype)
 
 
 class DescriptorIndex:
@@ -450,11 +756,13 @@ class LinearIndex(DescriptorIndex):
     BASE_COST_S = 5e-5
     PER_VECTOR_COST_S = 2.5e-7
 
-    def __init__(self, metric: str = "cosine"):
+    def __init__(self, metric: str = "cosine", dtype: str = DEFAULT_DTYPE):
         self.metric_name = metric
+        self.dtype = dtype
         self._metric = get_metric(metric)
         self._metric_batch = get_metric_batch(metric)
-        self._store = _VectorStore()
+        self._store = _make_store(dtype)
+        self._eps = _decision_eps(dtype)
         self.last_query_cost_s: float | None = None
 
     def insert(self, entry_id: int, descriptor: Descriptor) -> None:
@@ -492,10 +800,6 @@ class LinearIndex(DescriptorIndex):
               threshold: float) -> tuple[int, float] | None:
         return self.query_batch([descriptor], threshold)[0]
 
-    #: Decision-stability margin: far wider than BLAS summation-order
-    #: wobble (~1e-13), far narrower than any real match margin.
-    _DECISION_EPS = 1e-9
-
     def query_batch(self, descriptors: typing.Sequence[Descriptor],
                     threshold: float) -> list[tuple[int, float] | None]:
         vecs = [self._validate(d, for_query=True) for d in descriptors]
@@ -505,8 +809,7 @@ class LinearIndex(DescriptorIndex):
         if len(self._store) == 0:
             return [None] * len(vecs)
         queries = np.stack(vecs)
-        distances = self._metric_batch(self._store.matrix, queries,
-                                       row_norms=self._store.norms)
+        distances = self._store.distances(self._metric_batch, queries)
         best = np.argmin(distances, axis=1)
         best_distance = distances[np.arange(len(vecs)), best]
         if distances.shape[1] > 1:
@@ -517,8 +820,8 @@ class LinearIndex(DescriptorIndex):
         for q, row in enumerate(best):
             d = float(best_distance[q])
             if len(vecs) > 1 and (
-                    abs(d - threshold) <= self._DECISION_EPS
-                    or runner_up[q] - d <= self._DECISION_EPS):
+                    abs(d - threshold) <= self._eps
+                    or runner_up[q] - d <= self._eps):
                 # Boundary case: a one-query gemm and a Q-query gemm may
                 # round differently (summation order), which could flip
                 # an exact tie or a threshold-edge decision.  Re-answer
@@ -537,6 +840,10 @@ class LinearIndex(DescriptorIndex):
     def lookup_cost_s(self) -> float:
         return self.BASE_COST_S + self.PER_VECTOR_COST_S * len(self._store)
 
+    def memory_bytes(self) -> int:
+        """Allocated storage bytes (the store's arrays)."""
+        return self._store.memory_bytes()
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -544,7 +851,8 @@ class LinearIndex(DescriptorIndex):
                   for_query: bool = False) -> np.ndarray:
         if not isinstance(descriptor, VectorDescriptor):
             raise TypeError("LinearIndex stores VectorDescriptor keys")
-        vec = np.asarray(descriptor.vector, dtype=np.float64)
+        vec = np.asarray(descriptor.vector,
+                         dtype=self._store.compute_dtype)
         if self._store.dim is not None and vec.shape[0] != self._store.dim:
             raise ValueError(
                 f"dimension mismatch: index is {self._store.dim}-d, "
@@ -580,7 +888,8 @@ class LshIndex(DescriptorIndex):
     PER_TABLE_COST_S = 2e-6
 
     def __init__(self, dim: int, metric: str = "cosine", n_tables: int = 8,
-                 n_bits: int = 12, seed: int = 7):
+                 n_bits: int = 12, seed: int = 7,
+                 dtype: str = DEFAULT_DTYPE):
         if dim < 1:
             raise ValueError("dim must be >= 1")
         if n_tables < 1 or n_bits < 1:
@@ -588,6 +897,7 @@ class LshIndex(DescriptorIndex):
         if n_bits > 62:
             raise ValueError("n_bits must be <= 62 (signature is an int64)")
         self.metric_name = metric
+        self.dtype = dtype
         self._metric = get_metric(metric)
         self.dim = dim
         self.n_tables = n_tables
@@ -604,7 +914,7 @@ class LshIndex(DescriptorIndex):
                                             dtype=np.int64))
         self._tables: list[dict[int, set[int]]] = [
             {} for _ in range(n_tables)]
-        self._store = _VectorStore()
+        self._store = _make_store(dtype)
         self.last_candidates = 0
         self.last_query_cost_s: float | None = None
 
@@ -624,7 +934,12 @@ class LshIndex(DescriptorIndex):
         if entry_id in self._store:
             raise IndexEntryExists(f"entry {entry_id} already indexed")
         self._store.add(entry_id, vec)
-        for table, sig in enumerate(self._signatures(vec)):
+        # Signatures come from the *stored* representation so that
+        # remove() (which only has the store) recomputes the same
+        # buckets — this matters for the int8 store, where the stored
+        # row is the dequantized approximation, not the input.
+        stored = self._store.get(entry_id)
+        for table, sig in enumerate(self._signatures(stored)):
             self._tables[table].setdefault(int(sig), set()).add(entry_id)
 
     def insert_batch(self, items: typing.Sequence[
@@ -647,8 +962,10 @@ class LshIndex(DescriptorIndex):
         if not ids:
             return
         block = np.stack(vecs)
-        signatures = self._signatures_batch(block)
         self._store.add_batch(ids, block)
+        # Stored representation, as in insert() (int8 store quantizes).
+        stored_block, _ = self._store.take(self._store.rows_for(ids))
+        signatures = self._signatures_batch(stored_block)
         for j, entry_id in enumerate(ids):
             for table in range(self.n_tables):
                 self._tables[table].setdefault(
@@ -689,9 +1006,10 @@ class LshIndex(DescriptorIndex):
                 results.append(None)
                 continue
             ids = list(candidates)
-            rows = self._store.rows_for(ids)
-            distances = self._metric(self._store.matrix[rows], vec,
-                                     row_norms=self._store.norms[rows])
+            cand_matrix, cand_norms = self._store.take(
+                self._store.rows_for(ids))
+            distances = self._metric(cand_matrix, vec,
+                                     row_norms=cand_norms)
             best = int(np.argmin(distances))
             best_distance = float(distances[best])
             if best_distance <= threshold:
@@ -723,6 +1041,10 @@ class LshIndex(DescriptorIndex):
             return 0.0
         return min(float(n), self.n_tables * n / float(2 ** self.n_bits))
 
+    def memory_bytes(self) -> int:
+        """Allocated storage bytes (store arrays + hyperplanes)."""
+        return self._store.memory_bytes() + self._planes.nbytes
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -733,29 +1055,730 @@ class LshIndex(DescriptorIndex):
             raise ValueError(
                 f"dimension mismatch: index is {self.dim}-d, "
                 f"descriptor is {descriptor.dim}-d")
-        return np.asarray(descriptor.vector, dtype=np.float64)
+        return np.asarray(descriptor.vector,
+                          dtype=self._store.compute_dtype)
 
 
 _EMPTY_BUCKET: frozenset[int] = frozenset()
 
 
-def make_index(spec: str, dim: int = 128,
-               metric: str = "cosine") -> DescriptorIndex:
+class IvfIndex(DescriptorIndex):
+    """Inverted-file index: k-means coarse quantizer + exact re-ranking.
+
+    The million-entry tier.  Training runs Lloyd's algorithm over a
+    deterministic subsample of the stored vectors (seeded from
+    ``(seed, dim, n, K)``, so a given store always trains the same
+    centroids); each stored vector is assigned to its nearest centroid's
+    inverted list.  A query ranks the ``K`` centroids, gathers the
+    members of the ``nprobe`` nearest cells, and re-ranks them exactly —
+    per-query work grows with ``K + n * nprobe / K`` instead of ``n``.
+
+    Lifecycle: below ``min_train`` entries the index is an exact linear
+    scan (nothing to quantize yet).  The first insert at or past
+    ``min_train`` trains; afterwards inserts assign incrementally, and
+    the index re-trains whenever occupancy has grown by
+    ``retrain_growth``x since the last training — centroids follow the
+    catalog as it drifts, with amortized-constant re-train cost.
+
+    Recall: with auto-sized ``K ~ sqrt(n)`` and the default ``nprobe``
+    the near-duplicate drift workloads hold recall >= 0.95 against
+    :class:`LinearIndex` ground truth (asserted by the index-scaling
+    bench and the property suite).  More ``nprobe`` buys recall
+    linearly in candidate cost.
+
+    Args:
+        dim: Vector dimension.
+        metric: Distance for both coarse ranking and re-ranking.
+        n_centroids: Cells to train (0 = auto, ``~sqrt(n)``).
+        nprobe: Cells probed per query (0 = auto, a small constant — a
+            *fixed* probe width is what keeps scaling sublinear).
+        seed: Training seed (subsample choice + centroid init).
+        dtype: Storage dtype, as :class:`_VectorStore`.
+        min_train: Occupancy at which the first training runs.
+        retrain_growth: Growth factor that triggers re-training.
+        kmeans_iters: Lloyd iterations per training.
+        train_sample: Max vectors fed to Lloyd (subsampled above this).
+    """
+
+    BASE_COST_S = 6e-5
+    PER_CENTROID_COST_S = 1.2e-7
+    PER_CANDIDATE_COST_S = 2.5e-7
+    DEFAULT_NPROBE = 8
+
+    def __init__(self, dim: int, metric: str = "cosine",
+                 n_centroids: int = 0, nprobe: int = 0, seed: int = 13,
+                 dtype: str = DEFAULT_DTYPE, min_train: int = 256,
+                 retrain_growth: float = 4.0, kmeans_iters: int = 8,
+                 train_sample: int = 20000):
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if n_centroids < 0 or nprobe < 0:
+            raise ValueError("n_centroids and nprobe must be >= 0")
+        if min_train < 2:
+            raise ValueError("min_train must be >= 2")
+        if retrain_growth <= 1.0:
+            raise ValueError("retrain_growth must be > 1.0")
+        self.dim = dim
+        self.metric_name = metric
+        self.dtype = dtype
+        self.n_centroids = n_centroids
+        self.nprobe = nprobe
+        self.seed = seed
+        self.min_train = min_train
+        self.retrain_growth = retrain_growth
+        self.kmeans_iters = kmeans_iters
+        self.train_sample = train_sample
+        self._metric = get_metric(metric)
+        self._metric_batch = get_metric_batch(metric)
+        self._store = _make_store(dtype)
+        self._eps = _decision_eps(dtype)
+        self._centroids: np.ndarray | None = None
+        self._centroid_norms: np.ndarray | None = None
+        self._lists: list[set[int]] = []
+        self._cell_of: dict[int, int] = {}
+        self._trained_n = 0
+        self.trainings = 0
+        self.last_candidates = 0
+        self.last_query_cost_s: float | None = None
+
+    # -- maintenance -----------------------------------------------------------
+
+    @property
+    def trained(self) -> bool:
+        return self._centroids is not None
+
+    def _effective_nprobe(self) -> int:
+        probe = self.nprobe or self.DEFAULT_NPROBE
+        if self._centroids is not None:
+            probe = min(probe, len(self._centroids))
+        return probe
+
+    def _assign_block(self, block: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Nearest centroid (and its distance) for each row of a block."""
+        d = self._metric_batch(self._centroids, block,
+                               row_norms=self._centroid_norms)
+        cells = np.argmin(d, axis=1)
+        return cells, d[np.arange(len(block)), cells]
+
+    def _train(self) -> None:
+        n = len(self._store)
+        k = self.n_centroids or max(4, int(round(np.sqrt(n))))
+        k = min(k, n)
+        sample_n = min(self.train_sample, n)
+        # Deterministic stride subsample: stable under append-order and
+        # cheap at 10^7 rows.
+        sample_rows = np.unique(np.linspace(
+            0, n - 1, sample_n).round().astype(np.intp))
+        data, _ = self._store.take(sample_rows)
+        data = np.asarray(data, dtype=np.float64)
+        rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(
+            [self.seed, self.dim, n, k])))
+        centroids = data[rng.choice(len(data), size=k, replace=False)]
+        centroids = np.array(centroids)
+        cnorms = np.linalg.norm(centroids, axis=1)
+        for _ in range(self.kmeans_iters):
+            assign = np.empty(len(data), dtype=np.intp)
+            mindist = np.empty(len(data), dtype=np.float64)
+            for s in range(0, len(data), 4096):
+                block = data[s:s + 4096]
+                d = self._metric_batch(centroids, block, row_norms=cnorms)
+                assign[s:s + len(block)] = np.argmin(d, axis=1)
+                mindist[s:s + len(block)] = d[
+                    np.arange(len(block)), assign[s:s + len(block)]]
+            counts = np.bincount(assign, minlength=k)
+            sums = np.zeros_like(centroids)
+            np.add.at(sums, assign, data)
+            live = counts > 0
+            centroids[live] = sums[live] / counts[live, None]
+            empty = np.flatnonzero(~live)
+            if len(empty):
+                # Re-seed dead cells to the worst-served points.
+                farthest = np.argsort(-mindist, kind="stable")[:len(empty)]
+                centroids[empty] = data[farthest]
+            cnorms = np.linalg.norm(centroids, axis=1)
+        self._centroids = np.asarray(centroids,
+                                     dtype=self._store.compute_dtype)
+        self._centroid_norms = np.linalg.norm(self._centroids, axis=1)
+        self._trained_n = n
+        self.trainings += 1
+        self._rebuild_lists()
+
+    def _rebuild_lists(self) -> None:
+        k = len(self._centroids)
+        self._lists = [set() for _ in range(k)]
+        self._cell_of = {}
+        n = len(self._store)
+        for s in range(0, n, 4096):
+            rows = np.arange(s, min(s + 4096, n), dtype=np.intp)
+            block, _ = self._store.take(rows)
+            cells, _ = self._assign_block(
+                np.asarray(block, dtype=self._store.compute_dtype))
+            for j, row in enumerate(rows):
+                entry_id = self._store.id_at(int(row))
+                cell = int(cells[j])
+                self._lists[cell].add(entry_id)
+                self._cell_of[entry_id] = cell
+
+    def _maintain(self) -> None:
+        """Train or re-train if occupancy warrants it."""
+        n = len(self._store)
+        if self._centroids is None:
+            if n >= self.min_train:
+                self._train()
+        elif n >= self.retrain_growth * max(1, self._trained_n):
+            self._train()
+
+    # -- mutation --------------------------------------------------------------
+
+    def insert(self, entry_id: int, descriptor: Descriptor) -> None:
+        vec = self._validate(descriptor)
+        if entry_id in self._store:
+            raise IndexEntryExists(f"entry {entry_id} already indexed")
+        self._store.add(entry_id, vec)
+        if self._centroids is not None:
+            stored = np.asarray(self._store.get(entry_id),
+                                dtype=self._store.compute_dtype)
+            cells, _ = self._assign_block(stored[None, :])
+            cell = int(cells[0])
+            self._lists[cell].add(entry_id)
+            self._cell_of[entry_id] = cell
+        self._maintain()
+
+    def insert_batch(self, items: typing.Sequence[
+            tuple[int, Descriptor]]) -> None:
+        ids: list[int] = []
+        vecs: list[np.ndarray] = []
+        seen: set[int] = set()
+        for entry_id, descriptor in items:
+            if entry_id in self._store or entry_id in seen:
+                raise IndexEntryExists(f"entry {entry_id} already indexed")
+            seen.add(entry_id)
+            ids.append(entry_id)
+            vecs.append(self._validate(descriptor))
+        if not ids:
+            return
+        self._store.add_batch(ids, np.stack(vecs))
+        if self._centroids is not None:
+            block, _ = self._store.take(self._store.rows_for(ids))
+            cells, _ = self._assign_block(
+                np.asarray(block, dtype=self._store.compute_dtype))
+            for j, entry_id in enumerate(ids):
+                cell = int(cells[j])
+                self._lists[cell].add(entry_id)
+                self._cell_of[entry_id] = cell
+        self._maintain()
+
+    def remove(self, entry_id: int) -> None:
+        if entry_id not in self._store:
+            raise KeyError(f"entry {entry_id} not in index")
+        self._store.remove(entry_id)
+        cell = self._cell_of.pop(entry_id, None)
+        if cell is not None:
+            self._lists[cell].discard(entry_id)
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self, descriptor: Descriptor,
+              threshold: float) -> tuple[int, float] | None:
+        return self.query_batch([descriptor], threshold)[0]
+
+    def query_batch(self, descriptors: typing.Sequence[Descriptor],
+                    threshold: float) -> list[tuple[int, float] | None]:
+        vecs = [self._validate(d) for d in descriptors]
+        if not vecs:
+            return []
+        if len(self._store) == 0:
+            self.last_candidates = 0
+            self.last_query_cost_s = self.lookup_cost_s()
+            return [None] * len(vecs)
+        if self._centroids is None:
+            return self._scan_all(descriptors, vecs, threshold)
+        queries = np.stack(vecs)
+        cdist = self._metric_batch(self._centroids, queries,
+                                   row_norms=self._centroid_norms)
+        order = np.argsort(cdist, axis=1, kind="stable")
+        nprobe = self._effective_nprobe()
+        results: list[tuple[int, float] | None] = []
+        total_candidates = 0
+        for q in range(len(vecs)):
+            if len(vecs) > 1 and self._probe_boundary(cdist[q], order[q],
+                                                      nprobe):
+                # The probe cut sits inside gemm summation-order wobble:
+                # a (Q, K) and a (1, K) centroid ranking could pick
+                # different cells.  Re-answer through the batch-of-one
+                # path — the same arithmetic a sequential query() uses —
+                # so batch and sequential decisions stay identical.
+                results.append(self.query_batch([descriptors[q]],
+                                                threshold)[0])
+                total_candidates += self.last_candidates
+                continue
+            candidates: set[int] = set()
+            for cell in order[q, :nprobe]:
+                candidates |= self._lists[int(cell)]
+            total_candidates += len(candidates)
+            if not candidates:
+                results.append(None)
+                continue
+            ids = sorted(candidates)
+            cand_matrix, cand_norms = self._store.take(
+                self._store.rows_for(ids))
+            distances = self._metric(cand_matrix, queries[q],
+                                     row_norms=cand_norms)
+            best = int(np.argmin(distances))
+            d = float(distances[best])
+            if d <= threshold:
+                results.append((ids[best], d))
+            else:
+                results.append(None)
+        self.last_candidates = int(round(total_candidates / len(vecs)))
+        self.last_query_cost_s = self._price(total_candidates / len(vecs))
+        return results
+
+    def _probe_boundary(self, dist_row: np.ndarray, order_row: np.ndarray,
+                        nprobe: int) -> bool:
+        """True when the nprobe cut could flip under gemm wobble.
+
+        Any cell swapping across the cut requires two of the first
+        ``nprobe + 1`` sorted centroid distances to sit within the
+        wobble margin of each other, so checking those gaps suffices.
+        """
+        if nprobe >= len(order_row):
+            return False
+        window = dist_row[order_row[:nprobe + 1]]
+        return bool((np.diff(window) <= self._eps).any())
+
+    def _scan_all(self, descriptors, vecs,
+                  threshold: float) -> list[tuple[int, float] | None]:
+        """Untrained fallback: the exact LinearIndex arithmetic."""
+        queries = np.stack(vecs)
+        distances = self._store.distances(self._metric_batch, queries)
+        best = np.argmin(distances, axis=1)
+        best_distance = distances[np.arange(len(vecs)), best]
+        if distances.shape[1] > 1:
+            runner_up = np.partition(distances, 1, axis=1)[:, 1]
+        else:
+            runner_up = np.full(len(vecs), np.inf)
+        results: list[tuple[int, float] | None] = []
+        for q, row in enumerate(best):
+            d = float(best_distance[q])
+            if len(vecs) > 1 and (
+                    abs(d - threshold) <= self._eps
+                    or runner_up[q] - d <= self._eps):
+                results.append(self.query_batch([descriptors[q]],
+                                                threshold)[0])
+                continue
+            if d <= threshold:
+                results.append((self._store.id_at(int(row)), d))
+            else:
+                results.append(None)
+        self.last_candidates = len(self._store)
+        self.last_query_cost_s = self.lookup_cost_s()
+        return results
+
+    # -- pricing / introspection -----------------------------------------------
+
+    def _price(self, n_candidates: float) -> float:
+        return (self.BASE_COST_S
+                + self.PER_CENTROID_COST_S * len(self._centroids)
+                + self.PER_CANDIDATE_COST_S * n_candidates)
+
+    def lookup_cost_s(self) -> float:
+        """Expected per-query cost at current occupancy.
+
+        Untrained, the index is a linear scan and prices like one.
+        Trained, it pays the centroid ranking plus the expected
+        candidate set under uniform cell loading
+        (``n * nprobe / K``, capped at occupancy).
+        """
+        n = len(self._store)
+        if self._centroids is None:
+            return (LinearIndex.BASE_COST_S
+                    + LinearIndex.PER_VECTOR_COST_S * n)
+        k = len(self._centroids)
+        expected = min(float(n), n * self._effective_nprobe() / float(k))
+        return self._price(expected)
+
+    def memory_bytes(self) -> int:
+        """Allocated storage bytes (store arrays + centroids)."""
+        total = self._store.memory_bytes()
+        if self._centroids is not None:
+            total += self._centroids.nbytes + self._centroid_norms.nbytes
+        return total
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def _validate(self, descriptor: Descriptor) -> np.ndarray:
+        if not isinstance(descriptor, VectorDescriptor):
+            raise TypeError("IvfIndex stores VectorDescriptor keys")
+        if descriptor.dim != self.dim:
+            raise ValueError(
+                f"dimension mismatch: index is {self.dim}-d, "
+                f"descriptor is {descriptor.dim}-d")
+        return np.asarray(descriptor.vector,
+                          dtype=self._store.compute_dtype)
+
+
+class FusedLinearCore:
+    """One shared linear store for every vector kind of one dimension.
+
+    The per-kind :class:`LinearIndex` layout answers a mixed-kind burst
+    with one matmul *per kind*; at small per-kind occupancies the gemm
+    setup dominates.  The fused core keeps all kinds' vectors in one
+    :class:`_VectorStore` (the per-row int32 tag is the kind code),
+    *clustered by kind*: each kind's rows form one contiguous segment,
+    segments ordered by kind-code creation.  A burst spanning kinds
+    stacks each kind's queries and runs one contiguous-view matmul per
+    queried segment — the same flops a dedicated per-kind index would
+    pay, with none of the per-call dispatch or the gather a
+    tag-scattered layout would need.  Inserts keep the clustering by
+    rotating later segments one row (O(later kinds) row swaps, O(dim)
+    each); removes rotate them back.
+
+    Kinds surface as :class:`_FusedKindView` facades that implement the
+    full :class:`DescriptorIndex` interface, so the cache's bookkeeping
+    (per-kind stats, rematch-after-expiry, cost charging) is unchanged;
+    views price lookups at *per-kind* occupancy, exactly as a dedicated
+    LinearIndex would, so simulated time is independent of fusion.  For
+    a single-kind store the fused arithmetic degenerates to the
+    dedicated LinearIndex arithmetic (same matrix, same BLAS calls).
+    """
+
+    def __init__(self, metric: str = "cosine", dtype: str = DEFAULT_DTYPE):
+        self.metric_name = metric
+        self.dtype = dtype
+        self._metric = get_metric(metric)
+        self._metric_batch = get_metric_batch(metric)
+        self._store = _make_store(dtype)
+        self._eps = _decision_eps(dtype)
+        self._codes: dict[str, int] = {}
+        self._views: dict[str, _FusedKindView] = {}
+        self._counts: dict[int, int] = {}     # code -> live rows
+        self._owner: dict[int, int] = {}      # entry_id -> code
+        #: Stacked (cross-kind) matmuls answered; the fusion win metric.
+        self.fused_batches = 0
+
+    def view(self, kind: str) -> "_FusedKindView":
+        """The DescriptorIndex facade for one kind (created on demand)."""
+        if kind not in self._views:
+            code = len(self._codes)
+            self._codes[kind] = code
+            self._counts[code] = 0
+            self._views[kind] = _FusedKindView(self, kind, code)
+        return self._views[kind]
+
+    def kind_len(self, code: int) -> int:
+        return self._counts.get(code, 0)
+
+    def _segment(self, code: int) -> tuple[int, int]:
+        """``[lo, hi)`` row range of ``code``'s contiguous segment.
+
+        Codes are assigned densely in creation order, so boundaries are
+        prefix sums of the per-code counts.
+        """
+        lo = 0
+        for c in range(code):
+            lo += self._counts.get(c, 0)
+        return lo, lo + self._counts.get(code, 0)
+
+    def _later_codes(self, code: int) -> list[int]:
+        """Codes after ``code`` whose segments are non-empty, in order."""
+        return [c for c in range(code + 1, len(self._codes))
+                if self._counts.get(c, 0) > 0]
+
+    def _clusterize(self, row: int, code: int) -> None:
+        """Move the appended row at ``row`` to the end of its segment.
+
+        Chain-swaps with each later segment's first row (highest code
+        first): every later segment rotates by one row but stays
+        contiguous, and the new row lands right after its own kind's
+        rows.  The caller increments ``_counts[code]`` afterwards.
+        """
+        for later in reversed(self._later_codes(code)):
+            lo, _ = self._segment(later)
+            self._store.swap_rows(row, lo)
+            row = lo
+
+    def _insert(self, code: int, entry_id: int,
+                descriptor: Descriptor) -> None:
+        vec = self._validate(descriptor)
+        if entry_id in self._store:
+            raise IndexEntryExists(f"entry {entry_id} already indexed")
+        self._store.add(entry_id, vec, tag=code)
+        self._clusterize(len(self._store) - 1, code)
+        self._counts[code] += 1
+        self._owner[entry_id] = code
+
+    def _insert_batch(self, code: int, items: typing.Sequence[
+            tuple[int, Descriptor]]) -> None:
+        ids: list[int] = []
+        vecs: list[np.ndarray] = []
+        seen: set[int] = set()
+        for entry_id, descriptor in items:
+            if entry_id in self._store or entry_id in seen:
+                raise IndexEntryExists(f"entry {entry_id} already indexed")
+            seen.add(entry_id)
+            ids.append(entry_id)
+            vecs.append(self._validate(descriptor))
+        if not ids:
+            return
+        appended_at = len(self._store)
+        self._store.add_batch(ids, np.stack(vecs), tag=code)
+        for j, entry_id in enumerate(ids):
+            # Row j's swaps only touch positions <= appended_at + j, so
+            # rows j+1.. sit untouched at the tail until their turn —
+            # the final layout matches len(ids) scalar inserts exactly.
+            self._clusterize(appended_at + j, code)
+            self._counts[code] += 1
+            self._owner[entry_id] = code
+
+    def _remove(self, code: int, entry_id: int) -> None:
+        if self._owner.get(entry_id) != code:
+            raise KeyError(f"entry {entry_id} not in index")
+        _, hi = self._segment(code)
+        pos = int(self._store.rows_for([entry_id])[0])
+        # Swap the doomed row to its segment's end, then through each
+        # later segment's end until it is the global last row; later
+        # segments rotate back by one and the store's swap-compact
+        # remove then pops it without displacing anything.
+        self._store.swap_rows(pos, hi - 1)
+        pos = hi - 1
+        for later in self._later_codes(code):
+            _, lhi = self._segment(later)
+            self._store.swap_rows(pos, lhi - 1)
+            pos = lhi - 1
+        self._store.remove(entry_id)
+        del self._owner[entry_id]
+        self._counts[code] -= 1
+
+    def query_multi(self, kinds: typing.Sequence[str],
+                    descriptors: typing.Sequence[Descriptor],
+                    thresholds: typing.Sequence[float]
+                    ) -> list[tuple[int, float] | None]:
+        """Answer a mixed-kind burst, one segment matmul per kind.
+
+        ``kinds[q]`` scopes query q's answer to that kind's rows;
+        ``thresholds[q]`` is its match threshold.  Each queried kind's
+        stacked queries hit only that kind's contiguous row segment —
+        the flops of a dedicated per-kind index, without its per-call
+        overhead or any column gather.  Results in input order,
+        decision-identical to per-kind sequential queries.
+        """
+        vecs = [self._validate(d) for d in descriptors]
+        if not vecs:
+            return []
+        if len(self._store) == 0:
+            return [None] * len(vecs)
+        if len(vecs) > 1:
+            self.fused_batches += 1
+        # Multi-query cosine bursts over float storage take the pruned
+        # score-space path; everything else (single queries — including
+        # boundary re-answers — other metrics, int8 storage) runs the
+        # full distance kernel.
+        fast = (len(vecs) > 1 and self.metric_name == "cosine"
+                and isinstance(self._store, _VectorStore))
+        results: list[tuple[int, float] | None] = [None] * len(vecs)
+        by_kind: dict[str, list[int]] = {}
+        for q, kind in enumerate(kinds):
+            by_kind.setdefault(kind, []).append(q)
+        for kind, qrows in by_kind.items():
+            code = self._codes.get(kind)
+            if code is None or self._counts.get(code, 0) == 0:
+                continue  # no rows of this kind: results stay None
+            lo, hi = self._segment(code)
+            queries = np.stack([vecs[q] for q in qrows])
+            if fast:
+                best, best_distance, runner_up = self._cosine_topk(
+                    queries, lo, hi)
+            else:
+                sub = self._store.distances(self._metric_batch, queries,
+                                            lo, hi)
+                best = np.argmin(sub, axis=1)
+                best_distance = sub[np.arange(len(qrows)), best]
+                if sub.shape[1] > 1:
+                    runner_up = np.partition(sub, 1, axis=1)[:, 1]
+                else:
+                    runner_up = np.full(len(qrows), np.inf)
+            for i, q in enumerate(qrows):
+                d = float(best_distance[i])
+                threshold = thresholds[q]
+                if len(vecs) > 1 and (
+                        abs(d - threshold) <= self._eps
+                        or runner_up[i] - d <= self._eps):
+                    # Same boundary rule as LinearIndex.query_batch:
+                    # near a tie or the threshold edge, re-answer
+                    # through the batch-of-one path so stacked and
+                    # sequential decisions stay element-wise identical.
+                    # The pruned path leans on this too: any candidate
+                    # pair it could mis-order differs by at most a
+                    # rounding error, far inside the eps band.
+                    results[q] = self.query_multi(
+                        [kind], [descriptors[q]], [threshold])[0]
+                    continue
+                if d <= threshold:
+                    results[q] = (self._store.id_at(lo + int(best[i])), d)
+        return results
+
+    def _cosine_topk(self, queries: np.ndarray, lo: int, hi: int
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Best/runner-up cosine distances over rows [lo, hi), pruned.
+
+        The full kernel spends most of its wall time streaming the
+        (Q, n) block through normalization, clip, and subtract passes.
+        For *selection* those passes are redundant: for a fixed query,
+        cosine distance is monotone non-increasing in the norm-scaled
+        inner product, so one raw gemm plus a single scaling pass ranks
+        every row.  The exact kernel arithmetic — same operation order,
+        same dtype, same degenerate-norm handling as
+        :func:`~repro.core.distance.cosine_distance_batch` — then runs
+        on just the two selected candidates per query, so the distances
+        returned are bit-identical to the full kernel's.  Score space
+        may mis-order candidates separated by at most a rounding error
+        (it divides in a different order, and clipped ties collapse);
+        such pairs land within the caller's eps re-answer band, never
+        in a direct decision.
+
+        Returns ``(best_col, best_distance, runner_up_distance)`` with
+        columns relative to ``lo``.
+        """
+        store = self._store
+        dots = store.dots(queries, lo, hi)
+        row_norms = store.norms[lo:hi]
+        query_norms = np.linalg.norm(queries, axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scores = dots / row_norms[None, :]
+        degenerate_r = row_norms == 0.0
+        if degenerate_r.any():
+            scores[:, degenerate_r] = -np.inf
+        rows = np.arange(len(queries))
+        best = np.argmax(scores, axis=1)
+        if scores.shape[1] > 1:
+            scores[rows, best] = -np.inf
+            second = np.argmax(scores, axis=1)
+        else:
+            second = None
+
+        def exact(cols: np.ndarray) -> np.ndarray:
+            # Per-element replica of cosine_distance_batch: divide by
+            # the query norm, then the row norm, force degenerate pairs
+            # to maximum distance, clip, subtract — in that order.
+            with np.errstate(divide="ignore", invalid="ignore"):
+                cos = dots[rows, cols] / query_norms
+                cos = cos / row_norms[cols]
+            cos[query_norms == 0.0] = -1.0
+            cos[row_norms[cols] == 0.0] = -1.0
+            np.clip(cos, -1.0, 1.0, out=cos)
+            np.subtract(1.0, cos, out=cos)
+            return cos
+
+        best_distance = exact(best)
+        if second is None:
+            runner_up = np.full(len(queries), np.inf)
+        else:
+            runner_up = exact(second)
+        return best, best_distance, runner_up
+
+    def memory_bytes(self) -> int:
+        """Allocated storage bytes of the shared store."""
+        return self._store.memory_bytes()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def _validate(self, descriptor: Descriptor) -> np.ndarray:
+        if not isinstance(descriptor, VectorDescriptor):
+            raise TypeError("FusedLinearCore stores VectorDescriptor keys")
+        vec = np.asarray(descriptor.vector,
+                         dtype=self._store.compute_dtype)
+        if self._store.dim is not None and vec.shape[0] != self._store.dim:
+            raise ValueError(
+                f"dimension mismatch: index is {self._store.dim}-d, "
+                f"descriptor is {vec.shape[0]}-d")
+        return vec
+
+
+class _FusedKindView(DescriptorIndex):
+    """One kind's :class:`DescriptorIndex` facade over a fused core.
+
+    Mutations and queries delegate to the shared
+    :class:`FusedLinearCore`, scoped to this view's kind code; pricing
+    reports per-kind occupancy so the simulated lookup cost matches a
+    dedicated :class:`LinearIndex` of the same kind exactly.
+    """
+
+    def __init__(self, core: FusedLinearCore, kind: str, code: int):
+        self._core = core
+        self.kind = kind
+        self._code = code
+        self.metric_name = core.metric_name
+        self.dtype = core.dtype
+        self.last_query_cost_s: float | None = None
+
+    def insert(self, entry_id: int, descriptor: Descriptor) -> None:
+        self._core._insert(self._code, entry_id, descriptor)
+
+    def insert_batch(self, items: typing.Sequence[
+            tuple[int, Descriptor]]) -> None:
+        self._core._insert_batch(self._code, items)
+
+    def remove(self, entry_id: int) -> None:
+        self._core._remove(self._code, entry_id)
+
+    def query(self, descriptor: Descriptor,
+              threshold: float) -> tuple[int, float] | None:
+        return self.query_batch([descriptor], threshold)[0]
+
+    def query_batch(self, descriptors: typing.Sequence[Descriptor],
+                    threshold: float) -> list[tuple[int, float] | None]:
+        results = self._core.query_multi(
+            [self.kind] * len(descriptors), descriptors,
+            [threshold] * len(descriptors))
+        self.last_query_cost_s = self.lookup_cost_s()
+        return results
+
+    def lookup_cost_s(self) -> float:
+        return (LinearIndex.BASE_COST_S
+                + LinearIndex.PER_VECTOR_COST_S * len(self))
+
+    def memory_bytes(self) -> int:
+        """Bytes of the *shared* core store (not a per-kind share)."""
+        return self._core.memory_bytes()
+
+    def __len__(self) -> int:
+        return self._core.kind_len(self._code)
+
+
+def make_index(spec: str, dim: int = 128, metric: str = "cosine",
+               dtype: str = DEFAULT_DTYPE) -> DescriptorIndex:
     """Build an index from a config string.
 
     ``"exact"`` -> :class:`ExactIndex`; ``"linear"`` -> :class:`LinearIndex`;
-    ``"lsh"`` or ``"lsh:T:B"`` -> :class:`LshIndex` with T tables, B bits.
+    ``"lsh"`` or ``"lsh:T:B"`` -> :class:`LshIndex` with T tables, B bits;
+    ``"ivf"``, ``"ivf:K"`` or ``"ivf:K:P"`` -> :class:`IvfIndex` with K
+    centroids probing P cells (0 = auto for either).  ``dtype`` selects
+    the vector storage mode (ignored by ``"exact"``).
     """
     if spec == "exact":
         return ExactIndex()
     if spec == "linear":
-        return LinearIndex(metric=metric)
+        return LinearIndex(metric=metric, dtype=dtype)
     if spec == "lsh":
-        return LshIndex(dim=dim, metric=metric)
+        return LshIndex(dim=dim, metric=metric, dtype=dtype)
     if spec.startswith("lsh:"):
         parts = spec.split(":")
         if len(parts) != 3:
             raise ValueError(f"bad lsh spec {spec!r}; use 'lsh:TABLES:BITS'")
         return LshIndex(dim=dim, metric=metric, n_tables=int(parts[1]),
-                        n_bits=int(parts[2]))
+                        n_bits=int(parts[2]), dtype=dtype)
+    if spec == "ivf":
+        return IvfIndex(dim=dim, metric=metric, dtype=dtype)
+    if spec.startswith("ivf:"):
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"bad ivf spec {spec!r}; use 'ivf:CENTROIDS[:NPROBE]'")
+        nprobe = int(parts[2]) if len(parts) == 3 else 0
+        return IvfIndex(dim=dim, metric=metric, n_centroids=int(parts[1]),
+                        nprobe=nprobe, dtype=dtype)
     raise ValueError(f"unknown index spec {spec!r}")

@@ -1,0 +1,88 @@
+"""Opt-in wall-clock parallelism for same-tick batched lookups.
+
+Co-located edges whose micro-batchers flush at the same simulated
+instant each issue one vectorized ``ICCache.lookup_batch`` pass.  Those
+passes touch disjoint caches, so they can execute on a thread pool
+without changing a single result — the pool only overlaps the BLAS
+work; simulated time is untouched and every waiter resumes in
+submission order, exactly as inline execution would.
+
+:class:`TickLookupFanout` is the rendezvous point.  Edges with a
+``lookup_fanout`` installed route their flush's ``lookup_batch`` call
+through :meth:`submit` instead of calling it inline; the first
+submission of an instant schedules a zero-timeout drain process, and
+SimPy's FIFO ordering of same-instant events guarantees the drain runs
+only after every same-instant flush has submitted (flush processes are
+scheduled before the drain's timeout, so their submissions land first).
+
+Determinism argument, in full:
+
+- Each submitted thunk closes over one edge's cache and runs the same
+  NumPy calls it would run inline, on the same data — per-thunk results
+  are bit-identical by construction.
+- Thunks from different edges share no mutable state (caches, indexes,
+  and stats are per-edge), so concurrent execution cannot perturb them.
+- ``ThreadPoolExecutor.map`` returns results in submission order and
+  the drain resolves waiters only after the whole batch completes, so
+  downstream simulation events fire in the same order as inline
+  execution regardless of thread scheduling.
+
+The golden-digest test pins this: a metro run with ``lookup_threads=1``
+(or more) produces byte-identical telemetry to the sequential run.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+__all__ = ["TickLookupFanout"]
+
+
+class TickLookupFanout:
+    """Collects same-instant lookup thunks and runs them as one wave.
+
+    Args:
+        env: The shared SimPy environment.
+        workers: Thread count.  ``workers <= 1`` runs the wave
+            sequentially on the calling thread (useful to exercise the
+            rendezvous machinery without threads).
+    """
+
+    def __init__(self, env, workers: int = 0) -> None:
+        self.env = env
+        self.workers = int(workers)
+        self._pending: list[tuple[Callable[[], object], object]] = []
+        #: Waves drained and thunks executed, for tests/telemetry.
+        self.waves = 0
+        self.fanned_out = 0
+
+    def submit(self, thunk: Callable[[], object]):
+        """Register ``thunk`` for this instant's wave.
+
+        Returns a SimPy event that succeeds with ``thunk()``'s return
+        value once the wave has drained.
+        """
+        if not self._pending:
+            self.env.process(self._drain())
+        waiter = self.env.event()
+        self._pending.append((thunk, waiter))
+        return waiter
+
+    def _drain(self):
+        # Zero timeout: scheduled after every same-instant flush
+        # process, so all of them have submitted by the time we run.
+        yield self.env.timeout(0.0)
+        wave, self._pending = self._pending, []
+        if not wave:
+            return
+        self.waves += 1
+        self.fanned_out += len(wave)
+        thunks = [thunk for thunk, _ in wave]
+        if self.workers > 1 and len(wave) > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                results = list(pool.map(lambda fn: fn(), thunks))
+        else:
+            results = [fn() for fn in thunks]
+        for (_, waiter), result in zip(wave, results):
+            waiter.succeed(result)

@@ -303,6 +303,24 @@ class EdgePolicySpec:
             wires this into every :class:`~repro.core.client
             .CoICClient`.  0 keeps the pre-backoff behaviour: the app
             sees the ``shed`` outcome immediately.
+        vector_index: Override the deployment's vector index tier for
+            every edge cache — ``"linear"`` (fused brute force),
+            ``"lsh"``/``"lsh:T:B"``, ``"ivf"``/``"ivf:K"``/``"ivf:K:P"``
+            (coarse-quantizer probe, for 1e5+ entry caches), or
+            ``"exact"``.  Empty string (default) inherits
+            ``CacheConfig.vector_index``.  See docs/index_tiers.md.
+        vector_dtype: Override the vector storage dtype for every edge
+            cache — ``"float32"`` (4 B/element), ``"float64"``
+            (compatibility mode), or ``"int8"`` (scalar-quantized,
+            1 B/element).  Empty string (default) inherits
+            ``CacheConfig.vector_dtype``.
+        layer_tap_budget_frac: Per-edge activation byte budget for
+            layer-cache taps, as a fraction of the edge cache's
+            capacity: taps whose single activation exceeds
+            ``frac * capacity_bytes`` are never cached (a 12.8 MB
+            conv1 tensor would monopolize a small cabinet cache).
+            None (default) keeps every tap.  Ignored unless the
+            policy uses the layer cache.
     """
 
     admission: str = "none"
@@ -316,6 +334,9 @@ class EdgePolicySpec:
     layer_reuse: bool = False
     layer_plan_margin_s: float = 0.0
     shed_retries: int = 0
+    vector_index: str = ""
+    vector_dtype: str = ""
+    layer_tap_budget_frac: float | None = None
 
     def __post_init__(self) -> None:
         _require(self.admission in ("none", "shed", "redirect"),
@@ -335,6 +356,12 @@ class EdgePolicySpec:
         _require(self.layer_plan_margin_s >= 0,
                  "layer_plan_margin_s must be >= 0")
         _require(self.shed_retries >= 0, "shed_retries must be >= 0")
+        _require(self.vector_dtype in ("", "float32", "float64", "int8"),
+                 f"vector_dtype must be ''/float32/float64/int8, "
+                 f"got {self.vector_dtype!r}")
+        if self.layer_tap_budget_frac is not None:
+            _require(0 < self.layer_tap_budget_frac <= 1,
+                     "layer_tap_budget_frac must be in (0, 1]")
 
     @property
     def gates_admission(self) -> bool:

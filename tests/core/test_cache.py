@@ -239,3 +239,76 @@ class TestLookupBatch:
         sequential.insert(hd("cc"), "c", 400, now=2.0)
         assert ([e.result for e in batched.entries()]
                 == [e.result for e in sequential.entries()])
+
+
+class TestPerItemThresholds:
+    """lookup_batch accepts one threshold per descriptor."""
+
+    def test_thresholds_apply_per_item(self):
+        cache = ICCache(capacity_bytes=1000, default_threshold=0.0)
+        cache.insert(vd([1, 0]), "x", 10)
+        probe = [0.9, 0.1]
+        got = cache.lookup_batch([vd(probe), vd(probe)],
+                                 thresholds=[0.0, 0.5])
+        assert got[0] is None and got[1] is not None
+
+    def test_none_threshold_falls_back_to_default(self):
+        cache = ICCache(capacity_bytes=1000, default_threshold=0.5)
+        cache.insert(vd([1, 0]), "x", 10)
+        got = cache.lookup_batch([vd([0.9, 0.1])], thresholds=[None])
+        assert got[0] is not None
+
+    def test_thresholds_length_validated(self):
+        cache = ICCache(capacity_bytes=1000)
+        with pytest.raises(ValueError):
+            cache.lookup_batch([vd([1, 0])], thresholds=[0.1, 0.2])
+
+    def test_matches_sequential_per_threshold(self):
+        batched = ICCache(capacity_bytes=10_000, default_threshold=0.0)
+        sequential = ICCache(capacity_bytes=10_000, default_threshold=0.0)
+        for cache in (batched, sequential):
+            cache.insert(vd([1, 0, 0]), "a", 10)
+            cache.insert(vd([0, 1, 0], kind="pano"), "b", 10)
+        probes = [vd([0.9, 0.1, 0]), vd([0.1, 0.9, 0], kind="pano"),
+                  vd([1, 0, 0])]
+        thresholds = [0.5, 0.5, 0.001]
+        got = batched.lookup_batch(probes, thresholds=thresholds)
+        want = [sequential.lookup(p, threshold=t)
+                for p, t in zip(probes, thresholds)]
+        assert [e and e.result for e in got] == \
+            [e and e.result for e in want]
+        assert batched.stats == sequential.stats
+
+
+class TestStorageTiers:
+    def test_vector_dtype_validated(self):
+        with pytest.raises(ValueError):
+            ICCache(capacity_bytes=1000, vector_dtype="float16")
+
+    def test_int8_cache_still_matches(self):
+        cache = ICCache(capacity_bytes=1000, vector_dtype="int8",
+                        default_threshold=0.1)
+        cache.insert(vd([1, 0, 0]), "obj", 10)
+        assert cache.lookup(vd([0.99, 0.05, 0])) is not None
+
+    def test_index_memory_bytes_counts_fused_core_once(self):
+        cache = ICCache(capacity_bytes=100_000)
+        for i in range(32):
+            cache.insert(vd([1, 0, 0, i], kind="recognition"), "a", 10)
+            cache.insert(vd([0, 1, 0, i], kind="pano"), "b", 10)
+        # Both vector kinds share one fused core (same dim): the
+        # dedup walk must not double-count its store.
+        per_kind = [cache.index_for("recognition").memory_bytes(),
+                    cache.index_for("pano").memory_bytes()]
+        assert per_kind[0] == per_kind[1]  # shared store, same bytes
+        assert cache.index_memory_bytes() == per_kind[0]
+
+    def test_float64_cache_memory_doubles_float32(self):
+        def filled(dtype):
+            cache = ICCache(capacity_bytes=1_000_000, vector_dtype=dtype)
+            rng = np.random.default_rng(0)
+            for i in range(200):
+                cache.insert(vd(rng.normal(size=64)), i, 10)
+            return cache.index_memory_bytes()
+
+        assert filled("float32") <= 0.55 * filled("float64")

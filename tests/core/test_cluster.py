@@ -101,15 +101,20 @@ GOLDEN_METRO = \
     "822117df5d52f71e831f00081604d6be36be4e2ae372adb443d836195b6f6033"
 
 
-def default_metro_digest(make_deployment, policy=None) -> str:
-    from repro.eval.experiments.mobility_exp import drive_scenario
-
+def default_metro_deployment(make_deployment, policy=None, config=None):
     mobility = MobilitySpec(n_places=16, mean_dwell_s=8.0,
                             duration_s=60.0, handoff_latency_s=0.05)
     spec = ScenarioSpec.metro(n_edges=4, clients_per_edge=1,
                               federate=True, mobility=mobility,
                               policy=policy)
-    dep = make_deployment(spec=spec)
+    return make_deployment(spec=spec, config=config)
+
+
+def default_metro_digest(make_deployment, policy=None, config=None) -> str:
+    from repro.eval.experiments.mobility_exp import drive_scenario
+
+    dep = default_metro_deployment(make_deployment, policy=policy,
+                                   config=config)
     drive_scenario(dep, 60.0, request_interval_s=2.0)
     return recorder_digest(dep.recorder)
 
@@ -128,6 +133,54 @@ class TestMetroGoldenDigest:
 
         assert default_metro_digest(
             make_deployment, policy=EdgePolicySpec()) == GOLDEN_METRO
+
+    def test_explicit_float64_compat_is_byte_identical(
+            self, make_deployment, make_config):
+        # Spelling out the compatibility dtype must be a no-op: the
+        # deployment default *is* float64 storage, and the fused linear
+        # core reproduces the historical per-kind arithmetic exactly.
+        config = make_config()
+        config.cache.vector_dtype = "float64"
+        assert default_metro_digest(make_deployment,
+                                    config=config) == GOLDEN_METRO
+
+    def test_threaded_lookup_fanout_is_byte_identical(
+            self, make_deployment, make_config):
+        # lookup_threads routes every same-tick batch lookup through
+        # the TickLookupFanout thread pool; telemetry must stay
+        # byte-identical to the sequential run.
+        from repro.eval.experiments.mobility_exp import drive_scenario
+
+        config = make_config()
+        config.lookup_threads = 2
+        dep = default_metro_deployment(make_deployment, config=config)
+        drive_scenario(dep, 60.0, request_interval_s=2.0)
+        assert recorder_digest(dep.recorder) == GOLDEN_METRO
+        # The fanout really was on the path: every flushed batch from
+        # every edge went through a wave.
+        assert dep.lookup_fanout is not None
+        assert dep.lookup_fanout.waves > 0
+        assert dep.lookup_fanout.fanned_out == \
+            sum(edge.lookup_batches for edge in dep.edges)
+
+
+class TestPolicyIndexOverrides:
+    def test_policy_overrides_reach_every_cache(self, make_deployment):
+        from repro.core.scenario import EdgePolicySpec
+
+        dep = make_deployment(policy=EdgePolicySpec(
+            vector_index="ivf:16:4", vector_dtype="float32"))
+        for cache in dep.caches:
+            assert cache.vector_dtype == "float32"
+            assert cache._vector_index_spec == "ivf:16:4"
+
+    def test_empty_overrides_inherit_config(self, make_deployment):
+        from repro.core.scenario import EdgePolicySpec
+
+        dep = make_deployment(policy=EdgePolicySpec())
+        for cache in dep.caches:
+            assert cache.vector_dtype == "float64"
+            assert cache._vector_index_spec == "linear"
 
 
 class TestFacadeShape:

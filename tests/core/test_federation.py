@@ -115,3 +115,63 @@ class TestCrossEdgeSharing:
                 cache=dep.caches[0], config=config,
                 recognizer=dep.edges[0].recognizer,
                 loader=dep.edges[0].loader, peer_timeout_s=0)
+
+
+class TestAffinityProbeOrder:
+    """Gossiped cache summaries steer peer probes likeliest-holder-first."""
+
+    def _metro(self, config):
+        from repro.core.cluster import ClusterDeployment
+        from repro.core.scenario import ScenarioSpec, WarmupSpec
+
+        # Metro spec with only the far edge (edge3) warmed: a miss at
+        # edge0 must go hunting through the federation for class 7.
+        spec = ScenarioSpec.metro(
+            n_edges=4, clients_per_edge=1, federate=True,
+            warmup=WarmupSpec(classes=(7,), edges=("edge3",)))
+        return ClusterDeployment(spec, config=config)
+
+    def test_spec_order_probes_every_cold_peer_first(self, config):
+        dep = self._metro(config)
+        record = dep.run_tasks(dep.clients_by_edge[0][0],
+                               [dep.recognition_task(7)])[0]
+        assert record.outcome == "hit"
+        edge0 = dep.edges[0]
+        assert edge0.peer_hits == 1
+        # Without summaries, probing walks the configured order and
+        # pays a backhaul round trip at edge1 and edge2 before edge3.
+        assert edge0.peer_probes == 3
+
+    def test_summaries_cut_probes_per_hit(self, config):
+        dep = self._metro(config)
+        edge0 = dep.edges[0]
+        # One gossip round has landed: edge0 holds a fresh summary of
+        # every peer (normally pushed by the deployment's gossip loop).
+        for name, cache in dep.cache_by_name.items():
+            if name != "edge0":
+                edge0.peer_summaries[name] = cache.summary()
+        record = dep.run_tasks(dep.clients_by_edge[0][0],
+                               [dep.recognition_task(7)])[0]
+        assert record.outcome == "hit"
+        assert edge0.peer_hits == 1
+        # The sketch points straight at the holder: one probe, no
+        # wasted backhaul round trips at the cold peers.
+        assert edge0.peer_probes == 1
+
+    def test_probe_order_unchanged_without_summaries(self, config):
+        dep = self._metro(config)
+        edge0 = dep.edges[0]
+        descriptor = dep.caches[3].entries()[0].descriptor
+        assert edge0._probe_order(descriptor) == edge0.peers
+
+    def test_cold_summaries_fall_back_to_spec_order(self, config):
+        dep = self._metro(config)
+        edge0 = dep.edges[0]
+        # All peers report empty caches: every score ties at 0.0 and
+        # the stable sort preserves the configured nearest-first order.
+        from repro.core.cache import CacheSummary
+
+        for peer in edge0.peers:
+            edge0.peer_summaries[peer] = CacheSummary(kinds={}, sketches={})
+        descriptor = dep.caches[3].entries()[0].descriptor
+        assert edge0._probe_order(descriptor) == edge0.peers

@@ -6,7 +6,9 @@ import pytest
 from repro.core.descriptors import HashDescriptor, VectorDescriptor
 from repro.core.index import (
     ExactIndex,
+    FusedLinearCore,
     IndexEntryExists,
+    IvfIndex,
     LinearIndex,
     LshIndex,
     make_index,
@@ -169,11 +171,29 @@ class TestMakeIndex:
         custom = make_index("lsh:4:6", dim=32)
         assert custom.n_tables == 4 and custom.n_bits == 6
 
+    def test_ivf_specs(self):
+        assert isinstance(make_index("ivf", dim=32), IvfIndex)
+        auto = make_index("ivf", dim=32)
+        assert auto.n_centroids == 0 and auto.nprobe == 0
+        sized = make_index("ivf:64", dim=32)
+        assert sized.n_centroids == 64
+        full = make_index("ivf:64:4", dim=32)
+        assert full.n_centroids == 64 and full.nprobe == 4
+
+    def test_dtype_passthrough(self):
+        assert make_index("linear", dtype="int8")._store.dtype == "int8"
+        assert make_index("lsh", dim=32,
+                          dtype="float64")._store.dtype == "float64"
+        assert make_index("ivf", dim=32,
+                          dtype="float32")._store.dtype == "float32"
+
     def test_bad_specs(self):
         with pytest.raises(ValueError):
             make_index("btree")
         with pytest.raises(ValueError):
             make_index("lsh:4")
+        with pytest.raises(ValueError):
+            make_index("ivf:x", dim=32)
 
 
 class TestQueryBatch:
@@ -193,10 +213,16 @@ class TestQueryBatch:
         assert LinearIndex().query_batch(probes, 2.0) == [None, None]
         assert LshIndex(dim=2).query_batch(probes, 2.0) == [None, None]
 
-    def test_linear_batch_matches_sequential(self):
+    # Distance-value agreement between a (Q, N) gemm and a (1, N) gemm
+    # is dtype-bound: float64 wobble is ~1e-13, float32 ~1e-7.  Match
+    # *decisions* must agree exactly in every dtype.
+    DIST_TOL = {"float64": 1e-9, "float32": 1e-5, "int8": 1e-5}
+
+    @pytest.mark.parametrize("dtype", ["float64", "float32", "int8"])
+    def test_linear_batch_matches_sequential(self, dtype):
         rng = np.random.default_rng(11)
         population = rng.normal(size=(60, 16))
-        index = LinearIndex()
+        index = LinearIndex(dtype=dtype)
         self._fill(index, population)
         probes = [vec("r", population[i] + rng.normal(0, 0.05, 16))
                   for i in range(20)]
@@ -208,13 +234,15 @@ class TestQueryBatch:
             assert (got is None) == (want is None)
             if got is not None:
                 assert got[0] == want[0]
-                assert got[1] == pytest.approx(want[1], abs=1e-9)
+                assert got[1] == pytest.approx(want[1],
+                                               abs=self.DIST_TOL[dtype])
 
-    def test_lsh_batch_matches_sequential(self):
+    @pytest.mark.parametrize("dtype", ["float64", "float32"])
+    def test_lsh_batch_matches_sequential(self, dtype):
         rng = np.random.default_rng(12)
         population = rng.normal(size=(120, 32))
         population /= np.linalg.norm(population, axis=1, keepdims=True)
-        index = LshIndex(dim=32, n_tables=6, n_bits=8)
+        index = LshIndex(dim=32, n_tables=6, n_bits=8, dtype=dtype)
         self._fill(index, population)
         probes = [vec("r", population[i] + rng.normal(0, 0.02, 32))
                   for i in range(30)]
@@ -224,7 +252,8 @@ class TestQueryBatch:
             assert (got is None) == (want is None)
             if got is not None:
                 assert got[0] == want[0]
-                assert got[1] == pytest.approx(want[1], abs=1e-9)
+                assert got[1] == pytest.approx(want[1],
+                                               abs=self.DIST_TOL[dtype])
 
     def test_exact_batch_uses_sequential_fallback(self):
         index = ExactIndex()
@@ -244,10 +273,12 @@ class TestContiguousStore:
         for i, v in enumerate(population):
             index.insert(i, vec("r", v))
         assert len(index) == 300
-        # Every stored vector is still retrievable post-doubling.
+        # Every stored vector is still retrievable post-doubling.  The
+        # self-match distance floor is dtype-bound: ~1e-16 for float64
+        # storage, ~1e-7 for the default float32.
         for i in (0, 63, 64, 150, 299):
-            hit = index.query(vec("r", population[i]), threshold=1e-9)
-            assert hit is not None and hit[1] <= 1e-6
+            hit = index.query(vec("r", population[i]), threshold=1e-5)
+            assert hit is not None and hit[1] <= 1e-5
 
     def test_remove_reuses_slots(self):
         index = LinearIndex()
@@ -263,10 +294,10 @@ class TestContiguousStore:
             index.insert(1000 + i, vec("r", v))
         assert len(index) == 100
         for i in range(1, 100, 2):  # odd survivors still found
-            hit = index.query(vec("r", population[i]), threshold=1e-9)
+            hit = index.query(vec("r", population[i]), threshold=1e-5)
             assert hit is not None
         for i, v in enumerate(fresh):  # and so are the reinserts
-            hit = index.query(vec("r", v), threshold=1e-9)
+            hit = index.query(vec("r", v), threshold=1e-5)
             assert hit is not None
 
     def test_lsh_store_survives_churn(self):
@@ -280,7 +311,7 @@ class TestContiguousStore:
         for i in range(40):
             index.insert(100 + i, vec("r", population[i]))
         assert len(index) == 80
-        hit = index.query(vec("r", population[10]), threshold=1e-9)
+        hit = index.query(vec("r", population[10]), threshold=1e-5)
         assert hit is not None and hit[0] == 110  # the reinserted id
 
 
@@ -333,3 +364,139 @@ class TestLshCostModel:
     def test_n_bits_capped_for_int64_signatures(self):
         with pytest.raises(ValueError):
             LshIndex(dim=4, n_bits=63)
+
+
+class TestMemoryFootprint:
+    """The default store really is float32-sized — a silent regression
+    back to float64 storage doubles edge memory and must fail CI."""
+
+    DIM = 64
+
+    def _filled(self, dtype=None):
+        index = LinearIndex() if dtype is None else LinearIndex(dtype=dtype)
+        rng = np.random.default_rng(11)
+        items = [(i, VectorDescriptor("r", rng.normal(size=self.DIM)))
+                 for i in range(512)]
+        index.insert_batch(items)
+        return index
+
+    def test_default_store_is_half_of_float64(self):
+        default = self._filled()
+        compat = self._filled(dtype="float64")
+        assert default._store.compute_dtype == np.dtype(np.float32)
+        # float32 matrix+norms are exactly half the float64 bytes; the
+        # int32 tag column is shared overhead.  0.55 leaves headroom
+        # for bookkeeping while any float64 regression (ratio ~1.0)
+        # fails loudly.
+        assert default.memory_bytes() <= 0.55 * compat.memory_bytes()
+
+    def test_int8_store_is_quarter_of_float32(self):
+        quantized = self._filled(dtype="int8")
+        default = self._filled()
+        # 1 B codes + per-row float32 scale/offset/norm vs 4 B floats.
+        assert quantized.memory_bytes() <= 0.35 * default.memory_bytes()
+
+    def test_ivf_accounts_centroids(self):
+        rng = np.random.default_rng(12)
+        ivf = IvfIndex(dim=self.DIM)
+        items = [(i, VectorDescriptor("r", rng.normal(size=self.DIM)))
+                 for i in range(512)]
+        ivf.insert_batch(items)
+        assert ivf.trained
+        linear = self._filled()
+        assert ivf.memory_bytes() > linear.memory_bytes()
+
+
+class TestFusedSegments:
+    """The fused core keeps each kind's rows in one contiguous segment."""
+
+    DIM = 8
+
+    def _assert_clustered(self, core):
+        tags = core._store.tags
+        boundary = 0
+        for kind, code in sorted(core._codes.items(), key=lambda kv: kv[1]):
+            count = core._counts[code]
+            segment = tags[boundary:boundary + count]
+            assert (segment == code).all(), (
+                f"kind {kind} segment not contiguous: {tags.tolist()}")
+            assert core._segment(code) == (boundary, boundary + count)
+            boundary += count
+        assert boundary == len(core._store)
+
+    def test_interleaved_churn_keeps_segments_contiguous(self):
+        rng = np.random.default_rng(5)
+        core = FusedLinearCore(dtype="float32")
+        views = {k: core.view(k) for k in ("a", "b", "c")}
+        entry = 0
+        inserted = []
+        for round_no in range(6):
+            for kind in ("a", "b", "c", "b", "a"):
+                views[kind].insert(
+                    entry, vec(kind, rng.normal(size=self.DIM)))
+                inserted.append((kind, entry))
+                entry += 1
+                self._assert_clustered(core)
+            # A mid-stream batch lands like the same scalar inserts.
+            batch = [(entry + j,
+                      vec("b", rng.normal(size=self.DIM)))
+                     for j in range(3)]
+            views["b"].insert_batch(batch)
+            inserted.extend(("b", eid) for eid, _ in batch)
+            entry += 3
+            self._assert_clustered(core)
+            # Remove from the middle of an early segment: later
+            # segments rotate back and stay contiguous.
+            kind, eid = inserted.pop(rng.integers(len(inserted)))
+            views[kind].remove(eid)
+            self._assert_clustered(core)
+        for kind in ("a", "b", "c"):
+            assert core.kind_len(core._codes[kind]) == sum(
+                1 for k, _ in inserted if k == kind)
+
+    def test_queries_stay_scoped_after_churn(self):
+        rng = np.random.default_rng(7)
+        core = FusedLinearCore(dtype="float32")
+        targets = {}
+        for code_kind in ("a", "b", "c"):
+            view = core.view(code_kind)
+            for j in range(20):
+                eid = ord(code_kind) * 1000 + j
+                v = rng.normal(size=self.DIM)
+                view.insert(eid, vec(code_kind, v))
+                targets[(code_kind, j)] = (eid, v)
+        core._remove(core._codes["a"], targets[("a", 3)][0])
+        core._remove(core._codes["b"], targets[("b", 0)][0])
+        for (kind, j), (eid, v) in targets.items():
+            if (kind, j) in (("a", 3), ("b", 0)):
+                continue
+            got = core.view(kind).query(vec(kind, v), threshold=1e-4)
+            assert got is not None and got[0] == eid
+
+    def test_multi_query_matches_dedicated_per_kind_indexes(self):
+        """Pruned fused answers == dedicated LinearIndex answers."""
+        rng = np.random.default_rng(11)
+        core = FusedLinearCore(dtype="float32")
+        dedicated = {k: LinearIndex(dtype="float32") for k in ("x", "y")}
+        for offset, kind in ((0, "x"), (1000, "y")):
+            view = core.view(kind)
+            for j in range(150):
+                v = rng.normal(size=self.DIM)
+                if j % 37 == 0:
+                    v = np.zeros(self.DIM)  # degenerate rows too
+                view.insert(offset + j, vec(kind, v))
+                dedicated[kind].insert(offset + j, vec(kind, v))
+        kinds, probes = [], []
+        for j in range(64):
+            kind = "x" if j % 3 else "y"
+            base = rng.normal(size=self.DIM)
+            if j % 17 == 0:
+                base = np.zeros(self.DIM)  # degenerate queries too
+            kinds.append(kind)
+            probes.append(vec(kind, base))
+        fused = core.query_multi(kinds, probes, [0.6] * len(probes))
+        for kind in ("x", "y"):
+            qrows = [q for q, k in enumerate(kinds) if k == kind]
+            expect = dedicated[kind].query_batch(
+                [probes[q] for q in qrows], threshold=0.6)
+            assert [fused[q] for q in qrows] == expect

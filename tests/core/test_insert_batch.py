@@ -54,7 +54,7 @@ class TestLinearIndexBatch:
         assert len(index) == 140
         probe = vec_descriptor(rng)
         index.insert(999, probe)
-        assert index.query(probe, 1e-9)[0] == 999
+        assert index.query(probe, 1e-5)[0] == 999
 
     def test_duplicate_id_rejected(self):
         rng = np.random.default_rng(2)
@@ -79,8 +79,8 @@ class TestLinearIndexBatch:
         index.insert_batch(items)
         index.remove(items[3][0])
         assert len(index) == 9
-        assert index.query(items[3][1], 1e-9) is None
-        assert index.query(items[4][1], 1e-9)[0] == items[4][0]
+        assert index.query(items[3][1], 1e-5) is None
+        assert index.query(items[4][1], 1e-5)[0] == items[4][0]
 
 
 class TestLshIndexBatch:
@@ -106,7 +106,7 @@ class TestLshIndexBatch:
         index.insert_batch(items)
         index.remove(items[0][0])
         assert len(index) == 11
-        assert index.query(items[0][1], 1e-9) is None
+        assert index.query(items[0][1], 1e-5) is None
 
     def test_duplicate_id_rejected_atomically(self):
         rng = np.random.default_rng(6)
@@ -147,7 +147,7 @@ class TestCacheInsertBatch:
         assert batched.stats.insertions == sequential.stats.insertions == 20
         assert all(e is not None for e in entries)
         for descriptor, result, _ in items:
-            hit = batched.lookup(descriptor, now=1.0, threshold=1e-9)
+            hit = batched.lookup(descriptor, now=1.0, threshold=1e-5)
             assert hit is not None and hit.result == result
 
     def test_eviction_mid_batch(self):
@@ -211,7 +211,7 @@ class TestCacheInsertBatch:
         assert len(cache) == 1
         assert cache.size_bytes == 100
         assert cache.stats.insertions == 1
-        assert cache.lookup(good, threshold=1e-9).result == "seed"
+        assert cache.lookup(good, threshold=1e-5).result == "seed"
         refill = [(vec_descriptor(rng), f"r{i}", 100) for i in range(120)]
         assert all(e is not None for e in cache.insert_batch(refill))
         assert cache.size_bytes <= 10_000
