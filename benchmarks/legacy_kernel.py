@@ -1,0 +1,185 @@
+"""Pre-PR event kernel, embedded for benchmarking.
+
+A faithful single-module replica of the kernel as it stood before the
+city-scale pass: dict-attribute events, a single binary heap ordered by
+``(time, priority, sequence)``, one ``Timeout`` object allocated per
+delay, and a ``peek()``/``step()`` run loop.  ``bench_city_scale``
+replays the same workload through this kernel and the live one so the
+speedup it reports is measured, not remembered — the baseline cannot
+drift as the real kernel evolves.
+
+Only the surface the replay needs is kept (events, timeouts, processes,
+the run loop); resources, interrupts and condition events are not part
+of the timed workload.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+PRIORITY_NORMAL = 1
+PRIORITY_URGENT = 0
+
+_PENDING = object()
+
+
+class Event:
+    """One-shot occurrence; see the live kernel for full semantics."""
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list | None = []
+        self._value: object = _PENDING
+        self._ok: bool | None = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise RuntimeError("event value is not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        if self._value is _PENDING:
+            raise RuntimeError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self._value is not _PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        self._defused = True
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float,
+                 value: object = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class _Initialize(Event):
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env.schedule(self, priority=PRIORITY_URGENT)
+
+
+class Process(Event):
+    """A running generator; every yield hands the kernel an event."""
+
+    def __init__(self, env: "Environment", generator: typing.Generator):
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        _Initialize(env, self)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                event.defuse()
+                target = self._generator.throw(
+                    typing.cast(BaseException, event.value))
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+
+        if target.processed:
+            relay = Event(self.env)
+            relay._ok = target.ok
+            relay._value = target._value
+            if not target.ok:
+                relay._defused = True
+            relay.callbacks.append(self._resume)
+            self.env.schedule(relay, priority=PRIORITY_URGENT)
+            self._waiting_on = relay
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class Environment:
+    """Clock + single binary heap + process factory (pre-PR shape)."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator) -> Process:
+        return Process(self, generator)
+
+    def schedule(self, event: Event, priority: int = PRIORITY_NORMAL,
+                 delay: float = 0.0) -> None:
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        self.events_processed += 1
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event.ok and not event._defused:
+            raise RuntimeError(f"unhandled failure in {event!r}")
+
+    def run(self, until: float) -> None:
+        stop_at = float(until)
+        while self._queue and self.peek() <= stop_at:
+            self.step()
+        self._now = stop_at

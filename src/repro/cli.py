@@ -141,8 +141,19 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     if args.backhaul is not None:
         config.network.backhaul_mbps = args.backhaul
     deployment = ClusterDeployment(spec, config=config)
-    drive_scenario(deployment, duration_s=args.duration,
-                   request_interval_s=args.interval)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        drive_scenario(deployment, duration_s=args.duration,
+                       request_interval_s=args.interval)
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+    else:
+        drive_scenario(deployment, duration_s=args.duration,
+                       request_interval_s=args.interval)
 
     recorder = deployment.recorder
     rows = []
@@ -196,6 +207,11 @@ def build_parser() -> argparse.ArgumentParser:
     scen_p.add_argument("--backhaul", type=float, default=None,
                         help="edge->cloud bandwidth override, Mbps")
     scen_p.add_argument("--seed", type=int, default=None)
+    scen_p.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top 25 "
+                             "functions by cumulative time (find out "
+                             "where a slow scenario spends its wall "
+                             "clock before reaching for a bigger box)")
     return parser
 
 

@@ -69,8 +69,7 @@ class OriginClient:
 
     def _offload(self, task: Task):
         if isinstance(task, ModelLoadTask):
-            yield self.env.timeout(
-                self.config.rendering.client_overhead_ms / 1e3)
+            yield self.config.rendering.client_overhead_ms / 1e3
         size = 64 + task.input_bytes
         request = Message(size_bytes=size, kind="cloud_request",
                           payload=task, src=self.name, dst=self.cloud_name)
@@ -82,9 +81,9 @@ class OriginClient:
             # Raw file arrives; parse and upload locally.
             assert isinstance(result, ModelLoadResult) and not result.parsed
             cost = self.loader.load_cost_from_file(result.payload_bytes)
-            yield self.env.timeout(cost.total_s)
+            yield cost.total_s
         elif isinstance(task, PanoramaTask):
-            yield self.env.timeout(crop_time_s(task.panorama, self.viewport))
+            yield crop_time_s(task.panorama, self.viewport)
         return OUTCOME_ORIGIN, {}
 
 
@@ -105,7 +104,7 @@ class LocalClient:
             raise TypeError(
                 "LocalClient only executes recognition tasks on-device")
         started = self.env.now
-        yield self.env.timeout(self.recognizer.inference_time())
+        yield self.recognizer.inference_time()
         result = self.recognizer.recognize(task.frame)
         record = RequestRecord(
             task_kind=task.kind, outcome=OUTCOME_LOCAL, user=self.name,

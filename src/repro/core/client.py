@@ -190,7 +190,7 @@ class CoICClient:
         size = 64
         if rec.descriptor_source == "client":
             # On-device backbone pass, then ship the compact descriptor.
-            yield self.env.timeout(self.recognizer.extraction_time())
+            yield self.recognizer.extraction_time()
             observation = self.recognizer.extract(task.frame)
             descriptor = VectorDescriptor(kind=task.kind,
                                           vector=observation.vector)
@@ -212,7 +212,7 @@ class CoICClient:
             from repro.core.index import SKETCH_COST_S, SKETCH_DIM, \
                 input_sketch
 
-            yield self.env.timeout(SKETCH_COST_S)
+            yield SKETCH_COST_S
             observation = self.recognizer.extract(task.frame)
             headers["sketch"] = input_sketch(observation.vector)
             size += SKETCH_DIM * 4 + 16
@@ -293,7 +293,7 @@ class CoICClient:
             if self.backoff_rng is not None:
                 delay *= 1.0 + float(self.backoff_rng.uniform(0.0, 0.5))
             if delay > 0:
-                yield self.env.timeout(delay)
+                yield delay
             response = yield self.rpc.call(
                 build_request(), timeout=self.config.request_timeout_s)
         return response, retried
@@ -301,8 +301,7 @@ class CoICClient:
     # -- model loading -----------------------------------------------------------------
 
     def _do_model_load(self, task: ModelLoadTask):
-        yield self.env.timeout(
-            self.config.rendering.client_overhead_ms / 1e3)
+        yield self.config.rendering.client_overhead_ms / 1e3
         edge_name = self.edge_name
         descriptor = HashDescriptor(kind=task.kind, digest=task.digest)
         request = Message(size_bytes=task.input_bytes, kind="ic_request",
@@ -317,12 +316,11 @@ class CoICClient:
 
         if result.parsed:
             # Engine-ready geometry: GPU upload only.
-            yield self.env.timeout(
-                self.loader.upload_time(result.payload_bytes))
+            yield self.loader.upload_time(result.payload_bytes)
         else:
             # Raw file: parse locally, then upload the expanded form.
             cost = self.loader.load_cost_from_file(result.payload_bytes)
-            yield self.env.timeout(cost.total_s)
+            yield cost.total_s
         outcome = response.headers.get("outcome", "unknown")
         correct = result.digest == task.digest
         return outcome, correct, {"parsed": result.parsed}, served_by
@@ -342,7 +340,7 @@ class CoICClient:
         if response.kind == "error":
             return OUTCOME_ERROR, None, {"error": response.payload}, served_by
         result = response.payload
-        yield self.env.timeout(crop_time_s(task.panorama, self.viewport))
+        yield crop_time_s(task.panorama, self.viewport)
         outcome = response.headers.get("outcome", "unknown")
         correct = result.digest == digest
         return outcome, correct, {"bytes": result.payload_bytes}, served_by

@@ -82,7 +82,7 @@ class CloudNode:
 
     def _do_recognition(self, task: RecognitionTask):
         """Full DNN inference on the uploaded frame."""
-        yield self.env.timeout(self.recognizer.inference_time())
+        yield self.recognizer.inference_time()
         result = self.recognizer.recognize(task.frame)
         return result, result.size_bytes
 
@@ -90,14 +90,14 @@ class CloudNode:
         """Read the packed model from the object store."""
         read_s = (self.config.rendering.storage_read_ms / 1e3
                   + task.file_bytes / (STORAGE_MB_PER_S * 1e6))
-        yield self.env.timeout(read_s)
+        yield read_s
         result = ModelLoadResult(digest=task.digest,
                                  payload_bytes=task.file_bytes, parsed=False)
         return result, result.size_bytes
 
     def _do_panorama(self, task: PanoramaTask):
         """Render the panoramic frame for the requested pose cell."""
-        yield self.env.timeout(self.config.vr.render_ms / 1e3)
+        yield self.config.vr.render_ms / 1e3
         pano = task.panorama
         result = PanoramaResult(digest=pano.digest(),
                                 payload_bytes=pano.size_bytes)

@@ -210,7 +210,7 @@ class DeploymentDriverMixin:
                 record = yield self.env.process(client.perform(task))
                 records.append(record)
                 if spacing_s > 0:
-                    yield self.env.timeout(spacing_s)
+                    yield spacing_s
 
         proc = self.env.process(driver())
         self.env.run(until=proc)
@@ -224,7 +224,7 @@ class DeploymentDriverMixin:
         """
 
         def launcher(delay: float, client, task):
-            yield self.env.timeout(delay)
+            yield delay
             yield self.env.process(client.perform(task))
 
         procs = [self.env.process(launcher(d, c, t)) for d, c, t in plan]
@@ -291,12 +291,21 @@ class ClusterDeployment(DeploymentDriverMixin):
                 loss_rate=net.loss_rate if spec.impairments else 0.0,
                 rng=self.rng.stream(espec.backhaul_stream
                                     or f"net.backhaul.{espec.name}"))
+        self.inter_edge_links: dict[tuple[str, str], tuple["Link", "Link"]] = {}
         for lspec in spec.inter_edge:
-            self.topology.add_duplex(
-                lspec.a, lspec.b, lspec.mbps * 1e6,
-                propagation_s=lspec.delay_ms / 1e3,
-                rng=self.rng.stream(lspec.stream
-                                    or f"net.metro.{lspec.a}.{lspec.b}"))
+            self.inter_edge_links[(lspec.a, lspec.b)] = \
+                self.topology.add_duplex(
+                    lspec.a, lspec.b, lspec.mbps * 1e6,
+                    propagation_s=lspec.delay_ms / 1e3,
+                    rng=self.rng.stream(lspec.stream
+                                        or f"net.metro.{lspec.a}.{lspec.b}"))
+
+        # -- background cross-traffic ----------------------------------------
+        # One driver process re-shapes the affected links along the
+        # spec's diurnal load curve for the life of the simulation (so
+        # drive background scenarios with run_for(), not a bare run()).
+        if spec.background is not None:
+            self.env.process(self._background_traffic())
 
         # -- vision ----------------------------------------------------------
         rec = cfg.recognition
@@ -555,6 +564,12 @@ class ClusterDeployment(DeploymentDriverMixin):
                 rng=self.rng.stream(stream
                                     or f"net.wifi.{client_name}.{edge_name}"))
         self.access_links[key] = links
+        # A client is an access endpoint, never metro transit — even
+        # while briefly dual-homed mid-handoff.  Marking it keeps every
+        # other host's cached routes alive across this client's
+        # attachment churn.
+        if not self.topology.is_terminal(client_name):
+            self.topology.mark_terminal(client_name)
         return links
 
     # -- handoff -------------------------------------------------------------
@@ -582,7 +597,7 @@ class ClusterDeployment(DeploymentDriverMixin):
         started = self.env.now
         client.detach()
         if latency_s > 0:
-            yield self.env.timeout(latency_s)
+            yield latency_s
         self._add_access(client.name, new_edge)
         client.attach(new_edge, now=self.env.now)
         self.handoff_log.append(HandoffEvent(
@@ -604,6 +619,33 @@ class ClusterDeployment(DeploymentDriverMixin):
                   for client in self.all_clients
                   for when, edge in client.attachments]
         return sorted(events)
+
+    # -- background cross-traffic --------------------------------------------
+
+    def _background_traffic(self):
+        """Simulation process: diurnal cross-traffic on backhaul links.
+
+        Every ``background.update_s`` the links in scope are re-shaped
+        to the residual capacity the background load curve leaves free,
+        via the deployment's :class:`TrafficShaper` (so each change is
+        recorded in ``shaper.changes``).  Nominal capacities are the
+        spec's — the curve modulates, never compounds.
+        """
+        bg = self.spec.background
+        targets: list[tuple["Link", float]] = []
+        if bg.scope in ("backhaul", "all"):
+            for pair in self.backhaul.values():
+                targets.extend((link, link.bandwidth_bps) for link in pair)
+        if bg.scope in ("inter_edge", "all"):
+            for pair in self.inter_edge_links.values():
+                targets.extend((link, link.bandwidth_bps) for link in pair)
+        if not targets:
+            return
+        while True:
+            residual = 1.0 - bg.peak_util * bg.level(self.env.now)
+            for link, nominal in targets:
+                self.shaper.set_rate(link, bps=nominal * residual)
+            yield bg.update_s
 
     # -- mobility ------------------------------------------------------------
 
@@ -642,28 +684,46 @@ class ClusterDeployment(DeploymentDriverMixin):
         """Replay a random-waypoint itinerary per client, handing off.
 
         Each client starts at the place nearest its configured edge,
-        hops between places with exponential dwell, and is re-attached
+        hops between places with exponential dwell (gravity-biased when
+        the spec carries ``bias``/``bias_schedule``), and is re-attached
         to the nearest edge after every hop (a no-op when the nearest
-        edge did not change).  Returns the itineraries, which are fully
-        determined by the scenario seed.
+        edge did not change).  Clients named in the spec's
+        ``itinerary_trace`` replay their recorded stops verbatim
+        instead.  Returns the itineraries, which are fully determined
+        by the scenario seed (plus the trace).
         """
-        from repro.workload.mobility import RandomWaypointUser
+        from repro.workload.mobility import (
+            RandomWaypointUser,
+            load_itineraries,
+        )
 
         if self.spec.mobility is None:
             raise ValueError("scenario has no mobility spec")
-        if self.users:
+        if self.itineraries:
             raise RuntimeError("mobility already started")
         m = self.spec.mobility
         duration = m.duration_s if duration_s is None else duration_s
+        traced: dict[str, list[tuple[float, int]]] = {}
+        if m.itinerary_trace is not None:
+            traced = load_itineraries(m.itinerary_trace,
+                                      n_places=m.n_places)
+            unknown = set(traced) - set(self.client_names)
+            if unknown:
+                raise ValueError(
+                    f"itinerary_trace names unknown clients: "
+                    f"{sorted(unknown)}")
         for client in self.all_clients:
-            user = RandomWaypointUser(
-                client.name, self.world,
-                self.rng.stream(f"mobility.user.{client.name}"),
-                mean_dwell_s=m.mean_dwell_s,
-                home_place=self._home_place(client),
-                bias=m.bias)
-            itinerary = user.itinerary(duration)
-            self.users[client.name] = user
+            if client.name in traced:
+                itinerary = traced[client.name]
+            else:
+                user = RandomWaypointUser(
+                    client.name, self.world,
+                    self.rng.stream(f"mobility.user.{client.name}"),
+                    mean_dwell_s=m.mean_dwell_s,
+                    home_place=self._home_place(client),
+                    bias=m.bias, bias_schedule=m.bias_schedule)
+                itinerary = user.itinerary(duration)
+                self.users[client.name] = user
             self.itineraries[client.name] = itinerary
             self.client_places[client.name] = itinerary[0][1]
             self.env.process(self._replay(client, itinerary))
@@ -673,7 +733,7 @@ class ClusterDeployment(DeploymentDriverMixin):
                 itinerary: list[tuple[float, int]]):
         for arrival, place_id in itinerary:
             if arrival > self.env.now:
-                yield self.env.timeout(arrival - self.env.now)
+                yield arrival - self.env.now
             self.client_places[client.name] = place_id
             target = self.nearest_edge_name(place_id)
             if target != client.edge_name:
@@ -698,7 +758,7 @@ class ClusterDeployment(DeploymentDriverMixin):
 
         interval = self.spec.policy.summary_refresh_s
         while True:
-            yield self.env.timeout(interval)
+            yield interval
             summary = self.cache_by_name[name].summary(
                 exclude_prefix=LAYER_KIND_PREFIX)
             for peer in peers:

@@ -126,6 +126,12 @@ class EdgeNode:
         #: ``config.lookup_threads > 0``.  None = flush inline.
         self.lookup_fanout = None
         self.requests_served = 0
+        #: Responses abandoned because the client's access link went
+        #: down first (the client gave up on the request and moved on —
+        #: e.g. a blown deadline followed by a handoff tearing down the
+        #: drained link).  A departed client is a dropped response, not
+        #: a simulation error.
+        self.responses_dropped = 0
         #: Layer-cache manager over this edge's cache, installed by the
         #: deployment when the scenario policy ships or serves layer
         #: activations; the pipeline's layer-reuse stage plans against
@@ -199,7 +205,7 @@ class EdgeNode:
         own ``lookup_cost_s`` and the batch pass itself adds zero
         simulated time.
         """
-        yield self.env.timeout(self.cache.lookup_cost_s(descriptor.kind))
+        yield self.cache.lookup_cost_s(descriptor.kind)
         if not self._pending_lookups:
             self.env.process(self._flush_lookups())
         waiter = self.env.event()
@@ -209,7 +215,7 @@ class EdgeNode:
 
     def _flush_lookups(self):
         # A zero timeout lets every same-tick request register first.
-        yield self.env.timeout(0.0)
+        yield 0.0
         batch, self._pending_lookups = self._pending_lookups, []
         if not batch:
             return
@@ -261,15 +267,20 @@ class EdgeNode:
         except RpcError as exc:
             # Cloud unreachable or deadline blown: tell the client rather
             # than dying silently; the client surfaces OUTCOME_ERROR.
-            yield self._respond(msg, size_bytes=128, payload=str(exc),
-                                kind="error",
-                                headers={"outcome": "error"})
+            try:
+                yield self._respond(msg, size_bytes=128, payload=str(exc),
+                                    kind="error",
+                                    headers={"outcome": "error"})
+            except RpcError:
+                # The client itself is unreachable — it abandoned the
+                # request and its access link is already torn down.
+                self.responses_dropped += 1
         self.requests_served += 1
 
     def _handle_prewarm(self, msg: Message):
         """Absorb a peer's pre-warm batch: one bookkeeping charge, one
         ``insert_batch`` (items carry their original ``cost_s``)."""
-        yield self.env.timeout(self.config.cache.insert_ms / 1e3)
+        yield self.config.cache.insert_ms / 1e3
         inserted = self.cache.insert_batch(msg.payload, now=self.env.now)
         self.prewarm_received += sum(1 for entry in inserted
                                      if entry is not None)
@@ -288,7 +299,7 @@ class EdgeNode:
         slot = self.compute.request()
         yield slot
         try:
-            yield self.env.timeout(self.recognizer.extraction_time())
+            yield self.recognizer.extraction_time()
             if observation is None:
                 observation = self.recognizer.extract(task.frame)
         finally:
@@ -310,7 +321,7 @@ class EdgeNode:
             forward, timeout=self.config.request_timeout_s)
         result = response.payload
         if descriptor is not None:
-            yield self.env.timeout(self.config.cache.insert_ms / 1e3)
+            yield self.config.cache.insert_ms / 1e3
             self.cache.insert(descriptor, result, result.size_bytes,
                               now=self.env.now,
                               cost_s=self.env.now - started)
@@ -369,7 +380,7 @@ class EdgeNode:
                                 payload=result, kind="ic_result",
                                 headers={"outcome": OUTCOME_MISS})
         else:
-            yield self.env.timeout(self.config.cache.insert_ms / 1e3)
+            yield self.config.cache.insert_ms / 1e3
             self.cache.insert(descriptor, result, result.size_bytes,
                               now=self.env.now, cost_s=fetch_cost)
             self._finish_inflight(descriptor, done)
@@ -385,10 +396,10 @@ class EdgeNode:
             slot = self.compute.request()
             yield slot
             try:
-                yield self.env.timeout(self.loader.parse_time(task.file_bytes))
+                yield self.loader.parse_time(task.file_bytes)
             finally:
                 self.compute.release(slot)
-            yield self.env.timeout(self.config.cache.insert_ms / 1e3)
+            yield self.config.cache.insert_ms / 1e3
             loaded = ModelLoadResult(digest=task.digest,
                                      payload_bytes=task.loaded_bytes,
                                      parsed=True)

@@ -129,8 +129,7 @@ class FederatedEdgeNode(EdgeNode):
             entry = yield from self._batched_lookup(descriptor,
                                                     self.match_threshold)
         else:
-            yield self.env.timeout(self.cache.lookup_cost_s(
-                descriptor.kind))
+            yield self.cache.lookup_cost_s(descriptor.kind)
             entry = self.cache.lookup(descriptor, now=self.env.now,
                                       threshold=None)
         if entry is None:
@@ -192,7 +191,7 @@ class FederatedEdgeNode(EdgeNode):
             started = self.env.now
             result = yield from self._query_peers(descriptor)
             if result is not None:
-                yield self.env.timeout(self.config.cache.insert_ms / 1e3)
+                yield self.config.cache.insert_ms / 1e3
                 self.cache.insert(descriptor, result, result.size_bytes,
                                   now=self.env.now,
                                   cost_s=self.env.now - started)
@@ -207,7 +206,7 @@ class FederatedEdgeNode(EdgeNode):
         started = self.env.now
         result = yield from self._query_peers(descriptor)
         if result is not None:
-            yield self.env.timeout(self.config.cache.insert_ms / 1e3)
+            yield self.config.cache.insert_ms / 1e3
             self.cache.insert(descriptor, result,
                               getattr(result, "payload_bytes",
                                       result.size_bytes),

@@ -72,7 +72,7 @@ class TickLookupFanout:
     def _drain(self):
         # Zero timeout: scheduled after every same-instant flush
         # process, so all of them have submitted by the time we run.
-        yield self.env.timeout(0.0)
+        yield 0.0
         wave, self._pending = self._pending, []
         if not wave:
             return

@@ -220,7 +220,7 @@ class LayerReuseStage(Stage):
                 return
             # The edge pays the perceptual-sketch pass itself; clients
             # running affinity offload shipped one already.
-            yield edge.env.timeout(SKETCH_COST_S)
+            yield SKETCH_COST_S
             observation = edge.recognizer.extract(ctx.task.frame)
             sketch = input_sketch(observation.vector)
             ctx.layer_observation = observation
@@ -232,7 +232,7 @@ class LayerReuseStage(Stage):
         resume_after = None
         matched = None
         for name, kind, threshold in manager.probe_sequence():
-            yield edge.env.timeout(manager.cache.lookup_cost_s(kind))
+            yield manager.cache.lookup_cost_s(kind)
             found = manager.cache.lookup(
                 VectorDescriptor(kind=kind, vector=sketch),
                 now=edge.env.now, threshold=threshold)
@@ -264,7 +264,7 @@ class LayerReuseStage(Stage):
             slot = edge.compute.request()
             yield slot
             try:
-                yield edge.env.timeout(partial_s)
+                yield partial_s
             finally:
                 edge.compute.release(slot)
         # Full-result reuse returns what the cache actually holds — the
@@ -280,7 +280,7 @@ class LayerReuseStage(Stage):
             # after the resume point under *this* input's sketch, plus —
             # when the pass re-ran the feature tap — the descriptor and
             # result, so near-identical recaptures hit the coarse cache.
-            yield edge.env.timeout(edge.config.cache.insert_ms / 1e3)
+            yield edge.config.cache.insert_ms / 1e3
             taps = manager.layers_after(plan.resume_after)
             # Custom tap subsets may omit the final layer; the result
             # can only ride a final-layer entry.
@@ -342,7 +342,7 @@ class LookupStage(Stage):
                 # taps it computed (input .. feature layer) under this
                 # request's sketch, so the *next* drifted capture can
                 # resume mid-network instead of recomputing.
-                yield edge.env.timeout(edge.config.cache.insert_ms / 1e3)
+                yield edge.config.cache.insert_ms / 1e3
                 manager = edge.layer_manager
                 edge.layer_seeded += manager.insert(
                     ctx.layer_sketch, now=edge.env.now,
@@ -352,7 +352,7 @@ class LookupStage(Stage):
                                                     edge.match_threshold)
 
     def _hash_lookup(self, edge: "EdgeNode", ctx: RequestContext):
-        yield edge.env.timeout(edge.cache.lookup_cost_s(ctx.task.kind))
+        yield edge.cache.lookup_cost_s(ctx.task.kind)
         ctx.entry = edge.cache.lookup(ctx.descriptor, now=edge.env.now)
         if ctx.entry is not None:
             return
@@ -399,7 +399,7 @@ class ResolveStage(Stage):
         if ctx.speculative is not None:
             response = yield ctx.speculative
             result = response.payload
-            yield edge.env.timeout(edge.config.cache.insert_ms / 1e3)
+            yield edge.config.cache.insert_ms / 1e3
             edge.cache.insert(ctx.descriptor, result, result.size_bytes,
                               now=edge.env.now,
                               cost_s=edge.env.now - ctx.spec_started)

@@ -190,6 +190,19 @@ class MobilitySpec:
             these instead of uniformly, so a stadium or transit hub can
             dominate — handoff rates become heavy-tailed and one cell
             runs hot.  None keeps the uniform random-waypoint model.
+        bias_schedule: Optional piecewise gravity timetable
+            ``((start_s, (w, ...)), ...)`` sorted by start time: the
+            segment active at a hop's departure time drives the draw,
+            so crowds migrate over the day — the stadium fills before
+            full time and empties after it.  Before the first segment
+            (or with no schedule) the static ``bias`` applies.
+        itinerary_trace: Optional trace-driven itineraries — a mapping
+            ``{client_name: [[arrival_s, place_id], ...]}`` or a path
+            to a JSON file holding one (see
+            :func:`repro.workload.mobility.load_itineraries`).  Clients
+            named in the trace replay it verbatim; unnamed clients keep
+            the synthetic random-waypoint model, so a measured city
+            trace and synthetic background users can share a scenario.
     """
 
     n_places: int = 16
@@ -200,6 +213,8 @@ class MobilitySpec:
     duration_s: float = 120.0
     handoff_latency_s: float = 0.05
     bias: tuple[float, ...] | None = None
+    bias_schedule: tuple[tuple[float, tuple[float, ...]], ...] | None = None
+    itinerary_trace: str | dict | None = None
 
     def __post_init__(self) -> None:
         _require(self.n_places >= 1, "n_places must be >= 1")
@@ -213,15 +228,37 @@ class MobilitySpec:
         if self.bias is not None:
             object.__setattr__(self, "bias",
                                tuple(float(w) for w in self.bias))
-            _require(len(self.bias) == self.n_places,
-                     "bias needs one weight per place")
-            _require(all(w >= 0 for w in self.bias),
-                     "bias weights must be >= 0")
-            _require(sum(self.bias) > 0, "bias weights must not all be zero")
+            self._check_weights(self.bias, "bias")
+        if self.bias_schedule is not None:
+            segments = tuple(
+                (float(start), tuple(float(w) for w in weights))
+                for start, weights in self.bias_schedule)
+            object.__setattr__(self, "bias_schedule", segments)
+            _require(len(segments) >= 1,
+                     "bias_schedule must have at least one segment")
+            starts = [s for s, _ in segments]
+            _require(starts == sorted(starts),
+                     "bias_schedule must be sorted by start time")
+            for k, (start, weights) in enumerate(segments):
+                _require(start >= 0, "bias_schedule starts must be >= 0")
+                self._check_weights(weights, f"bias_schedule[{k}]")
+        if self.itinerary_trace is not None:
+            _require(isinstance(self.itinerary_trace, (str, dict)),
+                     "itinerary_trace must be a mapping or a file path")
+
+    def _check_weights(self, weights: tuple[float, ...], label: str) -> None:
+        _require(len(weights) == self.n_places,
+                 f"{label} needs one weight per place")
+        _require(all(w >= 0 for w in weights),
+                 f"{label} weights must be >= 0")
+        _require(sum(weights) > 0, f"{label} weights must not all be zero")
 
     def to_dict(self) -> dict:
         data = dataclasses.asdict(self)
         data["bias"] = list(self.bias) if self.bias is not None else None
+        data["bias_schedule"] = (
+            [[start, list(weights)] for start, weights in self.bias_schedule]
+            if self.bias_schedule is not None else None)
         return data
 
     @classmethod
@@ -230,7 +267,68 @@ class MobilitySpec:
         data = {k: v for k, v in data.items() if k in fields}
         if data.get("bias") is not None:
             data["bias"] = tuple(data["bias"])
+        if data.get("bias_schedule") is not None:
+            data["bias_schedule"] = tuple(
+                (start, tuple(weights))
+                for start, weights in data["bias_schedule"])
         return cls(**data)
+
+
+@dataclasses.dataclass(frozen=True)
+class BackgroundTrafficSpec:
+    """Diurnal background cross-traffic on the scenario's backhaul links.
+
+    City backhauls are shared infrastructure: the capacity an edge sees
+    varies over the day as everyone else's traffic ebbs and flows.  The
+    builder models this as a sinusoidal *diurnal load curve* — at peak,
+    background flows consume ``peak_util`` of each affected link's
+    nominal capacity, at trough none of it — re-shaping the links every
+    ``update_s`` through the deployment's
+    :class:`~repro.net.shaper.TrafficShaper` (so every rate change lands
+    in ``shaper.changes`` for experiment logs).
+
+    Attributes:
+        period_s: Length of one diurnal cycle in simulated seconds.
+            City runs compress a day into the simulated window (e.g. a
+            3600 s run with ``period_s=3600`` sweeps one full cycle).
+        peak_util: Fraction of nominal link capacity the background
+            traffic consumes at the peak of the cycle, in [0, 1).
+        update_s: How often link rates are refreshed along the curve.
+        phase_s: Offset into the cycle at time 0 — lets a scenario
+            start at rush hour instead of dawn.
+        scope: Which links carry the cross-traffic — ``"backhaul"``
+            (edge<->cloud), ``"inter_edge"`` (the metro graph), or
+            ``"all"``.
+    """
+
+    period_s: float = 3600.0
+    peak_util: float = 0.5
+    update_s: float = 60.0
+    phase_s: float = 0.0
+    scope: str = "backhaul"
+
+    def __post_init__(self) -> None:
+        _require(self.period_s > 0, "period_s must be > 0")
+        _require(0.0 <= self.peak_util < 1.0, "peak_util must be in [0, 1)")
+        _require(self.update_s > 0, "update_s must be > 0")
+        _require(self.phase_s >= 0, "phase_s must be >= 0")
+        _require(self.scope in ("backhaul", "inter_edge", "all"),
+                 f"scope must be backhaul/inter_edge/all, got {self.scope!r}")
+
+    def level(self, when: float) -> float:
+        """The load curve in [0, 1] at simulated time ``when``."""
+        import math
+
+        angle = 2.0 * math.pi * (when + self.phase_s) / self.period_s
+        return 0.5 * (1.0 - math.cos(angle))
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BackgroundTrafficSpec":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -436,6 +534,8 @@ class ScenarioSpec:
         policy: Overload-management policy applied to every edge
             (admission control, peer offload, handoff pre-warm), or
             None for the paper's accept-everything edges.
+        background: Diurnal background cross-traffic on backhaul links,
+            or None for dedicated (constant-capacity) backhauls.
     """
 
     edges: tuple[EdgeSpec, ...]
@@ -448,6 +548,7 @@ class ScenarioSpec:
     mobility: MobilitySpec | None = None
     warmup: WarmupSpec | None = None
     policy: EdgePolicySpec | None = None
+    background: BackgroundTrafficSpec | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "edges", tuple(self.edges))
@@ -501,6 +602,8 @@ class ScenarioSpec:
             "mobility": self.mobility.to_dict() if self.mobility else None,
             "warmup": self.warmup.to_dict() if self.warmup else None,
             "policy": self.policy.to_dict() if self.policy else None,
+            "background": (self.background.to_dict()
+                           if self.background else None),
         }
 
     @classmethod
@@ -508,6 +611,7 @@ class ScenarioSpec:
         mobility = data.get("mobility")
         warmup = data.get("warmup")
         policy = data.get("policy")
+        background = data.get("background")
         return cls(
             edges=tuple(EdgeSpec.from_dict(e) for e in data["edges"]),
             inter_edge=tuple(InterEdgeLinkSpec.from_dict(l)
@@ -523,6 +627,8 @@ class ScenarioSpec:
                     if warmup is not None else None),
             policy=(EdgePolicySpec.from_dict(policy)
                     if policy is not None else None),
+            background=(BackgroundTrafficSpec.from_dict(background)
+                        if background is not None else None),
         )
 
     # -- canned scenarios ----------------------------------------------------
@@ -576,16 +682,27 @@ class ScenarioSpec:
               federate: bool = True,
               mobility: MobilitySpec | None = None,
               warmup: WarmupSpec | None = None,
-              policy: "EdgePolicySpec | None" = None) -> "ScenarioSpec":
+              policy: "EdgePolicySpec | None" = None,
+              background: "BackgroundTrafficSpec | None" = None,
+              mesh: str = "full",
+              ) -> "ScenarioSpec":
         """A mobile multi-edge city: edges on a grid, users on the move.
 
         Edges are placed at the cell centres of the smallest square grid
         that fits ``n_edges`` inside the mobility extent, so "nearest
         edge" partitions the world into cells and every waypoint hop has
         a real chance of demanding a handoff.
+
+        ``mesh`` picks the inter-edge wiring: ``"full"`` links every
+        edge pair directly (fine for a handful of sites, quadratic at
+        city scale), ``"grid"`` links each edge to its 4-neighbourhood
+        in the placement grid — the metro-aggregation shape a city-sized
+        deployment would actually run, with multi-hop inter-edge routes.
         """
         _require(n_edges >= 1, "n_edges must be >= 1")
         _require(clients_per_edge >= 0, "clients_per_edge must be >= 0")
+        _require(mesh in ("full", "grid"),
+                 f"mesh must be 'full' or 'grid', got {mesh!r}")
         if mobility is None:
             mobility = MobilitySpec()
         side = 1
@@ -602,11 +719,22 @@ class ScenarioSpec:
                 name=f"edge{k}", clients=clients,
                 x=(col + 0.5) * cell, y=(row + 0.5) * cell))
         names = [e.name for e in edges]
+        if mesh == "full":
+            pairs = itertools.combinations(names, 2)
+        else:
+            pairs = []
+            for k in range(n_edges):
+                row, col = divmod(k, side)
+                if col + 1 < side and k + 1 < n_edges:
+                    pairs.append((names[k], names[k + 1]))
+                if k + side < n_edges:
+                    pairs.append((names[k], names[k + side]))
         inter = tuple(InterEdgeLinkSpec(a=a, b=b, mbps=metro_mbps,
                                         delay_ms=metro_delay_ms)
-                      for a, b in itertools.combinations(names, 2))
+                      for a, b in pairs)
         return cls(edges=tuple(edges), inter_edge=inter, federate=federate,
-                   mobility=mobility, warmup=warmup, policy=policy)
+                   mobility=mobility, warmup=warmup, policy=policy,
+                   background=background)
 
 
 def load_spec(source: typing.Union[str, dict]) -> ScenarioSpec:

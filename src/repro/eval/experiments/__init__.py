@@ -14,6 +14,7 @@ Module                Reproduces
 ``index_scaling``     A7 — linear vs LSH descriptor index scaling
 ``speculative``       A8 — speculative cloud forwarding on misses
 ``layer_reuse_exp``   A13 — partial-inference serving from the layer caches
+``city_scale``        A14 — city-scale kernel gauge (simulated metro hour)
 ====================  =======================================================
 """
 

@@ -159,7 +159,7 @@ def drive_affinity(deployment: ClusterDeployment,
                 user=client.name, seq=seq)
             seq += 1
             yield deployment.env.process(client.perform(task))
-            yield deployment.env.timeout(request_interval_s)
+            yield request_interval_s
 
     for client in deployment.all_clients:
         rng = deployment.rng.stream(f"workload.affinity.{client.name}")

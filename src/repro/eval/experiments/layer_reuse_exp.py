@@ -157,7 +157,7 @@ def _drive_phase(deployment: ClusterDeployment, phase: str,
                 scene, viewpoint=viewpoint, user=client.name, seq=seq)
             seq += 1
             yield deployment.env.process(client.perform(task))
-            yield deployment.env.timeout(interval_s)
+            yield interval_s
 
     for client in deployment.all_clients:
         rng = deployment.rng.stream(

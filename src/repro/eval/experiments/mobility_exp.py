@@ -75,7 +75,7 @@ def drive_scenario(deployment: ClusterDeployment,
     if duration_s is None:
         duration_s = (deployment.spec.mobility.duration_s
                       if deployment.spec.mobility is not None else 60.0)
-    if deployment.spec.mobility is not None and not deployment.users:
+    if deployment.spec.mobility is not None and not deployment.itineraries:
         deployment.start_mobility(duration_s)
     for client in deployment.all_clients:
         rng = deployment.rng.stream(f"workload.mobile.{client.name}")
@@ -99,7 +99,7 @@ def _request_loop(deployment: ClusterDeployment, client,
             object_class, viewpoint=viewpoint, user=client.name, seq=seq)
         seq += 1
         yield deployment.env.process(client.perform(task))
-        yield deployment.env.timeout(interval_s)
+        yield interval_s
 
 
 def _summarize(deployment: ClusterDeployment, federate: bool,

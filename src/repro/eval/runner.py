@@ -39,6 +39,7 @@ def _bootstrap() -> None:
     if _REGISTRY:
         return
     from repro.eval.experiments.affinity_exp import run_affinity
+    from repro.eval.experiments.city_scale import run_city_scale
     from repro.eval.experiments.eviction import run_eviction
     from repro.eval.experiments.federation_exp import run_federation
     from repro.eval.experiments.fig2a import run_fig2a
@@ -69,6 +70,7 @@ def _bootstrap() -> None:
         "mobility": run_mobility,
         "overload": run_overload,
         "affinity": run_affinity,
+        "city_scale": run_city_scale,
         "layer_reuse": run_layer_reuse,
     })
 

@@ -92,6 +92,9 @@ class Link:
         self.stats = LinkStats()
         self._rng = rng
         self._transmitter = Resource(env, capacity=1)
+        #: Invoked whenever routing-relevant state (rate, impairments,
+        #: admin status) changes; Topology hooks this to drop cached routes.
+        self._on_change: "typing.Callable[[], None] | None" = None
 
     # -- configuration (used by TrafficShaper) ------------------------------
 
@@ -100,6 +103,8 @@ class Link:
         if bandwidth_bps <= 0:
             raise ValueError(f"bandwidth_bps must be > 0, got {bandwidth_bps}")
         self.bandwidth_bps = float(bandwidth_bps)
+        if self._on_change is not None:
+            self._on_change()
 
     def set_impairment(self, propagation_s: float | None = None,
                        jitter_s: float | None = None,
@@ -121,10 +126,14 @@ class Link:
             if loss_rate > 0 and self._rng is None:
                 raise ValueError("loss requires an rng")
             self.loss_rate = float(loss_rate)
+        if self._on_change is not None:
+            self._on_change()
 
     def set_up(self, up: bool) -> None:
         """Administratively enable/disable the link."""
         self.up = bool(up)
+        if self._on_change is not None:
+            self._on_change()
 
     # -- timing model --------------------------------------------------------
 
@@ -159,7 +168,9 @@ class Link:
                 done.fail(LinkDown(f"link {self.name} is down"))
                 return
             tx_time = self.serialization_delay(message.size_bytes)
-            yield self.env.timeout(tx_time)
+            # Bare-number yield: allocation-free per-hop delay (these
+            # dominate city-scale runs).
+            yield tx_time
             self.stats.busy_time += tx_time
         finally:
             self._transmitter.release(req)
@@ -174,7 +185,7 @@ class Link:
         flight = self.propagation_s
         if self.jitter_s > 0:
             flight += abs(float(self._rng.normal(0.0, self.jitter_s)))
-        yield self.env.timeout(flight)
+        yield flight
 
         self.stats.messages_sent += 1
         self.stats.bytes_sent += message.size_bytes

@@ -88,7 +88,7 @@ class TrafficShaper:
             raise ValueError("nothing to schedule")
 
         def apply(env=self.env):
-            yield env.timeout(when - env.now)
+            yield when - env.now
             if bps is not None or mbps is not None:
                 self.set_rate(link, bps=bps, mbps=mbps)
             if imp is not None:

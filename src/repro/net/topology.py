@@ -9,6 +9,7 @@ multi-hop paths (mobile -> edge -> cloud) need no manual route tables.
 
 from __future__ import annotations
 
+import functools
 import heapq
 import typing
 
@@ -53,6 +54,40 @@ class Topology:
         self.hosts: dict[str, Host] = {}
         # adjacency: src name -> dst name -> Link
         self._adj: dict[str, dict[str, Link]] = {}
+        # reverse adjacency: dst name -> src name -> Link (for routing's
+        # forced-last-hop peel; kept in lockstep with ``_adj``)
+        self._radj: dict[str, dict[str, Link]] = {}
+        # up-links-only mirrors of the two maps above, maintained on every
+        # admin up/down transition.  Routing iterates these so its cost
+        # tracks the *live* topology — in a mobility scenario the
+        # structural adjacency accumulates a down link per past
+        # attachment, which must not slow every future route.
+        self._up_adj: dict[str, dict[str, Link]] = {}
+        self._up_radj: dict[str, dict[str, Link]] = {}
+        # Transit view: _transit_adj[p][n] holds the up link p->n iff n
+        # could be an *interior* hop of some route through p — i.e. n has
+        # an up out-link leading anywhere but straight back to p.  This
+        # is the leaf-pruning rule precomputed per node instead of
+        # re-derived per Dijkstra expansion: a metro edge carries ~100
+        # attached clients in _up_adj but only its mesh/cloud neighbours
+        # here, so route searches scan a graph whose size tracks the
+        # number of *sites*, not the number of clients.
+        self._transit_adj: dict[str, dict[str, Link]] = {}
+        # Hosts declared pure access endpoints (mark_terminal): routes
+        # may start or end there but never pass through, whatever the
+        # momentary link degree says.
+        self._terminal: set[str] = set()
+        # (src, dst) -> host names along the current shortest path.  Any
+        # change to routing-relevant state (new links, rate changes, admin
+        # up/down) drops affected entries — the whole cache in general,
+        # but only a terminal host's own routes when the change touches
+        # one of its access links (no other route can use those links).
+        # Entries are recomputed on demand from unchanged weights, so
+        # cached and fresh answers are identical.
+        self._route_cache: dict[tuple[str, str], list[str]] = {}
+        # Cache-key indexes by endpoint, for the targeted invalidation.
+        self._routes_from: dict[str, set[tuple[str, str]]] = {}
+        self._routes_to: dict[str, set[tuple[str, str]]] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -63,6 +98,10 @@ class Topology:
         host = Host(self.env, name)
         self.hosts[name] = host
         self._adj.setdefault(name, {})
+        self._radj.setdefault(name, {})
+        self._up_adj.setdefault(name, {})
+        self._up_radj.setdefault(name, {})
+        self._transit_adj.setdefault(name, {})
         return host
 
     def add_link(self, src: str, dst: str, bandwidth_bps: float,
@@ -77,8 +116,104 @@ class Topology:
         link = Link(self.env, f"{src}->{dst}", bandwidth_bps,
                     propagation_s=propagation_s, jitter_s=jitter_s,
                     loss_rate=loss_rate, rng=rng)
+        link._on_change = functools.partial(self._link_changed,
+                                            src, dst, link)
         self._adj[src][dst] = link
+        self._radj[dst][src] = link
+        self._up_adj[src][dst] = link
+        self._up_radj[dst][src] = link
+        self._refresh_transit(src)
+        self._refresh_transit(dst)
+        self._drop_routes(src, dst)
         return link
+
+    def mark_terminal(self, name: str, terminal: bool = True) -> None:
+        """Declare ``name`` a pure access endpoint.
+
+        Routes may start or end at a terminal host but never pass
+        through it — a phone is not metro fabric, even while it is
+        briefly dual-homed mid-handoff.  The payoff is locality: a
+        change on a terminal host's access link can only affect that
+        host's own routes, so the route cache survives everyone else's
+        handoffs.
+        """
+        if name not in self.hosts:
+            raise KeyError(f"unknown host {name!r}")
+        if terminal:
+            self._terminal.add(name)
+        else:
+            self._terminal.discard(name)
+        self._refresh_transit(name)
+        self._flush_routes()
+
+    def is_terminal(self, name: str) -> bool:
+        """Whether ``name`` is marked as a pure access endpoint."""
+        return name in self._terminal
+
+    def _link_changed(self, src: str, dst: str, link: Link) -> None:
+        """A link's routing-relevant state changed: resync and forget routes.
+
+        Weight-only changes (bandwidth, impairments) just drop routes;
+        the adjacency and transit views only move on an admin up/down
+        transition, where both endpoints' transit memberships can flip
+        (src's out-degree changed; dst's reachability from src changed).
+        """
+        present = dst in self._up_adj[src]
+        if link.up and not present:
+            self._up_adj[src][dst] = link
+            self._up_radj[dst][src] = link
+            self._refresh_transit(src)
+            self._refresh_transit(dst)
+        elif not link.up and present:
+            del self._up_adj[src][dst]
+            del self._up_radj[dst][src]
+            self._refresh_transit(src)
+            self._refresh_transit(dst)
+        self._drop_routes(src, dst)
+
+    def _refresh_transit(self, name: str) -> None:
+        """Re-derive ``name``'s membership in its in-neighbours' transit views."""
+        out = self._up_adj[name]
+        if name in self._terminal:
+            for p in self._up_radj[name]:
+                self._transit_adj[p].pop(name, None)
+            return
+        sole = next(iter(out)) if len(out) == 1 else None
+        transit = len(out) >= 2
+        for p, link in self._up_radj[name].items():
+            if transit or (sole is not None and sole != p):
+                self._transit_adj[p][name] = link
+            else:
+                self._transit_adj[p].pop(name, None)
+
+    # -- route-cache invalidation --------------------------------------------
+
+    def _flush_routes(self) -> None:
+        self._route_cache.clear()
+        self._routes_from.clear()
+        self._routes_to.clear()
+
+    def _drop_routes(self, src: str, dst: str) -> None:
+        """Forget routes a change to link src->dst could affect.
+
+        A link whose tail is terminal can only ever be a route's first
+        hop, and one whose head is terminal only its last — so only the
+        terminal endpoint's own routes are stale.  Any other link may
+        sit mid-path anywhere, which costs the whole cache.
+        """
+        terminal = self._terminal
+        if src not in terminal and dst not in terminal:
+            self._flush_routes()
+            return
+        cache = self._route_cache
+        if src in terminal:
+            for key in self._routes_from.pop(src, ()):
+                cache.pop(key, None)
+                self._routes_to[key[1]].discard(key)
+        if dst in terminal:
+            for key in self._routes_to.pop(dst, ()):
+                cache.pop(key, None)
+                self._routes_from[key[0]].discard(key)
 
     def add_duplex(self, a: str, b: str, bandwidth_bps: float,
                    propagation_s: float = 0.0, jitter_s: float = 0.0,
@@ -119,7 +254,77 @@ class Topology:
             raise KeyError(f"unknown host {dst!r}")
         if src == dst:
             return [src]
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached.copy()
 
+        path = self._peel_route(src, dst)
+        if path is None:
+            path = self._dijkstra(src, dst)
+        key = (src, dst)
+        self._route_cache[key] = path
+        self._routes_from.setdefault(src, set()).add(key)
+        self._routes_to.setdefault(dst, set()).add(key)
+        return path.copy()
+
+    def _peel_route(self, src: str, dst: str) -> list[str] | None:
+        """Resolve forced hops at both ends of the route, if any.
+
+        A node with a single up out-link has no routing choice — every
+        path out of it starts with that hop.  Symmetrically, a node with
+        a single up in-link is only reachable through it.  Peeling both
+        ends reduces a city route (client -> edge -> ... -> edge ->
+        client) to at most one small Dijkstra between well-connected
+        interior nodes — and usually to none at all.  Returns ``None``
+        when the peels collide or cycle; the caller falls back to a full
+        Dijkstra, so this is an exact shortcut, not a heuristic.
+        """
+        up_adj = self._up_adj
+        up_radj = self._up_radj
+        prefix: list[str] = []
+        peeled: set[str] = {src}
+        while src != dst:
+            out = up_adj.get(src)
+            if not out or len(out) != 1:
+                break
+            prefix.append(src)
+            src = next(iter(out))
+            if src in peeled:
+                return None
+            peeled.add(src)
+        suffix: list[str] = []
+        while src != dst:
+            into = up_radj.get(dst)
+            if not into or len(into) != 1:
+                break
+            suffix.append(dst)
+            dst = next(iter(into))
+            if dst == src:
+                break
+            if dst in peeled:
+                return None
+            peeled.add(dst)
+        suffix.reverse()
+        if src == dst:
+            return prefix + [src] + suffix
+        if not prefix and not suffix:
+            return None
+        return prefix + self._dijkstra(src, dst) + suffix
+
+    def _dijkstra(self, src: str, dst: str) -> list[str]:
+        """Minimum-latency path by Dijkstra over up links.
+
+        Expansions scan the transit view — non-transit neighbours (the
+        client fan-out of every metro edge) can never be interior hops,
+        so they are excluded from the scan itself rather than skipped
+        one by one.  The destination is the one node a route may end on
+        without being transit, so it is relaxed separately whenever the
+        expanded node has a direct up link to it.
+        """
+        transit = self._transit_adj
+        up_adj = self._up_adj
+        probe_bits = self.ROUTE_PROBE_BYTES * 8
+        inf = float("inf")
         dist: dict[str, float] = {src: 0.0}
         prev: dict[str, str] = {}
         frontier: list[tuple[float, str]] = [(0.0, src)]
@@ -131,15 +336,23 @@ class Topology:
             if here == dst:
                 break
             visited.add(here)
-            for nxt, link in self._adj.get(here, {}).items():
-                if not link.up:
-                    continue
-                weight = link.one_way_delay(self.ROUTE_PROBE_BYTES)
-                nd = d + weight
-                if nd < dist.get(nxt, float("inf")):
+            nbrs = transit.get(here, {})
+            for nxt, link in nbrs.items():
+                nd = d + (probe_bits / link.bandwidth_bps
+                          + link.propagation_s)
+                if nd < dist.get(nxt, inf):
                     dist[nxt] = nd
                     prev[nxt] = here
                     heapq.heappush(frontier, (nd, nxt))
+            if dst not in nbrs:
+                link = up_adj.get(here, {}).get(dst)
+                if link is not None:
+                    nd = d + (probe_bits / link.bandwidth_bps
+                              + link.propagation_s)
+                    if nd < dist.get(dst, inf):
+                        dist[dst] = nd
+                        prev[dst] = here
+                        heapq.heappush(frontier, (nd, dst))
         if dst not in dist:
             raise NoRouteError(f"no route {src} -> {dst}")
 

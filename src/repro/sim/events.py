@@ -6,6 +6,15 @@ Events move through three states: *pending* (created, not yet scheduled),
 (callbacks have run).  Events may succeed with a value or fail with an
 exception; a failed event re-raises its exception inside every waiting
 process, which mirrors how a failed RPC surfaces at its call site.
+
+Performance notes (the city-scale kernel pass):
+
+* every event class is ``__slots__``-ed — at 10^7 events the per-instance
+  ``__dict__`` was the single largest allocation cost;
+* :class:`Timeout` initializes its fields inline (no ``super()`` chain)
+  and hands itself straight to the environment's scheduling primitive;
+* :class:`Sleep` is the pooled variant used for fire-and-forget delays —
+  see :meth:`~repro.sim.kernel.Environment.sleep`.
 """
 
 from __future__ import annotations
@@ -43,6 +52,8 @@ class Event:
         callbacks: Functions invoked with the event once it is processed.
             ``None`` after processing (appending then is an error).
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -113,25 +124,82 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: object = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + immediate trigger: a Timeout is born
+        # triggered-ok, so it skips the generic succeed() machinery and
+        # goes straight onto the queue.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self.delay = delay
         env.schedule(self, delay=delay)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
 
 
+class Sleep(Timeout):
+    """A pooled :class:`Timeout` for fire-and-forget delays.
+
+    Created only by :meth:`~repro.sim.kernel.Environment.sleep`.  The
+    kernel recycles the instance into the environment's sleep pool the
+    moment its callbacks have run, so holders must treat it as dead after
+    it fires: yield it exactly once and drop the reference.  Use
+    ``env.timeout(...)`` whenever the event object outlives its firing
+    (e.g. deadline races that check ``triggered`` later).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return f"<Sleep delay={self.delay} at {id(self):#x}>"
+
+
+class _Wake(Timeout):
+    """A process's private, reusable wakeup event for bare-number yields.
+
+    Each :class:`~repro.sim.process.Process` lazily owns one; when the
+    generator yields a plain ``float``/``int`` delay the trampoline
+    reschedules this single event instead of allocating a fresh timeout.
+    Its callback list permanently holds just the process resume and is
+    restored by the kernel loop after each firing.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment",
+                 resume: typing.Callable[[Event], None]):
+        # Born idle: triggered-ok but unscheduled until the first yield.
+        self.env = env
+        self.callbacks = [resume]
+        self._value = None
+        self._ok = True
+        self._defused = False
+        self.delay = 0.0
+
+    def __repr__(self) -> str:
+        return f"<_Wake delay={self.delay} at {id(self):#x}>"
+
+
 class _Condition(Event):
-    """Base for AllOf/AnyOf composite events."""
+    """Base for AllOf/AnyOf composite events.
+
+    The sub-event list is dropped as soon as the condition triggers —
+    a city-scale ``AllOf`` fan-in would otherwise pin every sub-event
+    (and whatever their values reference) for the rest of the run.
+    """
+
+    __slots__ = ("_events", "_remaining")
 
     def __init__(self, env: "Environment", events: typing.Sequence[Event]):
         super().__init__(env)
-        self._events = list(events)
+        self._events: tuple[Event, ...] = tuple(events)
         for event in self._events:
             if event.env is not env:
                 raise ValueError("all events must belong to the same environment")
@@ -153,6 +221,10 @@ class _Condition(Event):
             if event.triggered and event.ok
         }
 
+    def _release(self) -> None:
+        """Drop the strong refs to sub-events once the outcome is known."""
+        self._events = ()
+
     def _observe(self, event: Event) -> None:
         raise NotImplementedError
 
@@ -160,26 +232,34 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Triggers once every sub-event has succeeded (or any fails)."""
 
+    __slots__ = ()
+
     def _observe(self, event: Event) -> None:
         if self.triggered:
             return
         if not event.ok:
             event.defuse()
             self.fail(typing.cast(BaseException, event.value))
+            self._release()
             return
         self._remaining -= 1
         if self._remaining == 0:
             self.succeed(self._collect())
+            self._release()
 
 
 class AnyOf(_Condition):
     """Triggers as soon as one sub-event succeeds (or any fails)."""
 
+    __slots__ = ()
+
     def _observe(self, event: Event) -> None:
         if self.triggered:
             return
         if not event.ok:
             event.defuse()
             self.fail(typing.cast(BaseException, event.value))
+            self._release()
             return
         self.succeed(self._collect())
+        self._release()

@@ -29,7 +29,13 @@ if typing.TYPE_CHECKING:  # pragma: no cover
 
 
 class Request(Event):
-    """A pending claim on a :class:`Resource` slot."""
+    """A pending claim on a :class:`Resource` slot.
+
+    Slotted: one request is allocated per worker/transmitter hop, which at
+    city scale makes this the most-instantiated event after timeouts.
+    """
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment"):
         super().__init__(env)
@@ -87,6 +93,8 @@ class Resource:
 
 class PriorityRequest(Request):
     """A claim with a priority; lower values are served first."""
+
+    __slots__ = ("priority", "_key")
 
     def __init__(self, env: "Environment", priority: int, seq: int):
         super().__init__(env)

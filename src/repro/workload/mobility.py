@@ -106,11 +106,19 @@ class RandomWaypointUser:
             or transit hub does, making handoff arrivals heavy-tailed.
             None keeps the classic uniform random-waypoint model
             (bit-identical to the pre-bias implementation).
+        bias_schedule: Optional piecewise gravity timetable
+            ``[(start_s, weights), ...]`` sorted by start time.  The
+            weights active at the hop's departure time drive the draw,
+            so the stadium fills before full time and empties after it.
+            Before the first segment starts (and whenever the schedule
+            is None) the static ``bias`` (or uniform) model applies.
     """
 
     def __init__(self, name: str, world: World, rng: np.random.Generator,
                  mean_dwell_s: float = 60.0, home_place: int | None = None,
-                 bias: typing.Sequence[float] | None = None):
+                 bias: typing.Sequence[float] | None = None,
+                 bias_schedule: typing.Sequence[
+                     tuple[float, typing.Sequence[float]]] | None = None):
         if mean_dwell_s <= 0:
             raise ValueError("mean_dwell_s must be > 0")
         self.name = name
@@ -119,18 +127,30 @@ class RandomWaypointUser:
         self.mean_dwell_s = mean_dwell_s
         self.place_id = (int(rng.integers(len(world)))
                          if home_place is None else home_place)
-        self._bias: np.ndarray | None = None
-        if bias is not None:
-            weights = np.asarray(bias, dtype=float)
-            if weights.shape != (len(world),):
-                raise ValueError(
-                    f"bias needs one weight per place "
-                    f"({len(world)}), got shape {weights.shape}")
-            if (weights < 0).any():
-                raise ValueError("bias weights must be >= 0")
-            if weights.sum() <= 0:
-                raise ValueError("bias weights must not all be zero")
-            self._bias = weights
+        self._bias = self._check_weights(bias, "bias")
+        self._schedule: list[tuple[float, np.ndarray]] | None = None
+        if bias_schedule is not None:
+            segments = [(float(start),
+                         self._check_weights(w, f"bias_schedule[{k}]"))
+                        for k, (start, w) in enumerate(bias_schedule)]
+            starts = [s for s, _ in segments]
+            if starts != sorted(starts):
+                raise ValueError("bias_schedule must be sorted by start time")
+            self._schedule = segments
+
+    def _check_weights(self, weights, label: str) -> "np.ndarray | None":
+        if weights is None:
+            return None
+        arr = np.asarray(weights, dtype=float)
+        if arr.shape != (len(self.world),):
+            raise ValueError(
+                f"{label} needs one weight per place "
+                f"({len(self.world)}), got shape {arr.shape}")
+        if (arr < 0).any():
+            raise ValueError(f"{label} weights must be >= 0")
+        if arr.sum() <= 0:
+            raise ValueError(f"{label} weights must not all be zero")
+        return arr
 
     def itinerary(self, duration_s: float) -> list[tuple[float, int]]:
         """[(arrival_time_s, place_id), ...] covering ``duration_s``.
@@ -144,19 +164,32 @@ class RandomWaypointUser:
         current = self.place_id
         while t < duration_s:
             if len(self.world) > 1:
-                current = self._next_place(current)
+                current = self._next_place(current, t)
             stops.append((t, current))
             t += float(self._rng.exponential(self.mean_dwell_s))
         return stops
 
-    def _next_place(self, current: int) -> int:
+    def _gravity_at(self, when: float) -> "np.ndarray | None":
+        """The gravity weights in force at time ``when``."""
+        if self._schedule is not None:
+            active = None
+            for start, weights in self._schedule:
+                if start > when:
+                    break
+                active = weights
+            if active is not None:
+                return active
+        return self._bias
+
+    def _next_place(self, current: int, when: float = 0.0) -> int:
         """Draw the next waypoint: uniform, or gravity-biased."""
-        if self._bias is None:
+        gravity = self._gravity_at(when)
+        if gravity is None:
             nxt = int(self._rng.integers(len(self.world)))
             while nxt == current:
                 nxt = int(self._rng.integers(len(self.world)))
             return nxt
-        probs = self._bias.copy()
+        probs = gravity.copy()
         probs[current] = 0.0
         total = probs.sum()
         if total <= 0:
@@ -177,6 +210,54 @@ class RandomWaypointUser:
                 break
             place = place_id
         return place
+
+
+def load_itineraries(source: typing.Union[str, dict],
+                     n_places: int | None = None,
+                     ) -> dict[str, list[tuple[float, int]]]:
+    """Parse trace-driven itineraries from JSON.
+
+    Accepts a mapping ``{client_name: [[arrival_s, place_id], ...]}`` as
+    a dict, a JSON string, or a path to a JSON file — the format a
+    measured mobility trace (or another simulator) exports.  Each
+    itinerary must start at time 0, be sorted by arrival, and (when
+    ``n_places`` is given) stay inside the world.
+
+    Returns the itineraries in :meth:`RandomWaypointUser.itinerary`'s
+    shape, so trace-driven and synthetic users replay identically.
+    """
+    import json
+    import os
+
+    if isinstance(source, str):
+        if os.path.exists(source):
+            with open(source, "r", encoding="utf-8") as fh:
+                source = json.load(fh)
+        else:
+            source = json.loads(source)
+    if not isinstance(source, dict):
+        raise ValueError(f"itinerary trace must be a mapping, "
+                         f"got {type(source).__name__}")
+    out: dict[str, list[tuple[float, int]]] = {}
+    for name, stops in source.items():
+        if not stops:
+            raise ValueError(f"itinerary for {name!r} is empty")
+        parsed = [(float(t), int(p)) for t, p in stops]
+        if parsed[0][0] != 0.0:
+            raise ValueError(
+                f"itinerary for {name!r} must start at time 0, "
+                f"got {parsed[0][0]}")
+        times = [t for t, _ in parsed]
+        if times != sorted(times):
+            raise ValueError(f"itinerary for {name!r} is not time-sorted")
+        if n_places is not None:
+            for t, p in parsed:
+                if not 0 <= p < n_places:
+                    raise ValueError(
+                        f"itinerary for {name!r} visits place {p} outside "
+                        f"the {n_places}-place world")
+        out[name] = parsed
+    return out
 
 
 def colocation_matrix(itineraries: dict[str, list[tuple[float, int]]],

@@ -289,6 +289,18 @@ class TestHandoff:
         assert record.outcome in ("hit", "miss")  # not an error
         assert client.edge_name == "edge1"
 
+    def test_response_to_unreachable_client_is_dropped(self):
+        # City-scale race: a client blows its deadline and hands off,
+        # the drained downlink is torn down, and the edge's response
+        # (plus its error-respond fallback) hits a dead link.  The edge
+        # must count a dropped response, not crash the simulation.
+        dep = ClusterDeployment(line_spec(federate=False))
+        client = dep.client_by_name["m0"]
+        dep.topology.link("edge0", "m0").set_up(False)
+        record = dep.run_tasks(client, [dep.recognition_task(1)])[0]
+        assert record.outcome == "error"
+        assert dep.edges[0].responses_dropped >= 1
+
     def test_handoff_to_same_edge_is_noop(self):
         dep = ClusterDeployment(line_spec())
         client = dep.client_by_name["m0"]
@@ -439,3 +451,88 @@ class TestLteAccess:
         net = dep.config.network
         assert uplink.bandwidth_bps == net.lte_uplink_mbps * 1e6
         assert downlink.bandwidth_bps == net.lte_downlink_mbps * 1e6
+
+
+def traced_metro_spec(trace, **mobility_kwargs):
+    mobility = MobilitySpec(n_places=16, mean_dwell_s=10.0,
+                            duration_s=60.0, handoff_latency_s=0.05,
+                            itinerary_trace=trace, **mobility_kwargs)
+    return ScenarioSpec.metro(n_edges=4, clients_per_edge=1,
+                              federate=True, mobility=mobility)
+
+
+class TestItineraryTrace:
+    def test_traced_client_replays_verbatim(self, make_deployment):
+        trace = {"mobile0_0": [[0.0, 1], [5.0, 9], [30.0, 2]]}
+        dep = make_deployment(spec=traced_metro_spec(trace))
+        itineraries = dep.start_mobility()
+        assert itineraries["mobile0_0"] == [(0.0, 1), (5.0, 9), (30.0, 2)]
+        # The traced client gets no synthetic user; the others do.
+        assert "mobile0_0" not in dep.users
+        assert set(dep.users) == set(dep.client_names) - {"mobile0_0"}
+
+    def test_fully_traced_scenario_creates_no_users(self, make_deployment):
+        trace = {name: [[0.0, i]] for i, name in enumerate(
+            f"mobile{k}_0" for k in range(4))}
+        dep = make_deployment(spec=traced_metro_spec(trace))
+        dep.start_mobility()
+        assert dep.users == {}
+        dep.run_for(60.0)  # replay runs to completion without synthesis
+
+    def test_unknown_client_in_trace_rejected(self, make_deployment):
+        dep = make_deployment(
+            spec=traced_metro_spec({"nobody": [[0.0, 0]]}))
+        with pytest.raises(ValueError, match="nobody"):
+            dep.start_mobility()
+
+    def test_trace_places_validated_against_world(self, make_deployment):
+        dep = make_deployment(
+            spec=traced_metro_spec({"mobile0_0": [[0.0, 99]]}))
+        with pytest.raises(ValueError):
+            dep.start_mobility()
+
+
+class TestBackgroundTraffic:
+    def test_backhaul_links_follow_the_diurnal_curve(self, make_deployment):
+        from repro.core.scenario import BackgroundTrafficSpec
+
+        background = BackgroundTrafficSpec(period_s=40.0, peak_util=0.5,
+                                           update_s=10.0)
+        spec = ScenarioSpec.metro(n_edges=2, clients_per_edge=1,
+                                  background=background)
+        dep = make_deployment(spec=spec)
+        nominal = {link: link.bandwidth_bps
+                   for pair in dep.backhaul.values() for link in pair}
+        dep.run_for(21.0)
+        # Last update at t=20 = period/2: the curve peaks (level=1.0),
+        # leaving residual 1 - peak_util = 50% of nominal.
+        for link, bps in nominal.items():
+            assert link.bandwidth_bps == pytest.approx(0.5 * bps)
+        assert len(dep.shaper.changes) >= 3 * len(nominal)
+
+    def test_inter_edge_scope_spares_the_backhaul(self, make_deployment):
+        from repro.core.scenario import BackgroundTrafficSpec
+
+        background = BackgroundTrafficSpec(period_s=40.0, peak_util=0.5,
+                                           update_s=10.0,
+                                           scope="inter_edge")
+        spec = ScenarioSpec.metro(n_edges=2, clients_per_edge=1,
+                                  background=background)
+        dep = make_deployment(spec=spec)
+        backhaul_nominal = {link: link.bandwidth_bps
+                            for pair in dep.backhaul.values()
+                            for link in pair}
+        mesh_nominal = {link: link.bandwidth_bps
+                        for pair in dep.inter_edge_links.values()
+                        for link in pair}
+        dep.run_for(21.0)
+        for link, bps in backhaul_nominal.items():
+            assert link.bandwidth_bps == bps
+        for link, bps in mesh_nominal.items():
+            assert link.bandwidth_bps == pytest.approx(0.5 * bps)
+
+    def test_no_background_means_no_rate_changes(self, make_deployment):
+        spec = ScenarioSpec.metro(n_edges=2, clients_per_edge=1)
+        dep = make_deployment(spec=spec)
+        dep.run_for(21.0)
+        assert dep.shaper.changes == []

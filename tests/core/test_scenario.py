@@ -8,6 +8,7 @@ from repro.core.scenario import (
     ClientSpec,
     EdgeSpec,
     InterEdgeLinkSpec,
+    BackgroundTrafficSpec,
     MobilitySpec,
     ScenarioSpec,
     WarmupSpec,
@@ -92,9 +93,41 @@ class TestBuilders:
                              (250.0, 750.0), (750.0, 750.0)}
         assert spec.mobility is mobility
 
+    def test_metro_grid_mesh(self):
+        # 3x3 grid: 2 links per interior row/column pair = 12 duplex
+        # links instead of C(9, 2) = 36, and every edge keeps at most
+        # its 4-neighbourhood.
+        spec = ScenarioSpec.metro(n_edges=9, clients_per_edge=0,
+                                  mesh="grid")
+        assert len(spec.inter_edge) == 12
+        degree: dict = {}
+        for link in spec.inter_edge:
+            degree[link.a] = degree.get(link.a, 0) + 1
+            degree[link.b] = degree.get(link.b, 0) + 1
+        assert max(degree.values()) == 4
+        assert set(degree) == {e.name for e in spec.edges}
+        # Ragged last row stays connected through vertical links.
+        ragged = ScenarioSpec.metro(n_edges=5, clients_per_edge=0,
+                                    mesh="grid")
+        names = {e.name for e in ragged.edges}
+        adj: dict = {name: set() for name in names}
+        for link in ragged.inter_edge:
+            adj[link.a].add(link.b)
+            adj[link.b].add(link.a)
+        seen, stack = set(), ["edge0"]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adj[node])
+        assert seen == names
+
     def test_builder_validation(self):
         with pytest.raises(ValueError):
             ScenarioSpec.single_edge(0)
+        with pytest.raises(ValueError):
+            ScenarioSpec.metro(mesh="ring")
         with pytest.raises(ValueError):
             ScenarioSpec.federated(n_edges=0)
         with pytest.raises(ValueError):
@@ -156,6 +189,28 @@ class TestSerialization:
         restored = self._roundtrip(spec)
         assert restored.mobility.bias == (8.0, 1.0, 1.0, 1.0)
 
+    def test_roundtrip_bias_schedule_and_trace(self):
+        mobility = MobilitySpec(
+            n_places=4,
+            bias_schedule=((0.0, (1.0, 1.0, 1.0, 1.0)),
+                           (30.0, (8.0, 1.0, 1.0, 1.0))),
+            itinerary_trace={"mobile0_0": [[0.0, 1], [9.5, 3]]})
+        spec = ScenarioSpec.metro(n_edges=2, mobility=mobility)
+        restored = self._roundtrip(spec)
+        assert restored.mobility.bias_schedule == (
+            (0.0, (1.0, 1.0, 1.0, 1.0)), (30.0, (8.0, 1.0, 1.0, 1.0)))
+        assert restored.mobility.itinerary_trace == {
+            "mobile0_0": [[0.0, 1], [9.5, 3]]}
+
+    def test_roundtrip_background_traffic(self):
+        background = BackgroundTrafficSpec(period_s=120.0, peak_util=0.3,
+                                           update_s=5.0, phase_s=10.0,
+                                           scope="all")
+        spec = ScenarioSpec.metro(n_edges=2, background=background)
+        restored = self._roundtrip(spec)
+        assert restored.background == background
+        assert restored == spec
+
 
 class TestAccessAndBiasValidation:
     def test_unknown_access_rejected(self):
@@ -173,3 +228,31 @@ class TestAccessAndBiasValidation:
     def test_bias_weights_must_not_all_be_zero(self):
         with pytest.raises(ValueError, match="bias"):
             MobilitySpec(n_places=2, bias=(0.0, 0.0))
+
+
+class TestBackgroundAndScheduleValidation:
+    def test_background_scope_rejected(self):
+        with pytest.raises(ValueError, match="scope"):
+            BackgroundTrafficSpec(scope="wifi")
+
+    def test_background_peak_util_bounds(self):
+        with pytest.raises(ValueError):
+            BackgroundTrafficSpec(peak_util=1.5)
+
+    def test_background_level_curve(self):
+        bg = BackgroundTrafficSpec(period_s=100.0)
+        assert bg.level(0.0) == pytest.approx(0.0)
+        assert bg.level(50.0) == pytest.approx(1.0)
+        assert bg.level(100.0) == pytest.approx(0.0)
+        shifted = BackgroundTrafficSpec(period_s=100.0, phase_s=50.0)
+        assert shifted.level(0.0) == pytest.approx(1.0)
+
+    def test_bias_schedule_sorted_and_sized(self):
+        with pytest.raises(ValueError):
+            MobilitySpec(n_places=2,
+                         bias_schedule=((5.0, (1.0, 1.0)),
+                                        (0.0, (1.0, 1.0))))
+        with pytest.raises(ValueError):
+            MobilitySpec(n_places=2, bias_schedule=((0.0, (1.0,)),))
+        with pytest.raises(ValueError):
+            MobilitySpec(n_places=2, bias_schedule=())

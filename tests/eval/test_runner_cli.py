@@ -97,3 +97,12 @@ class TestScenarioCli:
         path.write_text('{"edges": []}')
         assert main(["scenario", str(path)]) == 2
         assert "bad scenario spec" in capsys.readouterr().err
+
+    def test_scenario_profile_prints_hot_functions(self, capsys):
+        assert main(["scenario",
+                     '{"edges": [{"name": "e0", "clients": ["m0"]}]}',
+                     "--duration", "10", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out  # the pstats table header
+        assert "_run_wheel" in out  # the kernel hot loop is visible
+        assert "hit ratio" in out   # the normal report still follows

@@ -95,3 +95,64 @@ class TestRouting:
         assert set(topo.neighbors("a")) == {"b", "c"}
         link.set_up(False)
         assert topo.neighbors("a") == ["b"]
+
+
+class TestTerminalHosts:
+    def test_terminal_host_never_transits(self, topo):
+        # Dual-homed phone between two edges: the two fast hops through
+        # it would beat the slow metro link, but a terminal host may
+        # only start or end routes.
+        topo.add_duplex("edgeA", "edgeB", 1e6, propagation_s=0.5)
+        topo.add_duplex("phone", "edgeA", 1e9, propagation_s=0.001)
+        topo.add_duplex("phone", "edgeB", 1e9, propagation_s=0.001)
+        assert topo.shortest_path("edgeA", "edgeB") == [
+            "edgeA", "phone", "edgeB"]
+        topo.mark_terminal("phone")
+        assert topo.shortest_path("edgeA", "edgeB") == ["edgeA", "edgeB"]
+        # Routes from/to the phone itself still work.
+        assert topo.shortest_path("phone", "edgeB") == ["phone", "edgeB"]
+        assert topo.shortest_path("edgeA", "phone") == ["edgeA", "phone"]
+
+    def test_unmark_restores_transit(self, topo):
+        topo.add_duplex("edgeA", "edgeB", 1e6, propagation_s=0.5)
+        topo.add_duplex("phone", "edgeA", 1e9, propagation_s=0.001)
+        topo.add_duplex("phone", "edgeB", 1e9, propagation_s=0.001)
+        topo.mark_terminal("phone")
+        topo.mark_terminal("phone", False)
+        assert not topo.is_terminal("phone")
+        assert topo.shortest_path("edgeA", "edgeB") == [
+            "edgeA", "phone", "edgeB"]
+
+    def test_unknown_host_rejected(self, topo):
+        with pytest.raises(KeyError):
+            topo.mark_terminal("ghost")
+
+    def test_terminal_link_change_keeps_other_routes_cached(self, topo):
+        # A terminal host's access-link churn must only invalidate its
+        # own routes; the interior route survives in the cache.
+        topo.add_duplex("edgeA", "edgeB", 1e6, propagation_s=0.002)
+        up, down = topo.add_duplex("phone", "edgeA", 1e8)
+        topo.mark_terminal("phone")
+        topo.shortest_path("edgeA", "edgeB")
+        topo.shortest_path("phone", "edgeB")
+        assert ("edgeA", "edgeB") in topo._route_cache
+        up.set_up(False)
+        assert ("edgeA", "edgeB") in topo._route_cache
+        assert ("phone", "edgeB") not in topo._route_cache
+        # A metro-link change still flushes everything.
+        topo.link("edgeA", "edgeB").set_bandwidth(2e6)
+        assert topo._route_cache == {}
+
+    def test_routes_correct_after_terminal_handoff(self, topo):
+        # Make-before-break: attach to edgeB, tear down edgeA, and the
+        # phone's fresh routes go via the new attachment.
+        topo.add_duplex("edgeA", "edgeB", 1e6, propagation_s=0.002)
+        old = topo.add_duplex("phone", "edgeA", 1e8)
+        topo.mark_terminal("phone")
+        assert topo.shortest_path("phone", "edgeB") == [
+            "phone", "edgeA", "edgeB"]
+        topo.add_duplex("phone", "edgeB", 1e8)
+        for link in old:
+            link.set_up(False)
+        assert topo.shortest_path("phone", "edgeB") == ["phone", "edgeB"]
+        assert topo.shortest_path("edgeB", "phone") == ["edgeB", "phone"]

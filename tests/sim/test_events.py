@@ -157,3 +157,63 @@ class TestConditions:
         t = other.timeout(1)
         with pytest.raises(ValueError):
             AllOf(env, [t])
+
+
+class TestConditionReleasesSubEvents:
+    """A triggered condition must not pin its sub-events for the run.
+
+    City-scale fan-ins (an ``AllOf`` over thousands of transfers) would
+    otherwise keep every sub-event — and whatever their values
+    reference — alive until the condition object itself dies.
+    """
+
+    def test_allof_drops_refs_after_success(self, env):
+        timeouts = [env.timeout(i, value=i) for i in range(3)]
+        both = AllOf(env, timeouts)
+        env.run()
+        assert both.triggered and both.ok
+        assert both._events == ()
+
+    def test_anyof_releases_the_losers(self, env):
+        """After the winner fires, the condition holds no path to a
+        sub-event that never triggered — neither via ``_events`` nor
+        via the value dict."""
+        import sys
+
+        never = env.event()
+        baseline = sys.getrefcount(never)
+        either = AnyOf(env, [env.timeout(1, value="fast"), never])
+        env.run(until=either)
+        assert either._events == ()
+        assert never not in either.value
+        assert sys.getrefcount(never) <= baseline
+
+    def test_anyof_drops_refs_after_first_success(self, env):
+        first = env.timeout(1, value="fast")
+        late = env.timeout(5, value="slow")
+        either = AnyOf(env, [first, late])
+        env.run()
+        assert either.ok and either._events == ()
+
+    def test_allof_drops_refs_after_failure(self, env):
+        def doomed(env):
+            yield env.timeout(1)
+            raise RuntimeError("inner")
+
+        p = env.process(doomed(env))
+        both = AllOf(env, [p, env.timeout(10)])
+
+        def watcher(env):
+            with pytest.raises(RuntimeError, match="inner"):
+                yield both
+
+        w = env.process(watcher(env))
+        env.run(until=w)
+        assert both.triggered and not both.ok
+        assert both._events == ()
+
+    def test_collected_values_survive_release(self, env):
+        timeouts = [env.timeout(i, value=f"v{i}") for i in range(3)]
+        both = AllOf(env, timeouts)
+        env.run()
+        assert list(both.value.values()) == ["v0", "v1", "v2"]

@@ -112,3 +112,34 @@ class TestDeterminism:
             return trace
 
         assert build_and_run() == build_and_run()
+
+
+class TestRunUntilFailedEvent:
+    """A failed ``until`` event is reported exactly once (then defused)."""
+
+    @pytest.mark.parametrize("queue", ["wheel", "heap"])
+    def test_event_failed_by_callback_raises_once(self, queue):
+        """The raise at the run() call site IS the report; the failure
+        must not also abort a later sweep as unhandled."""
+        env = Environment(queue=queue)
+        event = env.event()
+        env.timeout(1).callbacks.append(
+            lambda t: event.fail(RuntimeError("dead")))
+        with pytest.raises(RuntimeError, match="dead"):
+            env.run(until=event)
+        assert event.triggered and not event.ok
+
+        env.timeout(1)
+        env.run()  # would raise SimulationError were the event not defused
+
+    def test_already_failed_event_reraises_each_run(self, env):
+        event = env.event()
+        event.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            env.run(until=event)
+        # Subsequent run(until=...) calls keep reporting the outcome
+        # without tripping the unhandled-failure sweep.
+        with pytest.raises(ValueError, match="boom"):
+            env.run(until=event)
+        env.timeout(1)
+        env.run()

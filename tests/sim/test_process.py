@@ -41,7 +41,42 @@ class TestBasics:
 
     def test_yield_non_event_crashes_process(self, env):
         def bad(env):
-            yield 42
+            yield "not an event"
+
+        p = env.process(bad(env))
+        with pytest.raises(ProcessCrashed):
+            env.run(until=p)
+
+    def test_yield_bare_number_sleeps(self, env):
+        def proc(env):
+            yield 1.5
+            yield 2  # ints work too
+            return env.now
+
+        p = env.process(proc(env))
+        assert env.run(until=p) == 3.5
+        assert env.now == 3.5
+
+    def test_bare_number_sleep_matches_timeout_ordering(self, env):
+        log = []
+
+        def number_sleeper(env):
+            yield 1.0
+            log.append("number")
+
+        def timeout_sleeper(env):
+            yield env.timeout(1.0)
+            log.append("timeout")
+
+        # FIFO tie-break: creation order decides among equal wake times.
+        env.process(timeout_sleeper(env))
+        env.process(number_sleeper(env))
+        env.run()
+        assert log == ["timeout", "number"]
+
+    def test_yield_negative_number_crashes_process(self, env):
+        def bad(env):
+            yield -0.5
 
         p = env.process(bad(env))
         with pytest.raises(ProcessCrashed):

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.workload.mobility import (
+    load_itineraries,
     Place,
     RandomWaypointUser,
     World,
@@ -170,3 +171,78 @@ class TestColocation:
     def test_no_groups_when_spread(self, world):
         itineraries = {"a": [(0.0, 1)], "b": [(0.0, 2)]}
         assert colocation_matrix(itineraries, [0.0])[0.0] == {}
+
+
+class TestBiasSchedule:
+    def test_schedule_segments_take_effect_at_their_start(self, world):
+        # Act 1 (t < 1000): uniform.  Act 2 (t >= 1000): place 0 has
+        # 50x gravity.  Hops drawn after the switch concentrate there.
+        schedule = ((0.0, (1.0,) * 5),
+                    (1000.0, (50.0, 1.0, 1.0, 1.0, 1.0)))
+        user = RandomWaypointUser("u", world, np.random.default_rng(3),
+                                  mean_dwell_s=1.0, home_place=1,
+                                  bias_schedule=schedule)
+        stops = user.itinerary(3000)
+        act1 = [p for t, p in stops if 0 < t < 1000]
+        act2 = [p for t, p in stops if t >= 1000]
+        assert act1.count(0) / len(act1) < 0.35
+        assert act2.count(0) / len(act2) > 0.4
+
+    def test_static_bias_applies_before_first_segment(self, world):
+        # The schedule only starts at t=500; until then the static bias
+        # (hotspot on place 2) governs the draw.
+        user = RandomWaypointUser(
+            "u", world, np.random.default_rng(11), mean_dwell_s=1.0,
+            home_place=0, bias=(1.0, 1.0, 50.0, 1.0, 1.0),
+            bias_schedule=((500.0, (1.0,) * 5),))
+        stops = user.itinerary(1500)
+        early = [p for t, p in stops if 0 < t < 500]
+        assert early.count(2) / len(early) > 0.4
+
+    def test_unsorted_schedule_rejected(self, world):
+        with pytest.raises(ValueError):
+            RandomWaypointUser(
+                "u", world, np.random.default_rng(0),
+                bias_schedule=((10.0, (1.0,) * 5), (0.0, (1.0,) * 5)))
+
+    def test_segment_weights_validated(self, world):
+        with pytest.raises(ValueError):
+            RandomWaypointUser(
+                "u", world, np.random.default_rng(0),
+                bias_schedule=((0.0, (1.0, 2.0)),))
+
+
+class TestLoadItineraries:
+    def test_accepts_dict_json_string_and_file(self, tmp_path):
+        import json
+
+        trace = {"alice": [[0.0, 1], [4.5, 3]], "bob": [[0.0, 2]]}
+        expect = {"alice": [(0.0, 1), (4.5, 3)], "bob": [(0.0, 2)]}
+        assert load_itineraries(trace) == expect
+        assert load_itineraries(json.dumps(trace)) == expect
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(trace))
+        assert load_itineraries(str(path)) == expect
+
+    def test_rejects_bad_traces(self):
+        with pytest.raises(ValueError):
+            load_itineraries({"u": []})  # empty
+        with pytest.raises(ValueError):
+            load_itineraries({"u": [[1.0, 0]]})  # does not start at 0
+        with pytest.raises(ValueError):
+            load_itineraries({"u": [[0.0, 0], [5.0, 1], [2.0, 0]]})
+        with pytest.raises(ValueError):
+            load_itineraries("[1, 2]")  # not a mapping
+
+    def test_place_range_checked_against_world(self):
+        trace = {"u": [[0.0, 0], [3.0, 9]]}
+        assert load_itineraries(trace, n_places=10)["u"][1] == (3.0, 9)
+        with pytest.raises(ValueError):
+            load_itineraries(trace, n_places=9)
+
+    def test_traced_replay_matches_place_at(self):
+        trace = {"u": [[0.0, 4], [2.0, 1], [7.0, 2]]}
+        itinerary = load_itineraries(trace)["u"]
+        assert RandomWaypointUser.place_at(itinerary, 1.9) == 4
+        assert RandomWaypointUser.place_at(itinerary, 2.0) == 1
+        assert RandomWaypointUser.place_at(itinerary, 100.0) == 2
