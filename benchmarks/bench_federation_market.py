@@ -1,0 +1,104 @@
+"""A15 — federation marketplace: paid peer cache vs cloud round trip.
+
+The marketplace claim in machine-readable form: on the two-operator
+consumer/provider street (cold cabinet + crowd vs warmed metro box one
+fast link away), a *priced* federated cache hit beats the cloud round
+trip every miss otherwise pays over the thin backhaul — on mean and
+p99 recognition latency — whenever the provider's quote fits the
+consumer's budget.  The ``free`` rung pins that paying changes only
+the ledger (latency identical to an open zero-price market), and the
+``denied``/``over_budget`` rungs show the cloud-only floor that
+consent or price walls force.  Credit conservation (operator balances
+sum to zero) is asserted on every rung.  Results land in
+``BENCH_federation_market.json``.
+"""
+
+from benchkit import emit, emit_json
+
+from repro.eval.experiments.federation_economics import (
+    REGIME_NAMES,
+    run_federation_economics,
+)
+from repro.eval.tables import format_table
+
+SMOKE_KWARGS = {"regimes": ("paid", "denied"), "duration_s": 40.0,
+                "n_clients": 6}
+FULL_KWARGS = {"regimes": REGIME_NAMES, "duration_s": 120.0,
+               "n_clients": 8}
+
+
+def test_federation_market(benchmark, smoke):
+    kwargs = SMOKE_KWARGS if smoke else FULL_KWARGS
+    rows = benchmark.pedantic(run_federation_economics, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+    table = [[r.regime, str(r.requests), str(r.served),
+              f"{r.hit_ratio:.3f}", str(r.peer_probes), str(r.peer_hits),
+              f"{r.mean_ms:.0f}", f"{r.p95_ms:.0f}", f"{r.p99_ms:.0f}",
+              f"{r.credits_spent:.1f}", f"{r.credits_earned:.1f}",
+              str(r.transactions)] for r in rows]
+    emit(format_table(
+        ["regime", "requests", "served", "hit ratio", "probes",
+         "peer hits", "mean ms", "p95 ms", "p99 ms", "spent", "earned",
+         "tx"],
+        table, title="A15 — paid peer cache vs cloud round trip"))
+
+    # Shape assertions (hold in smoke mode too).
+    by_regime = {r.regime: r for r in rows}
+    assert "paid" in by_regime and "denied" in by_regime
+    paid, denied = by_regime["paid"], by_regime["denied"]
+    for row in rows:
+        assert row.served > 0
+        assert 0.0 <= row.hit_ratio <= 1.0
+        # Credit conservation: every settlement debits the consumer
+        # exactly what it credits the provider.
+        assert abs(row.balance_sum) < 1e-9
+        assert row.credits_spent == row.credits_earned
+    # Consent/price walls keep the probe path dark: a denied (or
+    # over-budget) provider is never probed and never paid.
+    assert denied.peer_probes == 0
+    assert denied.credits_spent == 0.0
+    if "over_budget" in by_regime:
+        assert by_regime["over_budget"].peer_probes == 0
+        assert by_regime["over_budget"].credits_spent == 0.0
+    # The paid peer actually served cache hits, and was billed for them.
+    assert paid.peer_hits > 0
+    assert paid.credits_spent > 0.0
+    assert paid.transactions == paid.peer_hits
+    # The headline claim: buying the neighbour's warm cache beats the
+    # cloud round trip on the mean AND the latency tail.
+    assert paid.mean_ms < denied.mean_ms
+    assert paid.p99_ms < denied.p99_ms
+    if "free" in by_regime:
+        # Pricing moves credits, not bytes: latency matches the open
+        # zero-price market exactly.
+        free = by_regime["free"]
+        assert paid.mean_ms == free.mean_ms
+        assert paid.p99_ms == free.p99_ms
+        assert free.credits_spent == 0.0
+
+    if smoke:
+        return
+
+    benchmark.extra_info["p99_paid_ms"] = paid.p99_ms
+    benchmark.extra_info["p99_denied_ms"] = denied.p99_ms
+    benchmark.extra_info["credits_spent_paid"] = paid.credits_spent
+
+    emit_json("federation_market", {
+        "workload": {k: v for k, v in kwargs.items() if k != "regimes"},
+        "rows": [{
+            "regime": r.regime,
+            "requests": r.requests,
+            "served": r.served,
+            "hit_ratio": r.hit_ratio,
+            "peer_probes": r.peer_probes,
+            "peer_hits": r.peer_hits,
+            "mean_ms": r.mean_ms,
+            "p95_ms": r.p95_ms,
+            "p99_ms": r.p99_ms,
+            "credits_spent": r.credits_spent,
+            "credits_earned": r.credits_earned,
+            "transactions": r.transactions,
+            "balance_sum": r.balance_sum,
+        } for r in rows],
+    })

@@ -266,6 +266,11 @@ class CoICClient:
             # what that saved versus a full pass.
             detail["resume_layer"] = response.headers["resume_layer"]
             detail["saved_s"] = float(response.headers.get("saved_s", 0.0))
+        if "billed_to" in response.headers:
+            # Marketplace: which operator was billed for cross-domain
+            # service on this request, and at what price.
+            detail["billed_to"] = response.headers["billed_to"]
+            detail["price"] = float(response.headers.get("price", 0.0))
         if retried:
             detail["retries"] = retried
         return outcome, correct, detail, served_by

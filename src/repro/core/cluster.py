@@ -344,12 +344,26 @@ class ClusterDeployment(DeploymentDriverMixin):
         # edge), so every edge can run the same chain.  The balancer is
         # registered as edges come up; its neighbour map is the spec's
         # inter-edge backhaul graph.
+        # -- federation marketplace ------------------------------------------
+        # Control-plane broker for multi-operator scenarios: consent,
+        # auctions and ledger settlement for every cross-domain offload,
+        # peer probe and pre-warm push.  None without operators — and
+        # pure bookkeeping with them, so an all-free open market stays
+        # byte-identical to the single-domain deployment.
+        self.broker = None
+        if spec.operators:
+            from repro.core.market import FederationBroker
+
+            self.broker = FederationBroker(spec, self.recorder,
+                                           seed=cfg.seed)
+
         self.balancer: PeerLoadBalancer | None = None
         if spec.policy is not None and spec.policy.offload != "none":
             balancer_cls = (AffinityLoadBalancer
                             if spec.policy.offload == "affinity"
                             else PeerLoadBalancer)
-            self.balancer = balancer_cls(margin=spec.policy.offload_margin)
+            self.balancer = balancer_cls(margin=spec.policy.offload_margin,
+                                         broker=self.broker)
         self.pipeline = build_pipeline(spec.policy, self.balancer)
         neighbours: dict[str, list[str]] = {n: [] for n in self.edge_names}
         for lspec in spec.inter_edge:
@@ -396,6 +410,7 @@ class ClusterDeployment(DeploymentDriverMixin):
                     loader=self.edge_loader, workers=cfg.edge_workers,
                     peers=peers, peer_timeout_s=spec.peer_timeout_s,
                     pipeline=self.pipeline)
+                node.broker = self.broker
             else:
                 node = EdgeNode(
                     self.env, self.rpc, self.topology.hosts[espec.name],
@@ -806,6 +821,13 @@ class ClusterDeployment(DeploymentDriverMixin):
         the destination sees the true fetch cost.  Returns True when a
         push was scheduled.
         """
+        if self.broker is not None and not self.broker.admissible(src_edge,
+                                                                  dst_edge):
+            # Cross-operator pre-warm needs the destination operator's
+            # consent (and an affordable quote): the departing user's
+            # operator is buying cache placement on another domain's
+            # box.  Denied or over-budget: no push, handoff unaffected.
+            return False
         policy = self.spec.policy
         top_k = policy.prewarm_top_k if policy is not None else 0
         layer_k = policy.prewarm_layers if policy is not None else 0
@@ -848,6 +870,15 @@ class ClusterDeployment(DeploymentDriverMixin):
             # No backhaul route (or link down): the push is dropped, the
             # handoff itself is unaffected.
             return
+        if self.broker is not None:
+            from repro.core.market import LEDGER_PREWARM
+
+            # The departing user's operator pays for delivered placement
+            # (dropped pushes bill nothing).
+            self.broker.settle(LEDGER_PREWARM, src_edge, dst_edge,
+                               now=self.env.now,
+                               detail={"client": client_name,
+                                       "entries": len(items)})
         self.prewarm_pushed += len(items) - n_layers
         self.prewarm_layers_pushed += n_layers
         self.prewarm_log.append(PrewarmEvent(

@@ -110,6 +110,15 @@ class FederatedEdgeNode(EdgeNode):
         #: affinity-ordered probing this drops relative to spec-order
         #: probing because likely holders are asked first.
         self.peer_probes = 0
+        #: Marketplace broker (set by the cluster builder when the
+        #: scenario declares operators).  Filters consent-denied and
+        #: over-budget peers out of every probe round and settles
+        #: cross-operator hits on the ledger.
+        self.broker = None
+        #: Federation message log: one ``(time_s, peer)`` row per
+        #: peer_lookup actually sent — what the consent fault-path
+        #: tests assert against ("a denied peer is never probed").
+        self.probe_log: list[tuple[float, str]] = []
 
     # -- serve loop: add the peer protocol -------------------------------------
 
@@ -156,25 +165,43 @@ class FederatedEdgeNode(EdgeNode):
         spec order (nearest first), which is exactly the historical
         behaviour.
         """
+        peers = self._consented_peers()
         if not descriptor.is_vector or not self.peer_summaries:
-            return self.peers
+            return peers
         signature = _QUERY_SKETCH.signature(descriptor.vector)
         scores = {
             peer: summary.expected_hit(descriptor.kind, signature)
             for peer, summary in self.peer_summaries.items()}
-        return sorted(self.peers,
+        return sorted(peers,
                       key=lambda peer: -scores.get(peer, 0.0))
+
+    def _consented_peers(self) -> list[str]:
+        """Peers the marketplace allows us to probe at all.
+
+        Without a broker (no operators declared) this is every
+        configured peer — the historical single-domain behaviour.
+        With one, consent-denied and over-budget providers are
+        excluded *before* any probe message exists: a denied peer is
+        never even asked (asserted via :attr:`probe_log`).
+        """
+        if self.broker is None:
+            return self.peers
+        return [peer for peer in self.peers
+                if self.broker.admissible(self.host.name, peer)]
 
     def _query_peers(self, descriptor: Descriptor):
         """Ask peers, likeliest holder first; return the first result.
 
-        Returns None when every probe misses or errors.
+        Returns ``(result, peer)`` for a hit — the serving peer is who
+        the marketplace bills — or ``(None, None)`` when every probe
+        misses or errors.
         """
         for peer in self._probe_order(descriptor):
             probe = Message(size_bytes=descriptor.size_bytes,
                             kind="peer_lookup", payload=descriptor,
                             src=self.host.name, dst=peer)
             self.peer_probes += 1
+            self.probe_log.append((self.env.now, peer))
             try:
                 response = yield self.rpc.call(
                     probe, timeout=self.peer_timeout_s)
@@ -182,14 +209,27 @@ class FederatedEdgeNode(EdgeNode):
                 continue  # peer slow or unreachable: fall through
             if response.payload is not None:
                 self.peer_hits += 1
-                return response.payload
+                return response.payload, peer
         self.peer_misses += 1
-        return None
+        return None, None
+
+    def _federated_headers(self, peer: str) -> dict:
+        """Response headers for a peer-served hit, billing included."""
+        headers = {"outcome": OUTCOME_HIT, "federated": True}
+        if self.broker is not None:
+            from repro.core.market import LEDGER_FEDERATION
+
+            charge = self.broker.settle(LEDGER_FEDERATION, self.host.name,
+                                        peer, now=self.env.now,
+                                        detail={"kind": "peer_lookup"})
+            if charge is not None:
+                headers["billed_to"], headers["price"] = charge
+        return headers
 
     def _recognition_miss(self, msg, task, descriptor):
         if descriptor is not None:
             started = self.env.now
-            result = yield from self._query_peers(descriptor)
+            result, peer = yield from self._query_peers(descriptor)
             if result is not None:
                 yield self.config.cache.insert_ms / 1e3
                 self.cache.insert(descriptor, result, result.size_bytes,
@@ -198,13 +238,13 @@ class FederatedEdgeNode(EdgeNode):
                 yield self._respond(
                     msg, size_bytes=result.size_bytes, payload=result,
                     kind="ic_result",
-                    headers={"outcome": OUTCOME_HIT, "federated": True})
+                    headers=self._federated_headers(peer))
                 return
         yield from super()._recognition_miss(msg, task, descriptor)
 
     def _hash_task_miss(self, msg, task, descriptor):
         started = self.env.now
-        result = yield from self._query_peers(descriptor)
+        result, peer = yield from self._query_peers(descriptor)
         if result is not None:
             yield self.config.cache.insert_ms / 1e3
             self.cache.insert(descriptor, result,
@@ -215,7 +255,7 @@ class FederatedEdgeNode(EdgeNode):
             yield self._respond(
                 msg, size_bytes=result.size_bytes, payload=result,
                 kind="ic_result",
-                headers={"outcome": OUTCOME_HIT, "federated": True})
+                headers=self._federated_headers(peer))
             return
         yield from super()._hash_task_miss(msg, task, descriptor)
 

@@ -1,0 +1,241 @@
+"""Multi-operator federation marketplace: broker, auction, settlement.
+
+The paper's cooperative framework assumes one administrative domain:
+every edge shares caches and compute freely.  Real metro deployments
+span *operators* that bill each other for cross-domain work.  This
+module adds that economic layer without touching the data plane:
+
+- :class:`~repro.core.scenario.OperatorSpec` declares each domain's
+  trust and pricing policy (price floor, per-job budget, allow/deny
+  consent lists, bilateral agreements).
+- :class:`FederationBroker` is the deployment-wide control-plane
+  authority: it answers consent questions ("may edge A's operator buy
+  service from edge B's?"), quotes prices, runs the per-request
+  auction, and posts every cross-domain transaction to the recorder's
+  simulated ledger (:class:`~repro.core.metrics.LedgerEntry`).
+
+Design invariant — **the broker is control plane only**.  It never
+yields simulated time, sends no messages, and draws from no RNG
+stream, so consulting it perturbs nothing the golden-digest tests
+observe.  Markets where every quote is affordable and every consent
+granted (one operator, an all-zero-price open market, or no operators
+at all) are *bit-identical* to the pre-market balancers and probe
+orders: the broker filters candidates and settles charges, it never
+re-ranks.  The property suite in
+``tests/property/test_market_properties.py`` pins this reduction, plus
+credit conservation and auction determinism.
+
+Auction protocol (one round per offload decision):
+
+1. The consumer edge's balancer opens a round (``begin_round``); a
+   simulated broker outage (``fail_next``) makes the round a *no-bid*
+   round — the consumer falls back to its non-market path (queue,
+   shed, or cloud redirect), with outcome accounting intact.
+2. Every admissible neighbour becomes a :class:`Bid`: the balancer's
+   performance rank (least-loaded ``(load,)`` or affinity
+   ``(-expected_hit x headroom, load)``) plus the provider operator's
+   quoted price for this consumer.
+3. :meth:`FederationBroker.auction` picks the winner: the best rank
+   among bids priced within the consumer's budget, price then
+   registration order breaking ties.  A pure function of
+   ``(seed, bids, budget)`` — rerunning a round can never change
+   history.
+4. When the winner is cross-operator, the serving edge's operator is
+   paid the quoted price on the ledger (``settle``); the response
+   carries ``billed_to``/``price`` headers so the client's
+   :class:`~repro.core.metrics.RequestRecord` attributes the charge.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.metrics import (
+    LEDGER_FEDERATION,
+    LEDGER_OFFLOAD,
+    LEDGER_PREWARM,
+    LedgerEntry,
+    MetricsRecorder,
+)
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.core.scenario import OperatorSpec, ScenarioSpec
+
+__all__ = ["Bid", "FederationBroker",
+           "LEDGER_OFFLOAD", "LEDGER_FEDERATION", "LEDGER_PREWARM"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Bid:
+    """One provider's offer in an offload auction round.
+
+    Attributes:
+        provider: The bidding edge (host name).
+        operator: The bidding edge's operator domain ("" when the
+            scenario has no operator model).
+        rank: The balancer's performance rank for this provider —
+            smaller is better.  Least-loaded bids rank ``(load,)``;
+            affinity bids rank ``(-score, load)`` with
+            ``score = expected_hit x 1/(1+load)``.
+        price: Credits the provider's operator charges the consumer's
+            for this job (0.0 within one domain or an open market).
+        order: Registration (spec) order — the deterministic last-level
+            tie-break, matching the pre-market balancers exactly.
+    """
+
+    provider: str
+    operator: str
+    rank: tuple
+    price: float
+    order: int
+
+
+class FederationBroker:
+    """Control-plane marketplace authority for one deployment.
+
+    Args:
+        spec: The scenario; its ``operators`` and per-edge ``operator``
+            assignments define the market.  With no operators declared
+            every method degenerates to "free and allowed".
+        recorder: The deployment recorder whose ledger receives every
+            cross-operator settlement.
+        seed: Deployment seed; stamps auction rounds (the auction
+            itself is deterministic — see :meth:`auction`).
+    """
+
+    def __init__(self, spec: "ScenarioSpec", recorder: MetricsRecorder,
+                 seed: int = 0):
+        self.recorder = recorder
+        self.seed = seed
+        self.operators: dict[str, "OperatorSpec"] = {
+            op.name: op for op in spec.operators}
+        self.operator_of: dict[str, str] = {
+            e.name: e.operator for e in spec.edges}
+        #: Auction rounds opened (same-domain picks included).
+        self.rounds = 0
+        #: Rounds lost to a simulated broker outage (``fail_next``).
+        self.timeouts = 0
+        #: Cross-operator transactions posted to the ledger.
+        self.settled = 0
+        self._fail_pending = 0
+
+    # -- consent and pricing (pure reads) ------------------------------------
+
+    def domain(self, edge: str) -> str:
+        """The operator domain an edge belongs to ("" when unassigned)."""
+        return self.operator_of.get(edge, "")
+
+    def consent(self, consumer_op: str, provider_op: str) -> bool:
+        """May ``consumer_op`` buy service from ``provider_op``?
+
+        Same-domain and unassigned-edge traffic is always consented —
+        the classic single-administrative-domain model.  Across
+        domains the provider's allow/deny policy must admit the
+        consumer *and* the consumer must not have denied the provider.
+        """
+        if consumer_op == provider_op or not consumer_op or not provider_op:
+            return True
+        provider = self.operators[provider_op]
+        consumer = self.operators[consumer_op]
+        return (provider.consents_to(consumer_op)
+                and provider_op not in consumer.deny)
+
+    def quote(self, consumer_op: str, provider_op: str) -> float:
+        """Credits per job ``provider_op`` charges ``consumer_op``."""
+        if consumer_op == provider_op or not consumer_op or not provider_op:
+            return 0.0
+        return self.operators[provider_op].quote_for(consumer_op)
+
+    def budget_of(self, consumer_op: str) -> float | None:
+        """Max credits per job the consumer pays (None = unlimited)."""
+        op = self.operators.get(consumer_op)
+        return op.budget if op is not None else None
+
+    def price_between(self, src_edge: str, dst_edge: str) -> float:
+        """Quoted price for ``src_edge``'s operator using ``dst_edge``."""
+        return self.quote(self.domain(src_edge), self.domain(dst_edge))
+
+    def admissible(self, src_edge: str, peer_edge: str) -> bool:
+        """May ``src_edge`` offload/probe/prewarm to ``peer_edge``?
+
+        Consent must hold and the quoted price must fit the consumer
+        operator's budget.  Same-domain pairs are always admissible.
+        """
+        consumer = self.domain(src_edge)
+        provider = self.domain(peer_edge)
+        if not self.consent(consumer, provider):
+            return False
+        budget = self.budget_of(consumer)
+        return budget is None or self.quote(consumer, provider) <= budget
+
+    # -- auction rounds -------------------------------------------------------
+
+    def begin_round(self) -> bool:
+        """Open an auction round; False simulates a broker timeout.
+
+        A timed-out round yields no bids: the consumer edge proceeds
+        exactly as if every neighbour were inadmissible (queue, shed
+        or cloud-redirect per its admission policy).
+        """
+        self.rounds += 1
+        if self._fail_pending > 0:
+            self._fail_pending -= 1
+            self.timeouts += 1
+            return False
+        return True
+
+    def fail_next(self, n: int = 1) -> None:
+        """Make the next ``n`` rounds time out (fault-injection hook)."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        self._fail_pending += n
+
+    @staticmethod
+    def auction(bids: typing.Sequence[Bid], budget: float | None,
+                seed: int = 0) -> Bid | None:
+        """The winning bid, or None when no bid fits the budget.
+
+        A *pure function* of its arguments: the winner is the minimum
+        of ``(rank, price, order)`` over bids with
+        ``price <= budget`` — best performance rank first, cheaper
+        provider on rank ties, registration order last (exactly the
+        pre-market balancers' tie-break, which is what makes an
+        all-free market reduce bit-identically).  ``seed`` stamps the
+        round for audit; it never perturbs the choice, so replaying a
+        logged round reproduces history.
+        """
+        del seed  # determinism contract: same (seed, bids) -> same winner
+        affordable = [b for b in bids
+                      if budget is None or b.price <= budget]
+        if not affordable:
+            return None
+        return min(affordable, key=lambda b: (b.rank, b.price, b.order))
+
+    # -- settlement -----------------------------------------------------------
+
+    def settle(self, kind: str, src_edge: str, provider_edge: str,
+               now: float, detail: dict | None = None
+               ) -> tuple[str, float] | None:
+        """Post one cross-operator transaction to the ledger.
+
+        ``src_edge``'s operator (the consumer) pays
+        ``provider_edge``'s the quoted price.  Same-domain and
+        unassigned-edge work is free: nothing is posted and None is
+        returned.  Otherwise returns ``(consumer_op, price)`` — the
+        values stamped into the response's ``billed_to``/``price``
+        headers.
+        """
+        consumer = self.domain(src_edge)
+        provider = self.domain(provider_edge)
+        if not consumer or not provider or consumer == provider:
+            return None
+        price = self.quote(consumer, provider)
+        entry_detail = {"src_edge": src_edge, "provider_edge": provider_edge}
+        if detail:
+            entry_detail.update(detail)
+        self.recorder.post(LedgerEntry(
+            time_s=now, consumer=consumer, provider=provider,
+            price=price, kind=kind, detail=entry_detail))
+        self.settled += 1
+        return consumer, price

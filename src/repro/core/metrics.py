@@ -57,6 +57,55 @@ class RequestRecord:
         """Compute seconds a ``partial`` serve saved vs full inference."""
         return float(self.detail.get("saved_s", 0.0))
 
+    @property
+    def billed_to(self) -> str | None:
+        """Operator billed for cross-domain service on this request."""
+        return self.detail.get("billed_to")
+
+    @property
+    def price(self) -> float:
+        """Credits charged for cross-domain service on this request."""
+        return float(self.detail.get("price", 0.0))
+
+
+#: Ledger transaction kinds.
+LEDGER_OFFLOAD = "offload"        # admission-control peer offload
+LEDGER_FEDERATION = "federation"  # federated peer cache probe hit
+LEDGER_PREWARM = "prewarm"        # handoff pre-warm push
+
+
+@dataclasses.dataclass(frozen=True)
+class LedgerEntry:
+    """One cross-operator settlement on the simulated ledger.
+
+    ``consumer`` pays ``provider`` exactly ``price`` credits — double
+    entry by construction, so the market can never create or destroy
+    credits (the invariant the property suite pins).  Zero-price
+    transactions are still posted: an open free market keeps a full
+    audit trail, it just settles to all-zero balances.
+    """
+
+    time_s: float
+    consumer: str
+    provider: str
+    price: float
+    kind: str
+    detail: dict = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass(frozen=True)
+class SettlementSummary:
+    """Per-operator aggregate over the ledger."""
+
+    operator: str
+    earned: float
+    spent: float
+    transactions: int
+
+    @property
+    def net(self) -> float:
+        return self.earned - self.spent
+
 
 @dataclasses.dataclass(frozen=True)
 class LatencySummary:
@@ -112,11 +161,55 @@ class MetricsRecorder:
 
     def __init__(self):
         self.records: list[RequestRecord] = []
+        self.ledger: list[LedgerEntry] = []
 
     def record(self, record: RequestRecord) -> None:
         if record.end_s < record.start_s:
             raise ValueError("end_s precedes start_s")
         self.records.append(record)
+
+    # -- simulated ledger --------------------------------------------------------
+
+    def post(self, entry: LedgerEntry) -> None:
+        """Append one cross-operator settlement to the ledger."""
+        if entry.price < 0:
+            raise ValueError("ledger price must be >= 0")
+        if entry.consumer == entry.provider:
+            raise ValueError("ledger entries are cross-operator only")
+        self.ledger.append(entry)
+
+    def operator_balances(self) -> dict[str, float]:
+        """Net credit position per operator (+earned, -spent).
+
+        Sums to zero across operators for every ledger state: each
+        entry credits the provider exactly what it debits the consumer.
+        """
+        balances: dict[str, float] = {}
+        for entry in self.ledger:
+            balances[entry.provider] = (
+                balances.get(entry.provider, 0.0) + entry.price)
+            balances[entry.consumer] = (
+                balances.get(entry.consumer, 0.0) - entry.price)
+        return balances
+
+    def settlement_summary(self) -> dict[str, SettlementSummary]:
+        """Earned/spent/transaction-count breakdown per operator."""
+        earned: dict[str, float] = {}
+        spent: dict[str, float] = {}
+        count: dict[str, int] = {}
+        for entry in self.ledger:
+            earned[entry.provider] = (
+                earned.get(entry.provider, 0.0) + entry.price)
+            spent[entry.consumer] = (
+                spent.get(entry.consumer, 0.0) + entry.price)
+            count[entry.provider] = count.get(entry.provider, 0) + 1
+            count[entry.consumer] = count.get(entry.consumer, 0) + 1
+        out = {}
+        for op in sorted(set(earned) | set(spent)):
+            out[op] = SettlementSummary(
+                operator=op, earned=earned.get(op, 0.0),
+                spent=spent.get(op, 0.0), transactions=count.get(op, 0))
+        return out
 
     # -- selection ---------------------------------------------------------------
 

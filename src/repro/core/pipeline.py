@@ -181,11 +181,13 @@ class LayerReuseStage(Stage):
        unchanged, except that the sketch is left on the context so the
        lookup stage's extraction seeds the layer cache for next time.
 
-    Only edge-extracted recognition requests are gated (client-computed
-    descriptors make the coarse lookup cheap enough that racing it with
-    a sketch probe is not worth the complexity), and only when the
-    frame actually crossed the access link (``has_input``) — resuming
-    layers needs the input.
+    Both edge-extracted and client-computed-descriptor requests are
+    planned: a client descriptor folds to the same sketch the edge
+    would have computed (deterministic captures), so it probes the
+    layer cache without a backbone pass.  Client-descriptor traffic
+    only *consumes* layer entries — the edge never runs the layers
+    that would seed them.  Planning requires the frame to have crossed
+    the access link (``has_input``) — resuming layers needs the input.
     """
 
     name = "layer_reuse"
@@ -200,7 +202,7 @@ class LayerReuseStage(Stage):
     def run(self, edge: "EdgeNode", ctx: RequestContext):
         manager = edge.layer_manager
         if (manager is None or not isinstance(ctx.task, RecognitionTask)
-                or ctx.skip_lookup or ctx.descriptor is not None
+                or ctx.skip_lookup
                 or not ctx.msg.headers.get("has_input", False)):
             yield from _noop()
             return
@@ -218,12 +220,23 @@ class LayerReuseStage(Stage):
                 # client's sketch attachment — deterministic captures
                 # only.
                 return
-            # The edge pays the perceptual-sketch pass itself; clients
-            # running affinity offload shipped one already.
-            yield SKETCH_COST_S
-            observation = edge.recognizer.extract(ctx.task.frame)
-            sketch = input_sketch(observation.vector)
-            ctx.layer_observation = observation
+            if ctx.descriptor is not None:
+                # Client-computed descriptor: fold the vector the client
+                # already shipped into sketch space.  Deterministic
+                # captures make it the same sketch the edge's own
+                # extraction would yield, for only the projection's
+                # cost — no backbone pass.
+                if not getattr(ctx.descriptor, "is_vector", False):
+                    return
+                yield SKETCH_COST_S
+                sketch = input_sketch(ctx.descriptor.vector)
+            else:
+                # The edge pays the perceptual-sketch pass itself;
+                # clients running affinity offload shipped one already.
+                yield SKETCH_COST_S
+                observation = edge.recognizer.extract(ctx.task.frame)
+                sketch = input_sketch(observation.vector)
+                ctx.layer_observation = observation
         ctx.layer_sketch = sketch
         # Walk the taps deep-to-shallow, paying each probe's lookup
         # cost at the instant it runs (same pay-then-probe convention
@@ -497,12 +510,20 @@ class PeerLoadBalancer:
         margin: A peer is only chosen if its load is at least this much
             below the asking edge's (hysteresis against ping-ponging
             work between two equally busy sites).
+        broker: Optional :class:`~repro.core.market.FederationBroker`.
+            When set, every pick is an auction round: inadmissible
+            peers (consent denied, or quoted over the consumer's
+            budget) never bid, the winner is the broker's auction over
+            the remaining bids, and a broker timeout is a no-bid round
+            (pick returns None).  An all-free open market selects
+            identically to the broker-less code path.
     """
 
-    def __init__(self, margin: int = 1):
+    def __init__(self, margin: int = 1, broker=None):
         if margin < 0:
             raise ValueError("margin must be >= 0")
         self.margin = margin
+        self.broker = broker
         self._edges: dict[str, "EdgeNode"] = {}
         self._neighbours: dict[str, tuple[str, ...]] = {}
         self._pending: dict[str, int] = {}
@@ -526,6 +547,10 @@ class PeerLoadBalancer:
         compatibility with :class:`AffinityLoadBalancer` and ignored
         here — load is the only signal this balancer reads.
         """
+        if self.broker is not None:
+            if not self.broker.begin_round():
+                return None
+            return self._market_select(src, key)
         own = self.load_of(src) if src in self._edges else 0
         best: str | None = None
         best_load: int | None = None
@@ -536,6 +561,35 @@ class PeerLoadBalancer:
         if best is None or best_load + self.margin > own:
             return None
         return best
+
+    def _market_bids(self, src: str):
+        """Bids from admissible neighbours, ranked least-loaded."""
+        from repro.core.market import Bid
+
+        broker = self.broker
+        consumer = broker.domain(src)
+        bids = []
+        for order, name in enumerate(self._neighbours.get(src, ())):
+            if not broker.admissible(src, name):
+                continue
+            provider_op = broker.domain(name)
+            bids.append(Bid(provider=name, operator=provider_op,
+                            rank=(self.load_of(name),),
+                            price=broker.quote(consumer, provider_op),
+                            order=order))
+        return bids
+
+    def _market_select(self, src: str,
+                       key: "typing.Any | None" = None) -> str | None:
+        """Auction over admissible neighbours (broker mode of pick)."""
+        broker = self.broker
+        own = self.load_of(src) if src in self._edges else 0
+        winner = broker.auction(self._market_bids(src),
+                                broker.budget_of(broker.domain(src)),
+                                seed=broker.seed)
+        if winner is None or winner.rank[0] + self.margin > own:
+            return None
+        return winner.provider
 
     def note_dispatch(self, name: str) -> None:
         self._pending[name] = self._pending.get(name, 0) + 1
@@ -573,8 +627,9 @@ class AffinityLoadBalancer(PeerLoadBalancer):
         kind: Descriptor kind whose summaries are scored.
     """
 
-    def __init__(self, margin: int = 1, kind: str = "recognition"):
-        super().__init__(margin=margin)
+    def __init__(self, margin: int = 1, kind: str = "recognition",
+                 broker=None):
+        super().__init__(margin=margin, broker=broker)
         self.kind = kind
         from repro.core.index import AffinitySketch
 
@@ -589,6 +644,10 @@ class AffinityLoadBalancer(PeerLoadBalancer):
         Falls back to the least-loaded choice when ``key`` is None or
         every eligible neighbour scores zero.
         """
+        if self.broker is not None:
+            if not self.broker.begin_round():
+                return None
+            return self._market_select(src, key)
         fallback = super().pick(src)
         if key is None:
             if fallback is not None:
@@ -618,6 +677,52 @@ class AffinityLoadBalancer(PeerLoadBalancer):
             return fallback
         self.affinity_picks += 1
         return best
+
+    def _market_select(self, src: str,
+                       key: "typing.Any | None" = None) -> str | None:
+        """Affinity auction: admissible, eligible peers bid hit x headroom.
+
+        Mirrors the broker-less pick exactly — margin eligibility, the
+        ``(-score, load)`` rank, least-loaded fallback when no peer
+        plausibly holds the content — with inadmissible peers silently
+        excluded from both the auction and the fallback.
+        """
+        from repro.core.market import Bid
+
+        broker = self.broker
+        fallback = super()._market_select(src)
+        if key is None:
+            if fallback is not None:
+                self.fallback_picks += 1
+            return fallback
+        own = self.load_of(src) if src in self._edges else 0
+        asking = self._edges.get(src)
+        view = getattr(asking, "peer_summaries", {}) if asking else {}
+        signature = self._sketch.signature(key)
+        consumer = broker.domain(src)
+        bids = []
+        for order, name in enumerate(self._neighbours.get(src, ())):
+            if not broker.admissible(src, name):
+                continue
+            load = self.load_of(name)
+            if load + self.margin > own:
+                continue
+            summary = view.get(name)
+            score = (summary.expected_hit(self.kind, signature)
+                     * (1.0 / (1.0 + load)) if summary is not None else 0.0)
+            bids.append(Bid(provider=name, operator=broker.domain(name),
+                            rank=(-score, load),
+                            price=broker.quote(consumer,
+                                               broker.domain(name)),
+                            order=order))
+        winner = broker.auction(bids, broker.budget_of(consumer),
+                                seed=broker.seed)
+        if winner is None or winner.rank[0] >= 0.0:
+            if fallback is not None:
+                self.fallback_picks += 1
+            return fallback
+        self.affinity_picks += 1
+        return winner.provider
 
 
 class AdmissionControlStage(AdmitStage):
@@ -750,6 +855,18 @@ class AdmissionControlStage(AdmitStage):
             self.balancer.note_done(target)
         relay = {key: value for key, value in response.headers.items()
                  if key not in ("in_reply_to", "rpc_id")}
+        broker = getattr(self.balancer, "broker", None)
+        if broker is not None:
+            # Bill the completed job: the consumer operator pays the
+            # provider's quoted price on the simulated ledger.  Pure
+            # bookkeeping — no simulated time, no extra messages.
+            from repro.core.market import LEDGER_OFFLOAD
+
+            charge = broker.settle(LEDGER_OFFLOAD, edge.host.name, target,
+                                   now=edge.env.now,
+                                   detail={"user": ctx.msg.src})
+            if charge is not None:
+                relay["billed_to"], relay["price"] = charge
         yield edge.rpc.respond(ctx.msg, size_bytes=response.size_bytes,
                                payload=response.payload,
                                kind=response.kind, headers=relay)

@@ -98,6 +98,13 @@ class EdgeSpec:
             scenario mix big metro boxes with small street cabinets —
             capacity pressure at the small sites is what makes cache
             *placement* (and affinity-aware offload) matter.
+        operator: Operator domain this site belongs to.  Empty (the
+            default) means "no operator model" — the scenario behaves
+            exactly as before operators existed.  Non-empty names must
+            reference an :class:`OperatorSpec` declared on the
+            scenario; cross-operator offload/federation/pre-warm then
+            goes through the deployment's
+            :class:`~repro.core.market.FederationBroker`.
     """
 
     name: str
@@ -107,6 +114,7 @@ class EdgeSpec:
     backhaul_stream: str = ""
     peers: tuple[str, ...] | None = None
     cache_mb: float | None = None
+    operator: str = ""
 
     def __post_init__(self) -> None:
         _require(bool(self.name), "edge name must be non-empty")
@@ -122,7 +130,8 @@ class EdgeSpec:
                 "x": self.x, "y": self.y,
                 "backhaul_stream": self.backhaul_stream,
                 "peers": list(self.peers) if self.peers is not None else None,
-                "cache_mb": self.cache_mb}
+                "cache_mb": self.cache_mb,
+                "operator": self.operator}
 
     @classmethod
     def from_dict(cls, data: dict) -> "EdgeSpec":
@@ -137,7 +146,94 @@ class EdgeSpec:
                    x=float(data.get("x", 0.0)), y=float(data.get("y", 0.0)),
                    backhaul_stream=data.get("backhaul_stream", ""),
                    peers=tuple(peers) if peers is not None else None,
-                   cache_mb=float(cache_mb) if cache_mb is not None else None)
+                   cache_mb=float(cache_mb) if cache_mb is not None else None,
+                   operator=data.get("operator", ""))
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatorSpec:
+    """One operator domain in a multi-operator federation market.
+
+    Cross-domain work (peer offload, federation cache probes, handoff
+    pre-warm pushes) between edges of *different* operators is a priced
+    transaction: the consumer operator pays the provider operator per
+    job, settled on the deployment recorder's simulated ledger.  Within
+    one operator everything stays free, exactly as before.
+
+    Attributes:
+        name: Operator domain name; referenced by ``EdgeSpec.operator``.
+        price: Floor price (credits per cross-domain job) this operator
+            charges consumers with no bilateral agreement.  0 models an
+            open free-peering market.
+        budget: Max credits this operator will pay per job when *buying*
+            remote service.  None means unlimited willingness to pay;
+            providers quoting above the budget are never used.
+        allow: Operators allowed to buy service from us, or None for
+            "anyone not denied".
+        deny: Operators refused service outright (consent denylist).
+            A denied consumer's edges never even probe ours.
+        agreements: Bilateral price agreements ``((peer_op, price), ...)``
+            overriding the floor price for specific consumers.
+    """
+
+    name: str
+    price: float = 0.0
+    budget: float | None = None
+    allow: tuple[str, ...] | None = None
+    deny: tuple[str, ...] = ()
+    agreements: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "operator name must be non-empty")
+        _require(self.price >= 0, "operator price must be >= 0")
+        if self.budget is not None:
+            _require(self.budget >= 0, "operator budget must be >= 0")
+        if self.allow is not None:
+            object.__setattr__(self, "allow", tuple(self.allow))
+        object.__setattr__(self, "deny", tuple(self.deny))
+        agreements = tuple((str(peer), float(price))
+                           for peer, price in self.agreements)
+        object.__setattr__(self, "agreements", agreements)
+        peers = [peer for peer, _ in agreements]
+        _require(len(set(peers)) == len(peers),
+                 "duplicate bilateral agreement peer")
+        for peer, price in agreements:
+            _require(price >= 0, f"agreement price for {peer!r} must be >= 0")
+
+    def quote_for(self, consumer: str) -> float:
+        """Price this operator charges ``consumer`` per job."""
+        for peer, price in self.agreements:
+            if peer == consumer:
+                return price
+        return self.price
+
+    def consents_to(self, consumer: str) -> bool:
+        """Would this operator serve ``consumer`` at all?"""
+        if consumer == self.name:
+            return True
+        if consumer in self.deny:
+            return False
+        return self.allow is None or consumer in self.allow
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "price": self.price,
+                "budget": self.budget,
+                "allow": list(self.allow) if self.allow is not None else None,
+                "deny": list(self.deny),
+                "agreements": [[peer, price]
+                               for peer, price in self.agreements]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OperatorSpec":
+        allow = data.get("allow")
+        return cls(name=data["name"],
+                   price=float(data.get("price", 0.0)),
+                   budget=(float(data["budget"])
+                           if data.get("budget") is not None else None),
+                   allow=tuple(allow) if allow is not None else None,
+                   deny=tuple(data.get("deny", ())),
+                   agreements=tuple((peer, float(price)) for peer, price
+                                    in data.get("agreements", ())))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -536,6 +632,10 @@ class ScenarioSpec:
             None for the paper's accept-everything edges.
         background: Diurnal background cross-traffic on backhaul links,
             or None for dedicated (constant-capacity) backhauls.
+        operators: Operator domains for the federation marketplace, or
+            empty for the classic single-administrative-domain model.
+            Every non-empty ``EdgeSpec.operator`` must name one of
+            these.
     """
 
     edges: tuple[EdgeSpec, ...]
@@ -549,10 +649,12 @@ class ScenarioSpec:
     warmup: WarmupSpec | None = None
     policy: EdgePolicySpec | None = None
     background: BackgroundTrafficSpec | None = None
+    operators: tuple[OperatorSpec, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "edges", tuple(self.edges))
         object.__setattr__(self, "inter_edge", tuple(self.inter_edge))
+        object.__setattr__(self, "operators", tuple(self.operators))
         _require(len(self.edges) >= 1, "a scenario needs at least one edge")
         _require(self.peer_timeout_s > 0, "peer_timeout_s must be > 0")
         names = [e.name for e in self.edges]
@@ -571,6 +673,20 @@ class ScenarioSpec:
         for edge in self.edges:
             for peer in edge.peers or ():
                 _require(peer in known, f"unknown peer {peer!r}")
+        op_names = [o.name for o in self.operators]
+        _require(len(set(op_names)) == len(op_names),
+                 "operator names must be unique")
+        declared = set(op_names)
+        for edge in self.edges:
+            _require(not edge.operator or edge.operator in declared,
+                     f"edge {edge.name!r} references undeclared operator "
+                     f"{edge.operator!r}")
+        for op in self.operators:
+            for peer in (op.deny + tuple(op.allow or ())
+                         + tuple(p for p, _ in op.agreements)):
+                _require(peer in declared,
+                         f"operator {op.name!r} references undeclared "
+                         f"operator {peer!r}")
 
     # -- introspection -------------------------------------------------------
 
@@ -588,6 +704,29 @@ class ScenarioSpec:
                 return edge
         raise KeyError(f"no edge named {name!r}")
 
+    def operator(self, name: str) -> OperatorSpec:
+        for op in self.operators:
+            if op.name == name:
+                return op
+        raise KeyError(f"no operator named {name!r}")
+
+    def with_operators(self, operators: typing.Sequence[OperatorSpec],
+                       by_edge: dict[str, str]) -> "ScenarioSpec":
+        """A copy of this spec with operator domains assigned.
+
+        ``by_edge`` maps edge names to operator names; unnamed edges
+        keep their current (usually empty) assignment.  Lets the canned
+        builders (``metro`` etc.) stay operator-free while experiments
+        and tests layer a market on top.
+        """
+        unknown = set(by_edge) - set(self.edge_names)
+        _require(not unknown, f"unknown edges in by_edge: {sorted(unknown)}")
+        edges = tuple(
+            dataclasses.replace(e, operator=by_edge.get(e.name, e.operator))
+            for e in self.edges)
+        return dataclasses.replace(self, edges=edges,
+                                   operators=tuple(operators))
+
     # -- serialization -------------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -604,6 +743,7 @@ class ScenarioSpec:
             "policy": self.policy.to_dict() if self.policy else None,
             "background": (self.background.to_dict()
                            if self.background else None),
+            "operators": [o.to_dict() for o in self.operators],
         }
 
     @classmethod
@@ -629,6 +769,8 @@ class ScenarioSpec:
                     if policy is not None else None),
             background=(BackgroundTrafficSpec.from_dict(background)
                         if background is not None else None),
+            operators=tuple(OperatorSpec.from_dict(o)
+                            for o in data.get("operators", ())),
         )
 
     # -- canned scenarios ----------------------------------------------------

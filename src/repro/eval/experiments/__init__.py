@@ -15,6 +15,7 @@ Module                Reproduces
 ``speculative``       A8 — speculative cloud forwarding on misses
 ``layer_reuse_exp``   A13 — partial-inference serving from the layer caches
 ``city_scale``        A14 — city-scale kernel gauge (simulated metro hour)
+``federation_economics``  A15 — paid peer cache vs cloud round trip
 ====================  =======================================================
 """
 

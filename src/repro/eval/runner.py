@@ -41,6 +41,9 @@ def _bootstrap() -> None:
     from repro.eval.experiments.affinity_exp import run_affinity
     from repro.eval.experiments.city_scale import run_city_scale
     from repro.eval.experiments.eviction import run_eviction
+    from repro.eval.experiments.federation_economics import (
+        run_federation_economics,
+    )
     from repro.eval.experiments.federation_exp import run_federation
     from repro.eval.experiments.fig2a import run_fig2a
     from repro.eval.experiments.fig2b import run_fig2b
@@ -72,6 +75,7 @@ def _bootstrap() -> None:
         "affinity": run_affinity,
         "city_scale": run_city_scale,
         "layer_reuse": run_layer_reuse,
+        "federation_economics": run_federation_economics,
     })
 
 

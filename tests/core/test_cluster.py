@@ -134,6 +134,32 @@ class TestMetroGoldenDigest:
         assert default_metro_digest(
             make_deployment, policy=EdgePolicySpec()) == GOLDEN_METRO
 
+    def test_all_free_open_market_is_byte_identical(self,
+                                                    make_deployment):
+        # Declaring operators with zero prices and open consent wires
+        # the FederationBroker into every probe order — and must not
+        # move a byte: the broker filters and bills, it never re-ranks,
+        # and an open market filters nothing and bills zero.
+        from repro.core.scenario import OperatorSpec
+        from repro.eval.experiments.mobility_exp import drive_scenario
+
+        mobility = MobilitySpec(n_places=16, mean_dwell_s=8.0,
+                                duration_s=60.0, handoff_latency_s=0.05)
+        spec = ScenarioSpec.metro(n_edges=4, clients_per_edge=1,
+                                  federate=True, mobility=mobility)
+        spec = spec.with_operators(
+            (OperatorSpec(name="metroA"), OperatorSpec(name="metroB")),
+            {"edge0": "metroA", "edge1": "metroA",
+             "edge2": "metroB", "edge3": "metroB"})
+        dep = make_deployment(spec=spec)
+        drive_scenario(dep, 60.0, request_interval_s=2.0)
+        assert recorder_digest(dep.recorder) == GOLDEN_METRO
+        # The market really was on the path: the broker exists and the
+        # cross-operator probes settled (at price zero).
+        assert dep.broker is not None
+        assert all(edge.broker is dep.broker for edge in dep.edges)
+        assert all(entry.price == 0.0 for entry in dep.recorder.ledger)
+
     def test_explicit_float64_compat_is_byte_identical(
             self, make_deployment, make_config):
         # Spelling out the compatibility dtype must be a no-op: the

@@ -146,8 +146,13 @@ class TestPartialServing:
         assert dep.edges[0].partial_served == 0
         assert dep.edges[0].layer_seeded > 0
 
-    def test_client_descriptor_requests_pass_through(self, make_config,
-                                                     make_deployment):
+    def test_client_descriptor_requests_never_seed(self, make_config,
+                                                   make_deployment):
+        # Client-computed descriptors are *planned* against the layer
+        # cache (regression test below) but the edge never runs the
+        # backbone for them, so there is nothing to seed: pure
+        # client-descriptor traffic leaves the layer cache empty and
+        # can never produce a partial on its own.
         cfg = make_config()
         cfg.recognition.descriptor_source = "client"
         dep = make_deployment(config=cfg, clients=(("m0", "m1"), ()),
@@ -158,9 +163,36 @@ class TestPartialServing:
                 [dep.recognition_task(7, viewpoint=vp, user=client,
                                       seq=0)])[0]
             assert record.outcome != OUTCOME_PARTIAL
-        # No edge-side extraction, no seeding, no partials.
         assert dep.edges[0].layer_seeded == 0
         assert dep.edges[0].partial_served == 0
+
+    def test_client_descriptor_requests_consume_layer_entries(
+            self, make_config, make_deployment):
+        # Regression (PR 9 residual fix): the layer-reuse stage used to
+        # bypass any request arriving with a client-computed descriptor.
+        # It now folds the shipped vector into sketch space — identical
+        # to the edge-computed sketch, since capture extraction is
+        # deterministic — so cached taps serve these requests too.
+        from repro.core.index import input_sketch
+
+        cfg = make_config()
+        cfg.recognition.descriptor_source = "client"
+        dep = make_deployment(config=cfg, clients=(("m0",), ()),
+                              policy=reuse_policy())
+        task = dep.recognition_task(7, viewpoint=0.0, user="m0", seq=0)
+        observation = dep.edge_by_name["edge0"].recognizer.extract(
+            task.frame)
+        manager = dep.layer_managers["edge0"]
+        manager.insert(input_sketch(observation.vector),
+                       layers=manager.layers_through(
+                           manager.network.feature_layer))
+        record = dep.run_tasks(dep.client_by_name["m0"], [task])[0]
+        assert record.outcome == OUTCOME_PARTIAL
+        assert record.correct is True
+        assert dep.edges[0].partial_served == 1
+        # Consuming still never seeds: the pre-inserted taps are all
+        # the layer cache ever holds.
+        assert dep.edges[0].layer_seeded == 0
 
     def test_prewarmed_layer_entries_become_servable(self,
                                                      make_deployment):
