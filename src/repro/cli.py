@@ -140,6 +140,9 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         config.network.wifi_mbps = args.wifi
     if args.backhaul is not None:
         config.network.backhaul_mbps = args.backhaul
+    backend = args.backend or spec.backend
+    if backend == "real":
+        return _run_real_scenario(spec, config, args)
     deployment = ClusterDeployment(spec, config=config)
     if args.profile:
         import cProfile
@@ -170,6 +173,43 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     print(f"handoffs: {len(deployment.handoff_log)}")
     caches = ", ".join(f"{name}={len(cache)}" for name, cache in
                        zip(deployment.edge_names, deployment.caches))
+    print(f"cache entries: {caches}")
+    return 0
+
+
+# Spawns real OS processes: exercised by CI's real-backend job (CLI
+# end-to-end step), which the hermetic coverage job does not run.
+def _run_real_scenario(spec, config, args) -> int:  # pragma: no cover
+    """`repro scenario --backend real`: deploy over real sockets.
+
+    The closed-loop trace length approximates the simulated run's
+    request budget: ``duration / interval`` requests per client.
+    """
+    from repro.backend.runner import run_real_scenario
+
+    duration = args.duration if args.duration is not None else 60.0
+    requests_per_client = max(1, int(duration / max(args.interval, 1e-9)))
+    result = run_real_scenario(spec, config=config,
+                               requests_per_client=requests_per_client,
+                               pace_s=args.interval,
+                               mode="process")
+    recorder = result.recorder
+    rows = []
+    for kind in sorted({r.task_kind for r in recorder.records}):
+        for outcome in sorted({r.outcome for r in
+                               recorder.select(task_kind=kind)}):
+            s = recorder.summary(task_kind=kind, outcome=outcome)
+            rows.append([kind, outcome, str(s.n), f"{s.mean * 1e3:.1f}",
+                         f"{s.p95 * 1e3:.1f}"])
+    print(format_table(["task", "outcome", "n", "mean ms", "p95 ms"], rows,
+                       title=f"scenario (real backend): "
+                             f"{len(spec.edges)} edge processes"))
+    print(f"\nhit ratio: {recorder.hit_ratio():.3f}")
+    print(f"wall clock: {result.wall_s:.2f} s "
+          f"({result.requests_per_sec:.1f} requests/s)")
+    caches = ", ".join(
+        f"{c.get('edge', '?')}={c.get('cache_entries', '?')}"
+        for c in result.edge_counters)
     print(f"cache entries: {caches}")
     return 0
 
@@ -207,6 +247,11 @@ def build_parser() -> argparse.ArgumentParser:
     scen_p.add_argument("--backhaul", type=float, default=None,
                         help="edge->cloud bandwidth override, Mbps")
     scen_p.add_argument("--seed", type=int, default=None)
+    scen_p.add_argument("--backend", choices=("sim", "real"), default=None,
+                        help="execution backend: the deterministic "
+                             "simulation (default) or a real multiprocess "
+                             "asyncio deployment over localhost sockets; "
+                             "overrides the spec's backend field")
     scen_p.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top 25 "
                              "functions by cumulative time (find out "

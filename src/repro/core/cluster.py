@@ -420,6 +420,11 @@ class ClusterDeployment(DeploymentDriverMixin):
             if self.balancer is not None:
                 self.balancer.register(espec.name, node,
                                        neighbours[espec.name])
+            if spec.policy is not None and spec.policy.summary_piggyback:
+                # Delta gossip on cooperation traffic (offload and
+                # federated replies, pre-warm acknowledgements); the
+                # default-off path changes zero message bytes.
+                node.summary_piggyback = True
             self.edges.append(node)
         self.edge_by_name = dict(zip(self.edge_names, self.edges))
         self.cache_by_name = dict(zip(self.edge_names, self.caches))

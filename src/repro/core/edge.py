@@ -141,6 +141,12 @@ class EdgeNode:
         self.partial_served = 0
         self.partial_saved_s = 0.0
         self.layer_seeded = 0
+        #: Coarse (result-cache) lookup evidence on the recognition
+        #: path, kept apart from the cache's global stats — layer-tap
+        #: probes share the cache but must not pollute the hit-ratio
+        #: signal the layer-reuse serving baseline reads.
+        self.coarse_lookups = 0
+        self.coarse_hits = 0
         #: Overload-layer counters (stay zero under the default pipeline).
         self.shed_count = 0
         self.redirect_count = 0
@@ -151,6 +157,14 @@ class EdgeNode:
         #: offload reads this; stale by up to the gossip interval).
         self.peer_summaries: dict[str, typing.Any] = {}
         self.summaries_received = 0
+        #: Attach a fresh CacheSummary to replies for offloaded /
+        #: federated requests and push one back after absorbing a
+        #: pre-warm, so peers' affinity views refresh on the traffic
+        #: itself instead of waiting out ``summary_refresh_s``.  Off by
+        #: default (set from ``EdgePolicySpec.summary_piggyback`` by the
+        #: deployment builder): the periodic-only path is byte-identical
+        #: to the historical behaviour.
+        self.summary_piggyback = False
         env.process(self._serve())
 
     # -- load ----------------------------------------------------------------
@@ -159,6 +173,13 @@ class EdgeNode:
     def load(self) -> int:
         """Busy plus queued compute slots (what admission control reads)."""
         return self.compute.count + self.compute.queue_length
+
+    @property
+    def coarse_hit_ratio(self) -> float:
+        """Observed hit ratio of coarse recognition lookups on this edge."""
+        if self.coarse_lookups == 0:
+            return 0.0
+        return self.coarse_hits / self.coarse_lookups
 
     # -- threshold ----------------------------------------------------------------
 
@@ -185,6 +206,17 @@ class EdgeNode:
         tagged = {"served_by": self.host.name}
         if headers:
             tagged.update(headers)
+        if self.summary_piggyback and msg.headers.get("offloaded"):
+            # Gossip rides the work: the origin edge that offloaded here
+            # gets this cache's *current* summary with the reply (and
+            # pays its wire bytes), instead of routing on a snapshot up
+            # to ``summary_refresh_s`` stale.  The relay at the origin
+            # strips the header before the client sees it.
+            from repro.core.layer_cache import LAYER_KIND_PREFIX
+
+            summary = self.cache.summary(exclude_prefix=LAYER_KIND_PREFIX)
+            tagged["peer_summary"] = summary
+            size_bytes += summary.size_bytes
         return self.rpc.respond(msg, size_bytes=size_bytes, payload=payload,
                                 kind=kind, headers=tagged)
 
@@ -284,6 +316,22 @@ class EdgeNode:
         inserted = self.cache.insert_batch(msg.payload, now=self.env.now)
         self.prewarm_received += sum(1 for entry in inserted
                                      if entry is not None)
+        if self.summary_piggyback and msg.src:
+            # A pre-warm just changed this cache materially — exactly
+            # when the pusher's affinity view of us goes stale.  Send a
+            # refreshed summary straight back instead of letting the
+            # balancer route on the old sketch until the next periodic
+            # push.
+            from repro.core.layer_cache import LAYER_KIND_PREFIX
+
+            summary = self.cache.summary(exclude_prefix=LAYER_KIND_PREFIX)
+            push = Message(size_bytes=summary.size_bytes,
+                           kind="cache_summary", payload=summary,
+                           src=self.host.name, dst=msg.src)
+            try:
+                yield self.rpc.send(push)
+            except RpcError:
+                pass  # pusher unreachable: the periodic path recovers
 
     # -- extraction -----------------------------------------------------------------
 

@@ -141,14 +141,25 @@ class FederatedEdgeNode(EdgeNode):
             yield self.cache.lookup_cost_s(descriptor.kind)
             entry = self.cache.lookup(descriptor, now=self.env.now,
                                       threshold=None)
+        headers = None
+        extra_bytes = 0
+        if self.summary_piggyback:
+            # Delta gossip on the probe traffic itself: the asking edge
+            # refreshes its affinity view of us with every peer_result,
+            # paying the summary's wire bytes on the same reply.
+            from repro.core.layer_cache import LAYER_KIND_PREFIX
+
+            summary = self.cache.summary(exclude_prefix=LAYER_KIND_PREFIX)
+            headers = {"peer_summary": summary}
+            extra_bytes = summary.size_bytes
         if entry is None:
-            yield self.rpc.respond(msg, size_bytes=96, payload=None,
-                                   kind="peer_result")
+            yield self.rpc.respond(msg, size_bytes=96 + extra_bytes,
+                                   payload=None, kind="peer_result",
+                                   headers=headers)
         else:
-            yield self.rpc.respond(msg,
-                                   size_bytes=entry.result.size_bytes,
-                                   payload=entry.result,
-                                   kind="peer_result")
+            yield self.rpc.respond(
+                msg, size_bytes=entry.result.size_bytes + extra_bytes,
+                payload=entry.result, kind="peer_result", headers=headers)
 
     # -- the federated miss path -------------------------------------------------
 
@@ -207,6 +218,12 @@ class FederatedEdgeNode(EdgeNode):
                     probe, timeout=self.peer_timeout_s)
             except RpcError:
                 continue  # peer slow or unreachable: fall through
+            summary = response.headers.get("peer_summary")
+            if summary is not None:
+                # Piggybacked gossip: even a peer miss refreshes our
+                # view of that peer's cache for the next probe ordering.
+                self.peer_summaries[peer] = summary
+                self.summaries_received += 1
             if response.payload is not None:
                 self.peer_hits += 1
                 return response.payload, peer

@@ -164,7 +164,8 @@ class LayerCacheManager:
 
     def insert(self, sketch: np.ndarray, now: float = 0.0,
                layers: typing.Sequence[str] | None = None,
-               result: typing.Any = None) -> int:
+               result: typing.Any = None,
+               source_class: int | None = None) -> int:
         """Cache activations of ``layers`` (default: all taps) under the
         input sketch.  Returns how many entries were stored.
 
@@ -173,6 +174,14 @@ class LayerCacheManager:
         the result), so a later full-result reuse returns what was
         actually cached — a false sketch match then surfaces as an
         incorrect record instead of being silently oracle-corrected.
+
+        ``source_class`` records which object class the cached
+        activations were computed *from*.  A resumed pass whose input
+        has drifted past the coarse match threshold inherits the cached
+        input's class-level features, so the serving stage needs to
+        know what class that was to score the (possibly wrong) resumed
+        result honestly.  None (legacy inserts) keeps the historical
+        oracle behaviour.
         """
         final_layer = self.network.layers[-1].name
         targets = list(layers if layers is not None else self.tap_layers)
@@ -188,10 +197,10 @@ class LayerCacheManager:
             layer = self.network.layer(name)
             descriptor = VectorDescriptor(kind=self._kind(name),
                                           vector=sketch)
-            payload = ("activation", name)
+            payload = ("activation", name, None, source_class)
             size_bytes = layer.output_bytes
             if result is not None and name == final_layer:
-                payload = ("activation", name, result)
+                payload = ("activation", name, result, source_class)
                 # The attached result rides the entry through capacity
                 # accounting and prewarm/federation transfers — it must
                 # pay its own bytes, like any cached result.
@@ -213,6 +222,15 @@ class LayerCacheManager:
         payload = entry.result
         if isinstance(payload, tuple) and len(payload) > 2:
             return payload[2]
+        return None
+
+    @staticmethod
+    def source_class(entry) -> int | None:
+        """The object class the cached activation was computed from, or
+        None for legacy entries that never recorded one."""
+        payload = entry.result
+        if isinstance(payload, tuple) and len(payload) > 3:
+            return payload[3]
         return None
 
     def servable(self, layer_name: str, entry) -> bool:
@@ -276,3 +294,27 @@ class LayerCacheManager:
             return 0.0
         return (device.invocation_overhead_s
                 + device.seconds_for_gflops(plan.compute_gflops))
+
+    def default_chain_cost_s(self, kind: str, extraction_s: float,
+                             lookup_s: float, hit_ratio: float,
+                             full_s: float) -> float:
+        """Expected cost of the default chain a partial serve replaces.
+
+        The chain being short-circuited is extract -> coarse lookup ->
+        resolve: extraction and the lookup always run; with probability
+        ``1 - hit_ratio`` the coarse lookup misses and the request pays
+        the forward path.  That miss cost is estimated from the mean
+        observed ``cost_s`` of the kind's live entries — each records
+        what resolving its own miss actually cost (cloud round trip,
+        federation probe, partial recompute) — falling back to a full
+        inference pass on this device when no history exists.
+
+        This is the honest serving baseline: comparing savings against
+        *full* inference alone overstates the win whenever a cheap
+        coarse hit was likely, letting partial serving lose to the very
+        path it replaced.
+        """
+        costs = [entry.cost_s for entry in self.cache.entries()
+                 if entry.descriptor.kind == kind and entry.cost_s > 0]
+        miss_s = (sum(costs) / len(costs)) if costs else full_s
+        return extraction_s + lookup_s + (1.0 - hit_ratio) * miss_s

@@ -295,6 +295,18 @@ class MetricsRecorder:
                 saved_s=sum(r.saved_s for r in partials))
         return out
 
+    def outcome_counts(self, task_kind: str | None = None) -> dict[str, int]:
+        """Record counts keyed by outcome, sorted by outcome name.
+
+        The shape both execution backends print in their summary
+        tables — a quick structural fingerprint of a run (and what the
+        sim/real parity suite compares).
+        """
+        counts: dict[str, int] = {}
+        for record in self.select(task_kind=task_kind):
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        return dict(sorted(counts.items()))
+
     def accuracy(self, task_kind: str | None = None) -> float:
         """Fraction of correctness-checked requests that were correct.
 

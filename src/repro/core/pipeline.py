@@ -260,8 +260,21 @@ class LayerReuseStage(Stage):
         if plan.resume_after is None:
             return
         partial_s = manager.compute_time(plan, edge.recognizer.device)
-        saved_s = edge.recognizer.inference_time() - partial_s
-        if saved_s < self.spec.layer_plan_margin_s:
+        full_s = edge.recognizer.inference_time()
+        # Reported savings stay measured against a full inference pass
+        # (the historical ``saved_s`` semantics every metric reads), but
+        # the serve/decline margin compares against the *expected
+        # default-chain* cost: when a cheap coarse hit was likely, the
+        # chain being replaced costs far less than full inference, and
+        # a partial serve must beat that, not the worst case.
+        saved_s = full_s - partial_s
+        baseline_s = manager.default_chain_cost_s(
+            ctx.task.kind,
+            extraction_s=edge.recognizer.extraction_time(),
+            lookup_s=manager.cache.lookup_cost_s(ctx.task.kind),
+            hit_ratio=edge.coarse_hit_ratio,
+            full_s=full_s)
+        if baseline_s - partial_s < self.spec.layer_plan_margin_s:
             return
         yield from self._serve_partial(edge, ctx, manager, plan, matched,
                                        partial_s, saved_s, observation)
@@ -284,10 +297,28 @@ class LayerReuseStage(Stage):
         # result stored with the final-layer entry (the probe walk only
         # accepts final-tap matches that carry one) — so a false sketch
         # match is scored incorrect, exactly like a false coarse hit.
-        # Resumed passes produce a fresh result (the oracle; accuracy
-        # modelling for mid-network drift is a ROADMAP item).
-        result = (manager.cached_result(matched) if plan.full_result
-                  else edge.recognizer.recognize(ctx.task.frame))
+        if plan.full_result:
+            result = manager.cached_result(matched)
+        else:
+            # A resumed pass rides the *cached* input's shallow
+            # activations.  Within the coarse match threshold the two
+            # inputs are interchangeable and the resume reproduces the
+            # oracle answer; past it, the stale features dominate and
+            # the pass lands on the cached input's class — which the
+            # client then scores against ground truth, exactly like
+            # full-result reuse.  Entries that never recorded a source
+            # class (legacy inserts) keep the oracle behaviour.
+            result = edge.recognizer.recognize(ctx.task.frame)
+            source = manager.source_class(matched)
+            if source is not None and ctx.layer_sketch is not None:
+                from repro.core.distance import pairwise
+
+                drift = pairwise(edge.config.cache.metric,
+                                 ctx.layer_sketch,
+                                 matched.descriptor.vector)
+                if drift > edge.match_threshold:
+                    result = dataclasses.replace(result,
+                                                 label=int(source))
         if not plan.full_result:
             # Re-cache what the resumed pass actually computed: the taps
             # after the resume point under *this* input's sketch, plus —
@@ -299,8 +330,12 @@ class LayerReuseStage(Stage):
             # can only ride a final-layer entry.
             attach = (result if manager.network.layers[-1].name in taps
                       else None)
+            # The re-cached taps were computed from this pass's output,
+            # so they carry *its* label — a drift chain that went stale
+            # propagates the stale class, it does not launder it.
             manager.insert(ctx.layer_sketch, now=edge.env.now,
-                           layers=taps, result=attach)
+                           layers=taps, result=attach,
+                           source_class=result.label)
             network = manager.network
             if (network.layer_index(plan.resume_after)
                     < network.layer_index(network.feature_layer)):
@@ -360,9 +395,16 @@ class LookupStage(Stage):
                 edge.layer_seeded += manager.insert(
                     ctx.layer_sketch, now=edge.env.now,
                     layers=manager.layers_through(
-                        manager.network.feature_layer))
+                        manager.network.feature_layer),
+                    source_class=ctx.task.frame.object_class)
         ctx.entry = yield from edge._batched_lookup(ctx.descriptor,
                                                     edge.match_threshold)
+        # Per-edge coarse hit evidence: what the layer-reuse stage's
+        # default-chain baseline reads.  Deliberately *not* the cache's
+        # global stats — layer-tap probes would drown the signal.
+        edge.coarse_lookups += 1
+        if ctx.entry is not None:
+            edge.coarse_hits += 1
 
     def _hash_lookup(self, edge: "EdgeNode", ctx: RequestContext):
         yield edge.cache.lookup_cost_s(ctx.task.kind)
@@ -853,8 +895,16 @@ class AdmissionControlStage(AdmitStage):
                 forward, timeout=edge.config.request_timeout_s)
         finally:
             self.balancer.note_done(target)
+        summary = response.headers.get("peer_summary")
+        if summary is not None:
+            # Piggybacked gossip: the serving edge attached its fresh
+            # CacheSummary to the reply (EdgePolicySpec.summary_piggyback),
+            # so the balancer's view of that peer updates now instead of
+            # at the next periodic push.  Never relayed to the client.
+            edge.peer_summaries[target] = summary
+            edge.summaries_received += 1
         relay = {key: value for key, value in response.headers.items()
-                 if key not in ("in_reply_to", "rpc_id")}
+                 if key not in ("in_reply_to", "rpc_id", "peer_summary")}
         broker = getattr(self.balancer, "broker", None)
         if broker is not None:
             # Bill the completed job: the consumer operator pays the

@@ -464,6 +464,16 @@ class EdgePolicySpec:
             routed inter-edge path), so a peer's view of a cache is
             stale by at most this plus the transfer time.  Ignored
             unless ``offload="affinity"``.
+        summary_piggyback: Also ride delta summary updates on the
+            cooperation traffic itself: an edge answering an offloaded
+            or federated request attaches its current ``CacheSummary``
+            to the reply, and an edge absorbing a pre-warm push sends a
+            refreshed summary straight back to the pusher — so affinity
+            routing stops using a snapshot that went stale the moment a
+            big pre-warm or offload burst changed a peer's cache.
+            Every piggybacked summary pays its wire bytes on the
+            carrying message.  Off by default: the periodic-only gossip
+            path stays byte-identical to the historical behaviour.
         prewarm_top_k: Before a mobility handoff completes, push this
             many of the hottest cache entries from the old edge to the
             next edge (``ICCache.hottest`` -> ``insert_batch``).  0
@@ -523,6 +533,7 @@ class EdgePolicySpec:
     offload: str = "none"
     offload_margin: int = 2
     summary_refresh_s: float = 5.0
+    summary_piggyback: bool = False
     prewarm_top_k: int = 0
     prewarm_layers: int = 0
     layer_reuse: bool = False
@@ -636,6 +647,13 @@ class ScenarioSpec:
             empty for the classic single-administrative-domain model.
             Every non-empty ``EdgeSpec.operator`` must name one of
             these.
+        backend: Execution backend the spec is meant to run on —
+            ``"sim"`` (the discrete-event kernel, today's default) or
+            ``"real"`` (a multiprocess asyncio deployment over
+            localhost sockets, see :mod:`repro.backend`).  Purely a
+            routing hint for runners and the CLI: the simulated build
+            path ignores it entirely, so every pinned golden digest is
+            unaffected.
     """
 
     edges: tuple[EdgeSpec, ...]
@@ -650,8 +668,11 @@ class ScenarioSpec:
     policy: EdgePolicySpec | None = None
     background: BackgroundTrafficSpec | None = None
     operators: tuple[OperatorSpec, ...] = ()
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
+        _require(self.backend in ("sim", "real"),
+                 f"backend must be 'sim' or 'real', got {self.backend!r}")
         object.__setattr__(self, "edges", tuple(self.edges))
         object.__setattr__(self, "inter_edge", tuple(self.inter_edge))
         object.__setattr__(self, "operators", tuple(self.operators))
@@ -744,6 +765,7 @@ class ScenarioSpec:
             "background": (self.background.to_dict()
                            if self.background else None),
             "operators": [o.to_dict() for o in self.operators],
+            "backend": self.backend,
         }
 
     @classmethod
@@ -771,6 +793,7 @@ class ScenarioSpec:
                         if background is not None else None),
             operators=tuple(OperatorSpec.from_dict(o)
                             for o in data.get("operators", ())),
+            backend=str(data.get("backend", "sim")),
         )
 
     # -- canned scenarios ----------------------------------------------------

@@ -54,6 +54,7 @@ def _bootstrap() -> None:
     from repro.eval.experiments.overload_exp import run_overload
     from repro.eval.experiments.panorama_exp import run_panorama
     from repro.eval.experiments.privacy_exp import run_privacy
+    from repro.eval.experiments.real_throughput import run_real_throughput
     from repro.eval.experiments.sharing import run_sharing
     from repro.eval.experiments.speculative import run_speculative
     from repro.eval.experiments.thresholds import run_threshold_sweep
@@ -76,6 +77,7 @@ def _bootstrap() -> None:
         "city_scale": run_city_scale,
         "layer_reuse": run_layer_reuse,
         "federation_economics": run_federation_economics,
+        "real_throughput": run_real_throughput,
     })
 
 

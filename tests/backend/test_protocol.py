@@ -1,0 +1,75 @@
+"""Frame-level tests for the real backend's wire protocol."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.backend.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_body,
+    encode_frame,
+    read_frame,
+)
+
+
+def read_from_bytes(data: bytes, eof: bool = True):
+    """Drive read_frame over an in-memory StreamReader."""
+
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        if eof:
+            reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(_run())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "recognize", "capture_id": 7,
+                   "viewpoint": -0.25, "user": "m0"}
+        assert read_from_bytes(encode_frame(message)) == message
+
+    def test_prefix_is_4_byte_big_endian(self):
+        frame = encode_frame({"op": "x"})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+
+    def test_two_frames_back_to_back(self):
+        first, second = {"op": "a"}, {"op": "b", "n": 2}
+
+        async def _run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(first) + encode_frame(second))
+            reader.feed_eof()
+            return await read_frame(reader), await read_frame(reader)
+
+        assert asyncio.run(_run()) == (first, second)
+
+    def test_clean_eof_returns_none(self):
+        assert read_from_bytes(b"") is None
+
+    def test_eof_mid_prefix_raises(self):
+        with pytest.raises(ProtocolError, match="mid-prefix"):
+            read_from_bytes(b"\x00\x00")
+
+    def test_eof_mid_frame_raises(self):
+        frame = encode_frame({"op": "x"})
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            read_from_bytes(frame[:-2])
+
+    def test_oversized_length_prefix_rejected_before_reading(self):
+        huge = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_from_bytes(huge, eof=False)
+
+    def test_oversized_outgoing_frame_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_body(b"[1, 2, 3]")

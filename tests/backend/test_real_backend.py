@@ -1,0 +1,263 @@
+"""Sim/real parity and robustness tests for the execution backend.
+
+The unmarked tests run everything inline — real loopback sockets and
+the real wire protocol inside the caller's event loop — so they stay
+hermetic and run in tier-1.  Tests marked ``real_backend`` spawn one
+OS process per edge plus a cloud stub (the deployment shape) and are
+deselected by default; run them with ``pytest -m real_backend``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.backend.edge_server import EdgeService
+from repro.backend.loadgen import build_workload
+from repro.backend.protocol import call
+from repro.backend.runner import run_real_scenario, run_simulated_trace
+from repro.core.config import CoICConfig
+from repro.core.metrics import (
+    OUTCOME_ERROR,
+    OUTCOME_HIT,
+    OUTCOME_MISS,
+    OUTCOME_SHED,
+)
+from repro.core.scenario import (
+    ClientSpec,
+    EdgePolicySpec,
+    EdgeSpec,
+    ScenarioSpec,
+    WarmupSpec,
+)
+from repro.core.tasks import KIND_RECOGNITION
+
+
+def fast_config(seed=0, n_classes=12, network="mobilenet_v2"):
+    """Small class space + light cloud shim so misses cost ~0.16s."""
+    config = CoICConfig(seed=seed)
+    config.recognition.n_classes = n_classes
+    config.recognition.resolution = "720p"
+    config.recognition.network = network
+    config.network.backhaul_mbps = 1000.0
+    return config
+
+
+def small_spec(policy=None, warm=(1, 2, 3), clients=(("m0", "m1"), ("m2",))):
+    edges = tuple(
+        EdgeSpec(name=f"edge{k}",
+                 clients=tuple(ClientSpec(name=name) for name in row))
+        for k, row in enumerate(clients))
+    return ScenarioSpec(edges=edges, policy=policy,
+                        warmup=WarmupSpec(classes=warm) if warm else None)
+
+
+def triples(recorder):
+    return [(r.user, r.outcome, r.correct) for r in recorder.records]
+
+
+class TestSimRealParity:
+    def test_sequential_inline_replay_matches_the_simulation(self):
+        # The parity contract: same spec, same config, same trace,
+        # sequential replay -> identical per-request outcomes and
+        # correctness on both backends (and identical empty ledgers).
+        spec = small_spec()
+        config = fast_config()
+        items = build_workload(spec, config, 4)
+
+        sim = run_simulated_trace(spec, config, items)
+        real = run_real_scenario(spec, config=config, mode="inline",
+                                 sequential=True, items=items)
+
+        assert triples(real.recorder) == triples(sim.recorder)
+        assert (real.recorder.outcome_counts()
+                == sim.recorder.outcome_counts())
+        # Both hit and miss paths must actually be exercised for the
+        # parity claim to mean anything.
+        assert set(real.recorder.outcome_counts()) == {OUTCOME_HIT,
+                                                       OUTCOME_MISS}
+        assert real.recorder.ledger == sim.recorder.ledger == []
+        assert real.mode == "inline"
+        assert real.requests == len(items)
+        assert real.requests_per_sec > 0.0
+
+    def test_fully_warm_edge_serves_every_request_from_cache(self):
+        spec = small_spec(warm=(0, 1, 2, 3), clients=(("m0",),))
+        config = fast_config(n_classes=4)
+        real = run_real_scenario(spec, config=config, mode="inline",
+                                 requests_per_client=6)
+
+        assert real.recorder.outcome_counts() == {OUTCOME_HIT: 6}
+        assert real.recorder.outcome_counts(KIND_RECOGNITION) == {
+            OUTCOME_HIT: 6}
+        assert real.recorder.accuracy() == 1.0
+        assert all(r.edge == "edge0" for r in real.recorder.records)
+        (counters,) = real.edge_counters
+        assert counters["hits"] == 6
+        assert counters["misses"] == 0
+        assert counters["cache_entries"] == 4
+
+    def test_miss_resolution_populates_the_real_cache(self):
+        # Two captures of the same class: the first misses to the
+        # cloud stub, the second hits the entry that miss inserted.
+        spec = small_spec(warm=(), clients=(("m0",),))
+        config = fast_config(n_classes=1)
+        real = run_real_scenario(spec, config=config, mode="inline",
+                                 sequential=True, requests_per_client=2)
+
+        assert [r.outcome for r in real.recorder.records] == [
+            OUTCOME_MISS, OUTCOME_HIT]
+        assert all(r.correct for r in real.recorder.records)
+        assert real.edge_counters[0]["cache_entries"] == 1
+
+
+class TestRobustness:
+    def test_saturated_edge_sheds_with_a_drain_hint(self):
+        # queue_limit=0 + concurrent clients on one edge: whoever
+        # arrives while a cloud miss is in flight is refused.
+        policy = EdgePolicySpec(admission="shed", queue_limit=0)
+        spec = small_spec(policy=policy, warm=(),
+                          clients=(("m0", "m1", "m2"),))
+        config = fast_config(network="vgg16")  # slow misses on purpose
+        real = run_real_scenario(spec, config=config, mode="inline",
+                                 requests_per_client=2)
+
+        counts = real.recorder.outcome_counts()
+        assert real.requests == 6
+        assert counts.get(OUTCOME_SHED, 0) > 0
+        assert OUTCOME_ERROR not in counts
+        shed = real.recorder.select(outcome=OUTCOME_SHED)
+        assert all(r.detail["shed"] and r.detail["retry_after_s"] > 0
+                   for r in shed)
+        assert real.edge_counters[0]["shed"] >= len(shed)
+
+    def test_shed_retries_resend_after_the_backoff(self):
+        # With a generous retry budget the same contention resolves:
+        # shed clients wait out the jittered retry_after_s hint and
+        # re-send until a worker slot frees up.
+        policy = EdgePolicySpec(admission="shed", queue_limit=0,
+                                shed_retries=25)
+        spec = small_spec(policy=policy, warm=(),
+                          clients=(("m0", "m1", "m2"),))
+        config = fast_config()
+        real = run_real_scenario(spec, config=config, mode="inline",
+                                 requests_per_client=2)
+
+        counts = real.recorder.outcome_counts()
+        assert real.requests == 6
+        assert OUTCOME_ERROR not in counts
+        assert counts.get(OUTCOME_SHED, 0) == 0
+        served = real.recorder.select()
+        # The contention happened (some request needed >=1 re-send) —
+        # the retries are what turned the sheds into served requests.
+        assert any(r.detail.get("retries", 0) > 0 for r in served)
+        assert all(r.correct for r in served)
+
+    def test_request_timeout_records_an_error_outcome(self):
+        spec = small_spec(warm=(), clients=(("m0",),))
+        config = fast_config(network="vgg16")
+        config.request_timeout_s = 0.05  # well under the ~0.4s miss
+        real = run_real_scenario(spec, config=config, mode="inline",
+                                 sequential=True, requests_per_client=1)
+
+        (record,) = real.recorder.records
+        assert record.outcome == OUTCOME_ERROR
+        assert "timeout" in record.detail["error"]
+        assert record.correct is None
+
+    def test_drain_refuses_new_work_then_shutdown_reports_counters(self):
+        # The graceful half of the shutdown story, at protocol level:
+        # a draining edge sheds incoming work, and the shutdown frame
+        # answers with the final serving counters.
+        payload = {
+            "name": "edge0",
+            "recognition": {"descriptor_dim": 16, "n_classes": 4,
+                            "viewpoint_scale": 0.02, "noise_sigma": 0.005,
+                            "seed": 0, "threshold": None,
+                            "max_viewpoint_delta": 5.0},
+            "cache": {"capacity_bytes": 10_000_000, "policy": "lru",
+                      "vector_index": "linear", "metric": "l2",
+                      "ttl_s": None, "vector_dtype": "float64"},
+            "warm_classes": [], "admission": "none", "queue_limit": None,
+            "cloud": None,  # cloudless: the edge itself is the oracle
+        }
+
+        async def _run():
+            service = EdgeService(payload)
+            await service.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.port)
+            request = {"op": "recognize", "capture_id": 1,
+                       "object_class": 2, "viewpoint": 0.1}
+            try:
+                first = await call(reader, writer, request)
+                await service.drain(timeout_s=1.0)
+                second = await call(reader, writer,
+                                    dict(request, capture_id=2))
+                bye = await call(reader, writer, {"op": "shutdown"})
+            finally:
+                writer.close()
+                await service.stop()
+            return first, second, bye
+
+        first, second, bye = asyncio.run(_run())
+        assert first["outcome"] == OUTCOME_MISS and first["label"] == 2
+        assert second["outcome"] == OUTCOME_SHED
+        assert second["retry_after_s"] > 0
+        assert bye["op"] == "bye"
+        assert bye["served"] == 1 and bye["misses"] == 1
+        assert bye["shed"] == 1 and bye["cache_entries"] == 1
+
+
+class TestRunnerValidation:
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_real_scenario(small_spec(), mode="threads")
+
+    def test_kill_edge_requires_process_mode(self):
+        with pytest.raises(ValueError, match="kill_edge"):
+            run_real_scenario(small_spec(), mode="inline",
+                              kill_edge="edge1")
+
+
+@pytest.mark.real_backend
+class TestProcessMode:
+    """Deployment-shape tests: spawned OS processes, real SIGKILL."""
+
+    def test_process_parity_smoke(self):
+        spec = small_spec()
+        config = fast_config()
+        items = build_workload(spec, config, 3)
+
+        sim = run_simulated_trace(spec, config, items)
+        real = run_real_scenario(spec, config=config, mode="process",
+                                 sequential=True, items=items)
+
+        assert real.mode == "process"
+        assert triples(real.recorder) == triples(sim.recorder)
+        # Survivor shutdown collected both edges' final counters.
+        assert [c["edge"] for c in real.edge_counters] == ["edge0",
+                                                           "edge1"]
+        assert sum(c["served"] for c in real.edge_counters) == len(items)
+
+    def test_killed_edge_fails_over_and_the_run_completes(self):
+        # SIGKILL edge1 while m2's first (slow vgg16) miss is in
+        # flight: the client re-sends through the failover walk and
+        # the whole trace still completes without an error outcome.
+        spec = small_spec()
+        config = fast_config(network="vgg16")
+        real = run_real_scenario(spec, config=config, mode="process",
+                                 requests_per_client=6,
+                                 kill_edge="edge1", kill_after_s=0.2)
+
+        assert real.requests == 18
+        counts = real.recorder.outcome_counts()
+        assert OUTCOME_ERROR not in counts
+        assert set(counts) <= {OUTCOME_HIT, OUTCOME_MISS}
+        # The killed edge never answered the shutdown frame...
+        assert real.edge_counters[1] == {}
+        # ...and every record that landed after the kill names the
+        # survivor, including m2's failed-over requests.
+        assert real.edge_counters[0]["served"] > 0
+        m2_edges = [r.edge for r in real.recorder.records
+                    if r.user == "m2"]
+        assert m2_edges and m2_edges[-1] == "edge0"

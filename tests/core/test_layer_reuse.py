@@ -272,6 +272,42 @@ class TestPartialServing:
         assert record.correct is False
         assert record.detail["label"] == 99
 
+    def test_drifted_resume_carries_the_source_class(
+            self, make_deployment):
+        # Regression: resumed partials used to call the oracle
+        # recognizer on the *request's* frame, so a resume from another
+        # object's activations still came back "correct" — the sim
+        # could never observe stale-reuse errors the real system makes.
+        # Activations cached from a class-99 capture whose sketch
+        # drifted past the descriptor match threshold (but inside the
+        # shallow tap thresholds) must surface class 99, scored
+        # incorrect.
+        from repro.core.distance import pairwise
+        from repro.core.index import input_sketch
+
+        dep = make_deployment(clients=(("m0",), ()),
+                              policy=reuse_policy())
+        edge = dep.edge_by_name["edge0"]
+        manager = dep.layer_managers["edge0"]
+        task = dep.recognition_task(7, viewpoint=0.0, user="m0", seq=0)
+        request = input_sketch(edge.recognizer.extract(task.frame).vector)
+        # Stand-in for a cross-object sketch collision: geometry from a
+        # far viewpoint of class 7, activations recorded as class 99.
+        cached = input_sketch(dep.space.observe(7, 6.0, noise_key=1).vector)
+        drift = pairwise(edge.config.cache.metric, request, cached)
+        # Precondition for the bug: past the descriptor threshold yet
+        # inside the shallowest tap threshold, so the plan resumes.
+        assert edge.match_threshold < drift < manager.base_threshold
+        manager.insert(cached,
+                       layers=manager.layers_through(
+                           manager.network.feature_layer),
+                       source_class=99)
+        record = dep.run_tasks(dep.client_by_name["m0"], [task])[0]
+        assert record.outcome == OUTCOME_PARTIAL
+        assert record.resume_layer is not None
+        assert record.correct is False
+        assert record.detail["label"] == 99
+
     def test_payload_less_final_tap_cannot_serve_full_result(
             self, make_deployment):
         from repro.core.index import input_sketch
